@@ -1,0 +1,663 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§6). Run `dune exec bench/main.exe -- --help`.
+
+   Scale: the paper uses 20M-key trees and 1M ops/thread on a 28-core
+   Xeon; the default here is 1/100 of that on the simulated memory system.
+   Throughput is simulated-clock throughput (see Bench_harness.Runner);
+   wall-clock is printed for reference. The epoch length defaults to a
+   value that keeps operations-per-epoch near the paper's regime (§6
+   discusses ~80K ops per epoch). *)
+
+module R = Bench_harness.Runner
+module Y = Workload.Ycsb
+module Sys_ = Incll.System
+
+type opts = {
+  mutable only : string list;  (* empty = all *)
+  mutable scale : float;
+  mutable threads : int;
+  mutable ops : int;  (* per thread *)
+  mutable epoch_ms : float;
+  mutable seed : int;
+  mutable repeats : int;
+  mutable csv_dir : string option;
+}
+
+let opts =
+  {
+    only = [];
+    scale = 0.01;
+    threads = 8;
+    ops = 50_000;
+    epoch_ms = 8.0;
+    seed = 1;
+    repeats = 1;
+    csv_dir = None;
+  }
+
+let paper_keys = 20_000_000
+let nkeys () = max 2_000 (int_of_float (float_of_int paper_keys *. opts.scale))
+
+let selected name = opts.only = [] || List.mem name opts.only
+
+let line fmt = Printf.printf (fmt ^^ "\n%!")
+
+let config ?(sfence_extra_ns = 0.0) ?(val_incll = true) ~keys ~threads () =
+  R.config_for ~sfence_extra_ns
+    ~epoch_len_ns:(opts.epoch_ms *. 1e6)
+    ~val_incll
+    ~nkeys_per_shard:((keys / threads) + 1)
+    ()
+
+let run ?threads ?keys ?sfence_extra_ns ?val_incll variant mix dist =
+  let threads = Option.value ~default:opts.threads threads in
+  let keys = Option.value ~default:(nkeys ()) keys in
+  let cfg = config ?sfence_extra_ns ?val_incll ~keys ~threads () in
+  R.run ~seed:opts.seed ~threads ~ops_per_thread:opts.ops ~config:cfg ~variant
+    ~mix ~dist ~nkeys:keys ()
+
+(* Repeated runs with distinct workload seeds; returns (mean Mops,
+   relative stdev). The paper averages 10 runs and reports 0.03-0.08%
+   standard deviation (§6). *)
+let run_repeated ?threads ?keys variant mix dist =
+  let samples =
+    List.init (max 1 opts.repeats) (fun i ->
+        let threads = Option.value ~default:opts.threads threads in
+        let keys = Option.value ~default:(nkeys ()) keys in
+        let cfg = config ~keys ~threads () in
+        (R.run ~seed:(opts.seed + (1000 * i)) ~threads
+           ~ops_per_thread:opts.ops ~config:cfg ~variant ~mix ~dist
+           ~nkeys:keys ())
+          .R.mops_sim)
+  in
+  let n = float_of_int (List.length samples) in
+  let mean = List.fold_left ( +. ) 0.0 samples /. n in
+  let var =
+    List.fold_left (fun a x -> a +. ((x -. mean) ** 2.0)) 0.0 samples /. n
+  in
+  (mean, sqrt var /. mean)
+
+let overhead ~base ~sys = (base -. sys) /. base
+
+(* Print a table and, when --csv DIR is given, also write DIR/<name>.csv. *)
+let emit name t =
+  Util.Table.print t;
+  match opts.csv_dir with
+  | None -> ()
+  | Some dir ->
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let oc = open_out (Filename.concat dir (name ^ ".csv")) in
+      output_string oc (Util.Table.to_csv t);
+      close_out oc;
+      line "    [csv: %s]" (Filename.concat dir (name ^ ".csv"))
+
+(* ---------------------------------------------------------------- fig2 *)
+
+let mix_a = Y.A
+
+let fig2 () =
+  line "";
+  line "=== Figure 2: throughput of MT, MT+ and INCLL (Mops/s, simulated) ===";
+  line "    paper: MT+ 2.4-68.5%% over MT; INCLL 5.9-15.4%% below MT+";
+  let t =
+    Util.Table.create
+      ~columns:
+        [ "workload"; "dist"; "MT"; "MT+"; "INCLL"; "MT+ vs MT"; "INCLL vs MT+" ]
+  in
+  List.iter
+    (fun mix ->
+      List.iter
+        (fun dist ->
+          let cell (mean, rsd) =
+            if opts.repeats > 1 then
+              Printf.sprintf "%.2f±%.2f%%" mean (rsd *. 100.0)
+            else Util.Table.cell_float mean
+          in
+          let mt = run_repeated Sys_.Mt mix dist in
+          let mtp = run_repeated Sys_.Mt_plus mix dist in
+          let inc = run_repeated Sys_.Incll mix dist in
+          Util.Table.add_row t
+            [
+              Y.mix_name mix;
+              Y.dist_name dist;
+              cell mt;
+              cell mtp;
+              cell inc;
+              Util.Table.cell_pct ((fst mtp -. fst mt) /. fst mt);
+              Util.Table.cell_pct (-.overhead ~base:(fst mtp) ~sys:(fst inc));
+            ])
+        [ Y.Uniform; Y.Zipfian ])
+    [ Y.A; Y.B; Y.C; Y.E ];
+  (* The paper's 20M-key runs sit in the large-tree regime of Figure 6's
+     parabola; add that regime explicitly for the write-heavy mix. *)
+  let keys = nkeys () * 5 in
+  List.iter
+    (fun dist ->
+      let m r = r.R.mops_sim in
+      let mt = m (run ~keys Sys_.Mt mix_a dist) in
+      let mtp = m (run ~keys Sys_.Mt_plus mix_a dist) in
+      let inc = m (run ~keys Sys_.Incll mix_a dist) in
+      Util.Table.add_row t
+        [
+          "YCSB_A (5x keys)";
+          Y.dist_name dist;
+          Util.Table.cell_float mt;
+          Util.Table.cell_float mtp;
+          Util.Table.cell_float inc;
+          Util.Table.cell_pct ((mtp -. mt) /. mt);
+          Util.Table.cell_pct (-.overhead ~base:mtp ~sys:inc);
+        ])
+    [ Y.Uniform; Y.Zipfian ];
+  emit "fig2" t
+
+(* ---------------------------------------------------------------- fig3 *)
+
+let latencies = [ 0.0; 100.0; 250.0; 500.0; 1000.0 ]
+
+let fig3 () =
+  line "";
+  line "=== Figure 3: INCLL under emulated NVM latency (YCSB_A) ===";
+  line "    paper: -4.3%% (uniform) / -6.0%% (zipfian) at 1000 ns";
+  let keys = nkeys () * 5 in
+  line "    (run at %s keys - the large-tree regime of the paper's 20M)"
+    (Util.Table.cell_int keys);
+  let t =
+    Util.Table.create
+      ~columns:
+        [ "latency ns"; "uniform Mops"; "uniform rel"; "zipfian Mops"; "zipfian rel" ]
+  in
+  let sweep dist =
+    R.run_latency_sweep ~seed:opts.seed ~threads:opts.threads
+      ~ops_per_thread:opts.ops
+      ~config:(config ~keys ~threads:opts.threads ())
+      ~variant:Sys_.Incll ~mix:Y.A ~dist ~nkeys:keys ~latencies ()
+  in
+  let u = sweep Y.Uniform and z = sweep Y.Zipfian in
+  let base l = (snd (List.hd l)).R.mops_sim in
+  let bu = base u and bz = base z in
+  List.iter2
+    (fun (lat, ru) (_, rz) ->
+      Util.Table.add_row t
+        [
+          Util.Table.cell_float ~decimals:0 lat;
+          Util.Table.cell_float ru.R.mops_sim;
+          Util.Table.cell_pct ((ru.R.mops_sim -. bu) /. bu);
+          Util.Table.cell_float rz.R.mops_sim;
+          Util.Table.cell_pct ((rz.R.mops_sim -. bz) /. bz);
+        ])
+    u z;
+  emit "fig3" t
+
+(* ---------------------------------------------------------------- fig4 *)
+
+let fig4 () =
+  line "";
+  line "=== Figure 4: MT+ vs INCLL over thread counts (YCSB_A) ===";
+  line "    paper: overhead 14.6-21.3%% (uniform), 3.0-19.3%% (zipfian), all thread counts";
+  let t =
+    Util.Table.create ~columns:[ "threads"; "dist"; "MT+"; "INCLL"; "overhead" ]
+  in
+  List.iter
+    (fun threads ->
+      List.iter
+        (fun dist ->
+          let mtp = (run ~threads Sys_.Mt_plus Y.A dist).R.mops_sim in
+          let inc = (run ~threads Sys_.Incll Y.A dist).R.mops_sim in
+          Util.Table.add_row t
+            [
+              string_of_int threads;
+              Y.dist_name dist;
+              Util.Table.cell_float mtp;
+              Util.Table.cell_float inc;
+              Util.Table.cell_pct (overhead ~base:mtp ~sys:inc);
+            ])
+        [ Y.Uniform; Y.Zipfian ])
+    [ 1; 2; 4; 6; 8 ];
+  emit "fig4" t
+
+(* ------------------------------------------------------------ fig5 / 6 *)
+
+let size_grid () =
+  (* The paper sweeps 10K..100M around a 20M working set; same ratio grid
+     around ours. *)
+  List.sort_uniq compare
+    (List.map
+       (fun r -> max 1_000 (int_of_float (float_of_int (nkeys ()) *. r)))
+       [ 0.0005; 0.0015; 0.005; 0.015; 0.05; 0.15; 0.5; 1.5; 5.0 ])
+
+let fig5_data = ref []
+
+let fig5 () =
+  line "";
+  line "=== Figure 5: throughput vs tree size (YCSB_A) ===";
+  line "    paper: both systems lose ~69%% (uniform) / ~50%% (zipfian) from 10K to 100M";
+  let t =
+    Util.Table.create ~columns:[ "keys"; "dist"; "MT+"; "INCLL"; "overhead" ]
+  in
+  fig5_data := [];
+  List.iter
+    (fun keys ->
+      List.iter
+        (fun dist ->
+          let mtp = (run ~keys Sys_.Mt_plus Y.A dist).R.mops_sim in
+          let inc = (run ~keys Sys_.Incll Y.A dist).R.mops_sim in
+          let ov = overhead ~base:mtp ~sys:inc in
+          fig5_data := (keys, dist, ov) :: !fig5_data;
+          Util.Table.add_row t
+            [
+              Util.Table.cell_int keys;
+              Y.dist_name dist;
+              Util.Table.cell_float mtp;
+              Util.Table.cell_float inc;
+              Util.Table.cell_pct ov;
+            ])
+        [ Y.Uniform; Y.Zipfian ])
+    (size_grid ());
+  emit "fig5" t
+
+let fig6 () =
+  if !fig5_data = [] then fig5 ();
+  line "";
+  line "=== Figure 6: INCLL overhead vs tree size (derived from Figure 5) ===";
+  line "    paper: a parabola for uniform — low overhead for small and large trees,";
+  line "    peaking (<=27%%) in the middle of the size range";
+  let t =
+    Util.Table.create ~columns:[ "keys"; "uniform overhead"; "zipfian overhead" ]
+  in
+  List.iter
+    (fun keys ->
+      let find dist =
+        List.find_opt (fun (k, d, _) -> k = keys && d = dist) !fig5_data
+      in
+      let cell dist =
+        match find dist with
+        | Some (_, _, ov) -> Util.Table.cell_pct ov
+        | None -> "n/a"
+      in
+      Util.Table.add_row t
+        [ Util.Table.cell_int keys; cell Y.Uniform; cell Y.Zipfian ])
+    (size_grid ());
+  emit "fig6" t
+
+(* ---------------------------------------------------------------- fig7 *)
+
+let fig7 () =
+  line "";
+  line "=== Figure 7: nodes logged, LOGGING vs INCLL, vs tree size (YCSB_A) ===";
+  line "    paper: counts rise to a peak around mid-size trees; with InCLL the";
+  line "    uniform curve then declines rapidly, without InCLL it levels off";
+  let t =
+    Util.Table.create
+      ~columns:
+        [ "keys"; "dist"; "LOGGING logged"; "INCLL logged"; "INCLL/LOGGING" ]
+  in
+  List.iter
+    (fun keys ->
+      List.iter
+        (fun dist ->
+          let lg = (run ~keys Sys_.Logging Y.A dist).R.nodes_logged in
+          let inc = (run ~keys Sys_.Incll Y.A dist).R.nodes_logged in
+          Util.Table.add_row t
+            [
+              Util.Table.cell_int keys;
+              Y.dist_name dist;
+              Util.Table.cell_int lg;
+              Util.Table.cell_int inc;
+              (if lg = 0 then "n/a"
+               else Printf.sprintf "%.1f%%" (100.0 *. float_of_int inc /. float_of_int lg));
+            ])
+        [ Y.Uniform; Y.Zipfian ])
+    (size_grid ());
+  emit "fig7" t
+
+(* ---------------------------------------------------------------- fig8 *)
+
+let fig8 () =
+  line "";
+  line "=== Figure 8: emulated latency, LOGGING vs INCLL (YCSB_A) ===";
+  line "    paper at 1000 ns: INCLL loses 4.1%%/5.7%%; LOGGING loses 42.5%%/28.5%%";
+  let keys = nkeys () * 5 in
+  line "    (run at %s keys - the large-tree regime of the paper's 20M)"
+    (Util.Table.cell_int keys);
+  let t =
+    Util.Table.create
+      ~columns:
+        [ "latency ns"; "dist"; "LOGGING Mops"; "LOGGING rel"; "INCLL Mops"; "INCLL rel" ]
+  in
+  let sweep variant dist =
+    R.run_latency_sweep ~seed:opts.seed ~threads:opts.threads
+      ~ops_per_thread:opts.ops
+      ~config:(config ~keys ~threads:opts.threads ())
+      ~variant ~mix:Y.A ~dist ~nkeys:keys ~latencies ()
+  in
+  List.iter
+    (fun dist ->
+      let l = sweep Sys_.Logging dist and i = sweep Sys_.Incll dist in
+      let bl = (snd (List.hd l)).R.mops_sim in
+      let bi = (snd (List.hd i)).R.mops_sim in
+      List.iter2
+        (fun (lat, rl) (_, ri) ->
+          Util.Table.add_row t
+            [
+              Util.Table.cell_float ~decimals:0 lat;
+              Y.dist_name dist;
+              Util.Table.cell_float rl.R.mops_sim;
+              Util.Table.cell_pct ((rl.R.mops_sim -. bl) /. bl);
+              Util.Table.cell_float ri.R.mops_sim;
+              Util.Table.cell_pct ((ri.R.mops_sim -. bi) /. bi);
+            ])
+        l i)
+    [ Y.Uniform; Y.Zipfian ];
+  emit "fig8" t
+
+(* ------------------------------------------------------------ flushcost *)
+
+let flushcost () =
+  line "";
+  line "=== §6.2: cost of the per-epoch global cache flush ===";
+  line "    paper: 1.38-1.39 ms per flush; 2.2%% of execution at 64 ms epochs";
+  let t =
+    Util.Table.create
+      ~columns:[ "workload"; "flushes"; "mean ms/flush"; "% of sim time" ]
+  in
+  List.iter
+    (fun mix ->
+      let r = run Sys_.Incll mix Y.Uniform in
+      let cm = Nvm.Config.default_cost_model in
+      let flush_ns =
+        (float_of_int r.R.wbinvds *. cm.Nvm.Config.wbinvd_base_ns)
+        +. (float_of_int r.R.wbinvd_lines *. cm.Nvm.Config.wbinvd_per_line_ns)
+      in
+      let frac = flush_ns /. (r.R.sim_total_s *. 1e9) in
+      Util.Table.add_row t
+        [
+          Y.mix_name mix;
+          Util.Table.cell_int r.R.wbinvds;
+          (if r.R.wbinvds = 0 then "n/a"
+           else Util.Table.cell_float (flush_ns /. 1e6 /. float_of_int r.R.wbinvds));
+          Util.Table.cell_pct frac;
+        ])
+    [ Y.A; Y.B; Y.C ];
+  emit "flushcost" t
+
+(* ------------------------------------------------------------- recovery *)
+
+let recovery () =
+  line "";
+  line "=== §6.3: recovery time (worst case: crash at the end of an epoch) ===";
+  line "    paper: 84K logged nodes in the epoch; ~15 ms to apply the log";
+  let keys = max 10_000 (nkeys () / 2) in
+  let cfg =
+    {
+      Sys_.nvm =
+        {
+          Nvm.Config.default with
+          Nvm.Config.size_bytes = (keys * 400) + (48 * 1024 * 1024);
+          extlog_bytes = 32 * 1024 * 1024;
+          crash_support = Nvm.Config.Precise;
+        };
+      (* Manual epochs: crash lands just before the checkpoint. *)
+      epoch_len_ns = 1.0e15;
+      val_incll = true;
+    }
+  in
+  let t =
+    Util.Table.create
+      ~columns:
+        [
+          "variant"; "keys"; "ops in epoch"; "nodes logged"; "entries replayed";
+          "replay sim ms"; "replay wall ms";
+        ]
+  in
+  List.iter
+    (fun variant ->
+      let s = Sys_.create ~config:cfg variant in
+      let rng = Util.Rng.create ~seed:opts.seed in
+      for i = 0 to keys - 1 do
+        Sys_.put s ~key:(Y.key_of_rank i) ~value:"12345678"
+      done;
+      Sys_.advance_epoch s;
+      let logged0 = Sys_.nodes_logged s in
+      let epoch_ops = keys / 2 in
+      for _ = 1 to epoch_ops do
+        let k = Y.key_of_rank (Util.Rng.int rng keys) in
+        if Util.Rng.bool rng then Sys_.put s ~key:k ~value:"abcdefgh"
+        else ignore (Sys_.get s ~key:k)
+      done;
+      let logged = Sys_.nodes_logged s - logged0 in
+      Sys_.crash s rng;
+      let s = Sys_.recover s in
+      match Sys_.last_recover_stats s with
+      | Some st ->
+          Util.Table.add_row t
+            [
+              Sys_.variant_name variant;
+              Util.Table.cell_int keys;
+              Util.Table.cell_int epoch_ops;
+              Util.Table.cell_int logged;
+              Util.Table.cell_int st.Sys_.replayed_entries;
+              Util.Table.cell_float (st.Sys_.recovery_sim_ns /. 1e6);
+              Util.Table.cell_float (st.Sys_.recovery_wall_ns /. 1e6);
+            ]
+      | None -> ())
+    [ Sys_.Incll; Sys_.Logging ];
+  emit "recovery" t
+
+(* ------------------------------------------------------------- ablations *)
+
+let ablation_epoch () =
+  line "";
+  line "=== Ablation: epoch length vs flush overhead and logging (INCLL, YCSB_A) ===";
+  line "    §4: shorter epochs cost more flushing but shrink the loss window";
+  let t =
+    Util.Table.create
+      ~columns:[ "epoch ms"; "Mops"; "checkpoints"; "nodes logged"; "wbinvds" ]
+  in
+  let saved = opts.epoch_ms in
+  List.iter
+    (fun ms ->
+      opts.epoch_ms <- ms;
+      let r = run Sys_.Incll Y.A Y.Uniform in
+      Util.Table.add_row t
+        [
+          Util.Table.cell_float ms;
+          Util.Table.cell_float r.R.mops_sim;
+          Util.Table.cell_int r.R.epochs;
+          Util.Table.cell_int r.R.nodes_logged;
+          Util.Table.cell_int r.R.wbinvds;
+        ])
+    [ 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0 ];
+  opts.epoch_ms <- saved;
+  emit "ablation_epoch" t
+
+let ablation_valincll () =
+  line "";
+  line "=== Ablation: value InCLLs on/off (YCSB_A) ===";
+  line "    §4.1.3: without InCLL1/2, every first value update must be logged";
+  let t =
+    Util.Table.create
+      ~columns:[ "system"; "dist"; "Mops"; "nodes logged"; "sfences" ]
+  in
+  List.iter
+    (fun dist ->
+      List.iter
+        (fun (name, variant, val_incll) ->
+          let r = run ~val_incll variant Y.A dist in
+          Util.Table.add_row t
+            [
+              name;
+              Y.dist_name dist;
+              Util.Table.cell_float r.R.mops_sim;
+              Util.Table.cell_int r.R.nodes_logged;
+              Util.Table.cell_int r.R.sfences;
+            ])
+        [
+          ("INCLL", Sys_.Incll, true);
+          ("INCLL (InCLLp only)", Sys_.Incll, false);
+          ("LOGGING", Sys_.Logging, true);
+        ])
+    [ Y.Uniform; Y.Zipfian ];
+  emit "ablation_valincll" t
+
+let ablation_internal () =
+  line "";
+  line "=== §6.1: internal-node logging share (why InCLL stays on leaves) ===";
+  let r = run Sys_.Incll Y.A Y.Uniform in
+  line
+    "keys=%s ops=%s: nodes logged=%s | leaf first-touches=%s | value-InCLL uses=%s"
+    (Util.Table.cell_int (nkeys ()))
+    (Util.Table.cell_int r.R.ops)
+    (Util.Table.cell_int r.R.nodes_logged)
+    (Util.Table.cell_int r.R.incll_first_touches)
+    (Util.Table.cell_int r.R.incll_val_uses);
+  line
+    "Leaf first-touches dominate by orders of magnitude; widening internal nodes";
+  line
+    "with InCLL words would shrink fanout for no visible logging win (§6.1)."
+
+(* --------------------------------------------------------------- micro *)
+
+let micro () =
+  line "";
+  line "=== Microbenchmarks (bechamel, wall clock of substrate primitives) ===";
+  let open Bechamel in
+  let cfg =
+    {
+      Nvm.Config.default with
+      Nvm.Config.size_bytes = 8 * 1024 * 1024;
+      extlog_bytes = 1024 * 1024;
+      crash_support = Nvm.Config.Counting;
+    }
+  in
+  let region = Nvm.Region.create cfg in
+  let counter = ref 4096 in
+  let tests =
+    [
+      Test.make ~name:"region write_i64"
+        (Staged.stage (fun () ->
+             counter := if !counter > 7 * 1024 * 1024 then 4096 else !counter + 8;
+             Nvm.Region.write_i64 region !counter 42L));
+      Test.make ~name:"region read_i64"
+        (Staged.stage (fun () ->
+             counter := if !counter > 7 * 1024 * 1024 then 4096 else !counter + 8;
+             ignore (Nvm.Region.read_i64 region !counter)));
+      (let perm = ref Masstree.Permutation.empty in
+       Test.make ~name:"permutation insert+remove"
+         (Staged.stage (fun () ->
+              let p, _ = Masstree.Permutation.insert !perm ~rank:0 in
+              let p, _ = Masstree.Permutation.remove p ~rank:0 in
+              perm := p)));
+      (let sys =
+         Sys_.create
+           ~config:{ Sys_.nvm = cfg; epoch_len_ns = 1e15; val_incll = true }
+           Sys_.Incll
+       in
+       for i = 0 to 9_999 do
+         Sys_.put sys ~key:(Y.key_of_rank i) ~value:"12345678"
+       done;
+       let i = ref 0 in
+       Test.make ~name:"INCLL put (update)"
+         (Staged.stage (fun () ->
+              i := (!i + 7) mod 10_000;
+              Sys_.put sys ~key:(Y.key_of_rank !i) ~value:"abcdefgh")));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all
+          (Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ())
+          [ instance ] test
+      in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false
+             ~predictors:[| Measure.run |])
+          instance results
+      in
+      Hashtbl.iter
+        (fun name o ->
+          match Analyze.OLS.estimates o with
+          | Some [ est ] -> line "  %-32s %12.1f ns/op" name est
+          | _ -> line "  %-32s (no estimate)" name)
+        ols)
+    tests
+
+(* ----------------------------------------------------------------- main *)
+
+let all_benches =
+  [
+    ("fig2", fig2);
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("flushcost", flushcost);
+    ("recovery", recovery);
+    ("ablation_epoch", ablation_epoch);
+    ("ablation_valincll", ablation_valincll);
+    ("ablation_internal", ablation_internal);
+    ("micro", micro);
+  ]
+
+let usage () =
+  print_endline
+    "Usage: bench/main.exe [options]\n\
+     \  --only NAMES   comma-separated subset (fig2..fig8, flushcost, recovery,\n\
+     \                 ablation_epoch, ablation_valincll, ablation_internal, micro)\n\
+     \  --scale F      fraction of the paper's 20M keys (default 0.01)\n\
+     \  --threads N    worker domains / shards (default 8)\n\
+     \  --ops N        operations per thread (default 50000)\n\
+     \  --epoch-ms F   simulated epoch length (default 8.0; paper: 64)\n\
+     \  --seed N       workload seed\n\
+     \  --repeats N    Figure-2 runs per cell, reported as mean±stdev (default 1)\n\
+     \  --csv DIR      also write each table as DIR/<name>.csv";
+  exit 0
+
+let parse_args () =
+  let rec go = function
+    | [] -> ()
+    | "--only" :: v :: rest ->
+        opts.only <- String.split_on_char ',' v;
+        go rest
+    | "--scale" :: v :: rest ->
+        opts.scale <- float_of_string v;
+        go rest
+    | "--threads" :: v :: rest ->
+        opts.threads <- int_of_string v;
+        go rest
+    | "--ops" :: v :: rest ->
+        opts.ops <- int_of_string v;
+        go rest
+    | "--epoch-ms" :: v :: rest ->
+        opts.epoch_ms <- float_of_string v;
+        go rest
+    | "--seed" :: v :: rest ->
+        opts.seed <- int_of_string v;
+        go rest
+    | "--repeats" :: v :: rest ->
+        opts.repeats <- int_of_string v;
+        go rest
+    | "--csv" :: v :: rest ->
+        opts.csv_dir <- Some v;
+        go rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | x :: _ ->
+        prerr_endline ("unknown argument: " ^ x);
+        exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
+let () =
+  parse_args ();
+  line "InCLL reproduction benchmarks";
+  line "scale=%.4f (keys=%s) threads=%d ops/thread=%s epoch=%.1fms seed=%d"
+    opts.scale
+    (Util.Table.cell_int (nkeys ()))
+    opts.threads
+    (Util.Table.cell_int opts.ops)
+    opts.epoch_ms opts.seed;
+  List.iter (fun (name, f) -> if selected name then f ()) all_benches

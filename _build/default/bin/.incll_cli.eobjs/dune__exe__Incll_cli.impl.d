@@ -1,0 +1,1 @@
+bin/incll_cli.ml: Array Format Incll List Masstree Nvm Printexc Printf Store String Sys Unix Util Workload

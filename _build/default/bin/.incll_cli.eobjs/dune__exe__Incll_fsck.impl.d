@@ -1,0 +1,1 @@
+bin/incll_fsck.ml: Alloc Array Incll Int64 List Masstree Nvm Printexc Printf Sys

@@ -1,0 +1,1 @@
+bin/incll_fsck.mli:

@@ -1,0 +1,155 @@
+(* A small interactive/scripted shell over a durable store — handy for
+   poking at the system and for demos.
+
+   Run with: dune exec bin/incll_cli.exe [-- --variant INCLL --shards 2]
+   Then type `help` at the prompt, or pipe a script on stdin. *)
+
+module S = Store.Sharded
+module Sys_ = Incll.System
+
+let usage =
+  {|commands:
+  put <key> <value>       insert or update
+  get <key>               look a key up
+  del <key>               remove a key
+  scan <start> <n>        n consecutive pairs from the smallest key >= start
+  count                   number of entries
+  checkpoint              force an epoch boundary (durability point)
+  crash [seed]            power failure (PCSO per-line prefixes)
+  recover                 rebuild from the persistent image
+  stats                   persistence-event counters
+  validate                walk and check the whole structure
+  save <file>             write the persisted NVM image to a file
+  load <file>             reboot from a saved image (single shard)
+  replay <file>           apply a trace file (PUT/GET/DEL/SCAN lines)
+  help                    this text
+  quit                    exit|}
+
+let config =
+  {
+    Sys_.default_config with
+    Sys_.nvm =
+      {
+        Nvm.Config.default with
+        Nvm.Config.size_bytes = 64 * 1024 * 1024;
+        extlog_bytes = 4 * 1024 * 1024;
+      };
+    epoch_len_ns = 16.0e6;
+  }
+
+let () =
+  let variant = ref Sys_.Incll in
+  let shards = ref 1 in
+  let rec parse = function
+    | [] -> ()
+    | "--variant" :: v :: rest ->
+        variant := Sys_.variant_of_string v;
+        parse rest
+    | "--shards" :: v :: rest ->
+        shards := int_of_string v;
+        parse rest
+    | x :: _ ->
+        prerr_endline ("unknown argument " ^ x);
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let store = ref (S.create ~config !variant ~shards:!shards) in
+  let crashed = ref false in
+  Printf.printf "incll shell — %s, %d shard(s). Type `help`.\n%!"
+    (Sys_.variant_name !variant)
+    !shards;
+  let interactive = Unix.isatty Unix.stdin in
+  (try
+     while true do
+       if interactive then Printf.printf "incll> %!";
+       let line = input_line stdin in
+       let parts =
+         String.split_on_char ' ' (String.trim line)
+         |> List.filter (fun s -> s <> "")
+       in
+       (try
+          match parts with
+          | [] -> ()
+          | [ "help" ] -> print_endline usage
+          | [ "quit" ] | [ "exit" ] -> raise Exit
+          | [ "put"; k; v ] when not !crashed ->
+              S.put !store ~key:k ~value:v;
+              print_endline "ok"
+          | [ "get"; k ] when not !crashed -> (
+              match S.get !store ~key:k with
+              | Some v -> Printf.printf "%S\n" v
+              | None -> print_endline "(not found)")
+          | [ "del"; k ] when not !crashed ->
+              print_endline (if S.remove !store ~key:k then "ok" else "(not found)")
+          | [ "scan"; start; n ] when not !crashed ->
+              List.iter
+                (fun (k, v) -> Printf.printf "  %S -> %S\n" k v)
+                (S.scan !store ~start ~n:(int_of_string n))
+          | [ "count" ] when not !crashed ->
+              Printf.printf "%d entries\n" (S.cardinal !store)
+          | [ "checkpoint" ] when not !crashed ->
+              S.advance_epochs !store;
+              print_endline "checkpointed (everything so far is durable)"
+          | "crash" :: rest when not !crashed ->
+              let seed =
+                match rest with [ s ] -> int_of_string s | _ -> 42
+              in
+              S.crash !store (Util.Rng.create ~seed);
+              crashed := true;
+              print_endline
+                "power failure: volatile state lost; `recover` to restart"
+          | [ "recover" ] ->
+              if !crashed then begin
+                store := S.recover !store;
+                crashed := false;
+                print_endline "recovered to the last completed checkpoint"
+              end
+              else print_endline "nothing to recover from (try `crash` first)"
+          | [ "replay"; path ] when not !crashed ->
+              let ops = Workload.Trace.load path in
+              List.iter
+                (fun op ->
+                  match op with
+                  | Workload.Trace.Put (key, value) -> S.put !store ~key ~value
+                  | Workload.Trace.Get key -> ignore (S.get !store ~key)
+                  | Workload.Trace.Del key -> ignore (S.remove !store ~key)
+                  | Workload.Trace.Scan (start, n) ->
+                      ignore (S.scan !store ~start ~n))
+                ops;
+              Printf.printf "replayed %d operations\n" (List.length ops)
+          | [ "save"; path ] when not !crashed ->
+              if S.nshards !store <> 1 then
+                print_endline "save works on single-shard stores"
+              else begin
+                S.advance_epochs !store;
+                Nvm.Image.save (Sys_.region (S.shard !store 0)) ~path;
+                Printf.printf "checkpointed and saved image to %s\n" path
+              end
+          | [ "load"; path ] ->
+              let region = Nvm.Image.load config.Sys_.nvm ~path in
+              store := S.of_system (Sys_.attach ~config !variant region);
+              crashed := false;
+              Printf.printf "rebooted from %s (%d entries)\n" path
+                (S.cardinal !store)
+          | [ "validate" ] when not !crashed ->
+              for i = 0 to S.nshards !store - 1 do
+                Masstree.Tree.validate (Sys_.tree (S.shard !store i))
+              done;
+              print_endline "structure valid"
+          | [ "stats" ] when not !crashed ->
+              for i = 0 to S.nshards !store - 1 do
+                let sys = S.shard !store i in
+                let st = Nvm.Region.stats (Sys_.region sys) in
+                Printf.printf "shard %d: %s\n" i
+                  (Format.asprintf "%a" Nvm.Stats.pp st);
+                Printf.printf "         externally logged nodes: %d\n"
+                  (Sys_.nodes_logged sys)
+              done
+          | _ when !crashed ->
+              print_endline "the system is crashed; only `recover` works"
+          | _ -> print_endline "unknown command (try `help`)"
+        with
+       | Exit -> raise Exit
+       | e -> Printf.printf "error: %s\n" (Printexc.to_string e))
+     done
+   with End_of_file | Exit -> if interactive then print_endline "bye")

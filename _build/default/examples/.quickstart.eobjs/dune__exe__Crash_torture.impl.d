@@ -1,0 +1,1 @@
+examples/crash_torture.ml: Array Epoch Incll Int64 Map Masstree Nvm Printf String Sys Util

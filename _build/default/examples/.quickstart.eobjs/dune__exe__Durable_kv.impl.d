@@ -1,0 +1,1 @@
+examples/durable_kv.ml: Incll List Nvm Printf Store Util

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Incll List Masstree Printf Util

@@ -1,0 +1,1 @@
+examples/restart.ml: Array Filename Incll List Masstree Nvm Printf Stdlib Sys

@@ -1,0 +1,1 @@
+examples/ycsb_demo.ml: Array Bench_harness Incll Printf String Sys Util Workload

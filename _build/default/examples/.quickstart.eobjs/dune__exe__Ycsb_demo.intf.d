@@ -1,0 +1,1 @@
+examples/ycsb_demo.mli:

@@ -1,0 +1,59 @@
+(* Quickstart: a durable key-value store that survives a power failure.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Create an INCLL system: a simulated-NVM region hosting a durable
+     Masstree with fine-grained checkpointing + in-cache-line logging. *)
+  let sys = Incll.System.create Incll.System.Incll in
+
+  (* 2. Use it like any ordered map. Keys and values are byte strings. *)
+  Incll.System.put sys ~key:"alice" ~value:"researcher";
+  Incll.System.put sys ~key:"bob" ~value:"engineer";
+  Incll.System.put sys ~key:"carol" ~value:"architect";
+  assert (Incll.System.get sys ~key:"bob" = Some "engineer");
+
+  (* 3. A checkpoint makes everything up to this point durable. In
+     production this happens automatically every 64 simulated ms; here we
+     force one to make the example deterministic. *)
+  Incll.System.advance_epoch sys;
+  Printf.printf "checkpointed: %d entries durable\n"
+    (Masstree.Tree.cardinal (Incll.System.tree sys));
+
+  (* 4. Keep modifying — these writes belong to the next, uncommitted
+     epoch. No flushes, no fences: the InCLLs inside each tree node make
+     them undoable. *)
+  Incll.System.put sys ~key:"bob" ~value:"manager";
+  Incll.System.put sys ~key:"dave" ~value:"intern";
+  ignore (Incll.System.remove sys ~key:"alice");
+
+  (* 5. Power failure! Each dirty cache line independently persists only a
+     prefix of its pending stores (the PCSO model of §2.1). *)
+  let rng = Util.Rng.create ~seed:2024 in
+  Incll.System.crash sys rng;
+  Printf.printf "crash!\n";
+
+  (* 6. Recovery: replay the external log, restore allocator roots, arm
+     lazy per-node InCLL recovery — and the store is exactly what the
+     last checkpoint saw. *)
+  let sys = Incll.System.recover sys in
+  Printf.printf "recovered in %.3f simulated ms\n"
+    (match Incll.System.last_recover_stats sys with
+    | Some st -> st.Incll.System.recovery_sim_ns /. 1e6
+    | None -> 0.0);
+
+  assert (Incll.System.get sys ~key:"alice" = Some "researcher");
+  assert (Incll.System.get sys ~key:"bob" = Some "engineer");
+  assert (Incll.System.get sys ~key:"dave" = None);
+  Printf.printf "state rolled back to the checkpoint:\n";
+  List.iter
+    (fun (k, v) -> Printf.printf "  %-8s -> %s\n" k v)
+    (Incll.System.scan sys ~start:"" ~n:10);
+
+  (* 7. Range scans work across the whole (trie-layered) key space. *)
+  Incll.System.put sys ~key:"container/a-very-long-key-descends-layers"
+    ~value:"yes";
+  assert (
+    Incll.System.get sys ~key:"container/a-very-long-key-descends-layers"
+    = Some "yes");
+  print_endline "quickstart OK"

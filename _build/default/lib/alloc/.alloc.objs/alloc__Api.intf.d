@@ -1,0 +1,1 @@
+lib/alloc/api.mli: Durable Transient

@@ -1,0 +1,1 @@
+lib/alloc/chunk_header.ml: Int64 Nvm Util

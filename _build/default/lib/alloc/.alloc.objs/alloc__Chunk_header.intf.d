@@ -1,0 +1,1 @@
+lib/alloc/chunk_header.mli: Nvm

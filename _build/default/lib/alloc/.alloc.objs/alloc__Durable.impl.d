@@ -1,0 +1,1 @@
+lib/alloc/durable.ml: Array Chunk_header Epoch Meta_line Nvm Printf Size_class

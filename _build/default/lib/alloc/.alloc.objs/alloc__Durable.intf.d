@@ -1,0 +1,1 @@
+lib/alloc/durable.mli: Epoch

@@ -1,0 +1,1 @@
+lib/alloc/meta_line.mli: Nvm

@@ -1,0 +1,1 @@
+lib/alloc/size_class.mli:

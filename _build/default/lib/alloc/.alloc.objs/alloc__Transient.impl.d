@@ -1,0 +1,1 @@
+lib/alloc/transient.ml: Array Durable Hashtbl Nvm Size_class

@@ -1,0 +1,1 @@
+lib/alloc/transient.mli: Nvm

@@ -1,0 +1,16 @@
+type t = {
+  alloc : aligned:bool -> size:int -> int;
+  dealloc : int -> unit;
+}
+
+let of_durable d =
+  {
+    alloc = (fun ~aligned ~size -> Durable.alloc ~aligned d ~size);
+    dealloc = Durable.dealloc d;
+  }
+
+let of_transient tr =
+  {
+    alloc = (fun ~aligned ~size -> Transient.alloc ~aligned tr ~size);
+    dealloc = Transient.dealloc tr;
+  }

@@ -1,0 +1,11 @@
+(** Uniform allocator interface consumed by the Masstree layer, so the same
+    tree code runs over the durable allocator (INCLL / LOGGING variants) or
+    the transient ones (MT / MT+). *)
+
+type t = {
+  alloc : aligned:bool -> size:int -> int;
+  dealloc : int -> unit;
+}
+
+val of_durable : Durable.t -> t
+val of_transient : Transient.t -> t

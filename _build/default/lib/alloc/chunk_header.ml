@@ -1,0 +1,68 @@
+type decoded = {
+  next : int;
+  next_incll : int;
+  epoch : int;
+  ctr_matches : bool;
+  size_class : int;
+}
+
+let encode ~ptr ~ctr ~cls2 ~half =
+  if ptr land 15 <> 0 then invalid_arg "Chunk_header: unaligned pointer";
+  let open Int64 in
+  logor
+    (of_int (ctr land 3))
+    (logor
+       (shift_left (of_int (ptr lsr 4)) 2)
+       (logor
+          (shift_left (of_int (cls2 land 3)) 46)
+          (shift_left (of_int (half land 0xffff)) 48)))
+
+let decode_word w =
+  let ctr = Util.Bits.get_int w ~lo:0 ~width:2 in
+  let ptr = Util.Bits.get_int w ~lo:2 ~width:44 lsl 4 in
+  let cls2 = Util.Bits.get_int w ~lo:46 ~width:2 in
+  let half = Util.Bits.get_int w ~lo:48 ~width:16 in
+  (ctr, ptr, cls2, half)
+
+let read region ~chunk =
+  let w0 = Nvm.Region.read_i64 region chunk in
+  let w1 = Nvm.Region.read_i64 region (chunk + 8) in
+  let ctr0, ptr0, cls_lo, hi = decode_word w0 in
+  let ctr1, ptr1, cls_hi, lo = decode_word w1 in
+  {
+    next = ptr0;
+    next_incll = ptr1;
+    epoch = (hi lsl 16) lor lo;
+    ctr_matches = ctr0 = ctr1;
+    size_class = (cls_hi lsl 2) lor cls_lo;
+  }
+
+let write_words region ~chunk ~next ~next_incll ~ctr ~epoch ~cls =
+  let hi = (epoch lsr 16) land 0xffff and lo = epoch land 0xffff in
+  (* word1 (the log copy) strictly before word0; same line => PCSO keeps
+     this order on a crash. *)
+  Nvm.Region.write_i64 region (chunk + 8)
+    (encode ~ptr:next_incll ~ctr ~cls2:(cls lsr 2) ~half:lo);
+  Nvm.Region.write_i64 region chunk
+    (encode ~ptr:next ~ctr ~cls2:cls ~half:hi);
+  Nvm.Region.release_fence region
+
+let write_first_touch region ~chunk ~current_next ~epoch ~cls =
+  let w0 = Nvm.Region.read_i64 region chunk in
+  let ctr0, _, _, _ = decode_word w0 in
+  write_words region ~chunk ~next:current_next ~next_incll:current_next
+    ~ctr:((ctr0 + 1) land 3) ~epoch ~cls
+
+let write_next region ~chunk ~next =
+  let w0 = Nvm.Region.read_i64 region chunk in
+  let ctr, _, cls_lo, hi = decode_word w0 in
+  Nvm.Region.write_i64 region chunk
+    (encode ~ptr:next ~ctr ~cls2:cls_lo ~half:hi)
+
+let init region ~chunk ~epoch ~cls =
+  write_words region ~chunk ~next:0 ~next_incll:0 ~ctr:0 ~epoch ~cls
+
+let restore region ~chunk ~marker_epoch =
+  let d = read region ~chunk in
+  write_words region ~chunk ~next:d.next_incll ~next_incll:d.next_incll
+    ~ctr:0 ~epoch:marker_epoch ~cls:d.size_class

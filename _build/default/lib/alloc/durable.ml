@@ -1,0 +1,203 @@
+exception Heap_full
+
+type t = {
+  region : Nvm.Region.t;
+  em : Epoch.Manager.t;
+  heap_end : int;
+  limbo_tails : int array;  (* transient; 0 = unknown/empty *)
+  mutable allocs : int;
+  mutable deallocs : int;
+  mutable freelist_allocs : int;
+  mutable bump_allocs : int;
+}
+
+let allocs t = t.allocs
+let deallocs t = t.deallocs
+let freelist_allocs t = t.freelist_allocs
+let bump_allocs t = t.bump_allocs
+
+let bump_line = Nvm.Layout.off_bump
+let free_line cls = Nvm.Layout.alloc_class_free_line cls
+let limbo_line cls = Nvm.Layout.alloc_class_limbo_line cls
+
+let bump_position t = Meta_line.head t.region ~line:bump_line
+
+let current t = Epoch.Manager.current t.em
+let marker t = Epoch.Manager.first_epoch_of_run t.em
+
+(* Lazy chunk-header recovery (§5.1): restore [next] from [nextInCLL] when
+   the header's counters are torn or its epoch failed. *)
+let recover_chunk t chunk =
+  let d = Chunk_header.read t.region ~chunk in
+  if not d.Chunk_header.ctr_matches then
+    Chunk_header.restore t.region ~chunk ~marker_epoch:(marker t)
+  else if
+    d.Chunk_header.epoch < marker t
+    && Epoch.Manager.is_failed t.em d.Chunk_header.epoch
+  then Chunk_header.restore t.region ~chunk ~marker_epoch:(marker t)
+
+let chunk_next t chunk =
+  recover_chunk t chunk;
+  (Chunk_header.read t.region ~chunk).Chunk_header.next
+
+(* First-touch discipline before modifying a chunk's [next] in this epoch. *)
+let touch_chunk t chunk =
+  recover_chunk t chunk;
+  let d = Chunk_header.read t.region ~chunk in
+  if d.Chunk_header.epoch <> current t then
+    Chunk_header.write_first_touch t.region ~chunk
+      ~current_next:d.Chunk_header.next ~epoch:(current t)
+      ~cls:d.Chunk_header.size_class
+
+let set_meta_head t ~line v =
+  Meta_line.touch t.region ~line ~epoch:(current t);
+  Meta_line.set_head t.region ~line v
+
+(* Checkpoint subscriber: splice each limbo list onto its free list. Runs
+   inside the new epoch, so every store is first-touch logged and a crash
+   rolls the merge back atomically with the rest of the epoch. *)
+let merge_limbo t () =
+  for cls = 0 to Size_class.count - 1 do
+    let lhead = Meta_line.head t.region ~line:(limbo_line cls) in
+    if lhead <> 0 then begin
+      let tail =
+        if t.limbo_tails.(cls) <> 0 then t.limbo_tails.(cls)
+        else begin
+          (* Transient tail lost in a crash: walk the chain. *)
+          let rec walk c =
+            let next = chunk_next t c in
+            if next = 0 then c else walk next
+          in
+          walk lhead
+        end
+      in
+      let fhead = Meta_line.head t.region ~line:(free_line cls) in
+      touch_chunk t tail;
+      Chunk_header.write_next t.region ~chunk:tail ~next:fhead;
+      set_meta_head t ~line:(free_line cls) lhead;
+      set_meta_head t ~line:(limbo_line cls) 0
+    end;
+    t.limbo_tails.(cls) <- 0
+  done
+
+let make region em =
+  {
+    region;
+    em;
+    heap_end = (Nvm.Region.config region).Nvm.Config.size_bytes;
+    limbo_tails = Array.make Size_class.count 0;
+    allocs = 0;
+    deallocs = 0;
+    freelist_allocs = 0;
+    bump_allocs = 0;
+  }
+
+let create em =
+  let region = Epoch.Manager.region em in
+  let t = make region em in
+  let e = current t in
+  let cfg = Nvm.Region.config region in
+  Meta_line.init region ~line:bump_line ~head:(Nvm.Layout.heap_off cfg)
+    ~epoch:e;
+  for cls = 0 to Size_class.count - 1 do
+    Meta_line.init region ~line:(free_line cls) ~head:0 ~epoch:e;
+    Meta_line.init region ~line:(limbo_line cls) ~head:0 ~epoch:e
+  done;
+  Epoch.Manager.subscribe_post_advance em (merge_limbo t);
+  t
+
+let open_after_crash em =
+  let region = Epoch.Manager.region em in
+  let t = make region em in
+  let is_failed = Epoch.Manager.is_failed em in
+  let m = marker t in
+  Meta_line.recover region ~line:bump_line ~is_failed ~marker:m;
+  for cls = 0 to Size_class.count - 1 do
+    Meta_line.recover region ~line:(free_line cls) ~is_failed ~marker:m;
+    Meta_line.recover region ~line:(limbo_line cls) ~is_failed ~marker:m
+  done;
+  Epoch.Manager.subscribe_post_advance em (merge_limbo t);
+  t
+
+let alloc ?(aligned = false) t ~size =
+  let cls =
+    if aligned then Size_class.class_of_aligned_payload size
+    else Size_class.class_of_payload size
+  in
+  let head = Meta_line.head t.region ~line:(free_line cls) in
+  t.allocs <- t.allocs + 1;
+  if head <> 0 then begin
+    (* Pop: only the head moves; the chunk's own header is untouched, so
+       rollback of this epoch re-links the chunk exactly as it was. *)
+    let next = chunk_next t head in
+    set_meta_head t ~line:(free_line cls) next;
+    t.freelist_allocs <- t.freelist_allocs + 1;
+    Size_class.payload_of_chunk ~chunk:head ~aligned
+  end
+  else begin
+    let bump = Meta_line.head t.region ~line:bump_line in
+    let sz = Size_class.chunk_size cls in
+    if bump + sz > t.heap_end then raise Heap_full;
+    set_meta_head t ~line:bump_line (bump + sz);
+    Chunk_header.init t.region ~chunk:bump ~epoch:(current t) ~cls;
+    t.bump_allocs <- t.bump_allocs + 1;
+    Size_class.payload_of_chunk ~chunk:bump ~aligned
+  end
+
+let dealloc t payload =
+  let chunk = Size_class.chunk_of_payload payload in
+  recover_chunk t chunk;
+  let d = Chunk_header.read t.region ~chunk in
+  let cls = d.Chunk_header.size_class in
+  if cls < 0 || cls >= Size_class.count then
+    invalid_arg "Durable.dealloc: not an allocator chunk";
+  let lhead = Meta_line.head t.region ~line:(limbo_line cls) in
+  touch_chunk t chunk;
+  Chunk_header.write_next t.region ~chunk ~next:lhead;
+  set_meta_head t ~line:(limbo_line cls) chunk;
+  if lhead = 0 then t.limbo_tails.(cls) <- chunk;
+  t.deallocs <- t.deallocs + 1
+
+let payload_capacity_of t payload =
+  let chunk = Size_class.chunk_of_payload payload in
+  let d = Chunk_header.read t.region ~chunk in
+  Size_class.payload_capacity ~cls:d.Chunk_header.size_class
+    ~aligned:(payload land 63 = 0)
+
+let iter_chain t head f =
+  let rec loop c n =
+    if c <> 0 then begin
+      if n > 100_000_000 then failwith "Durable: free-list cycle";
+      f c;
+      loop (chunk_next t c) (n + 1)
+    end
+  in
+  loop head 0
+
+let recover_all_chains t =
+  for cls = 0 to Size_class.count - 1 do
+    iter_chain t (Meta_line.head t.region ~line:(free_line cls)) (fun _ -> ());
+    iter_chain t (Meta_line.head t.region ~line:(limbo_line cls)) (fun _ -> ())
+  done
+
+let count_chain t head =
+  let n = ref 0 in
+  iter_chain t head (fun _ -> incr n);
+  !n
+
+let free_count t ~cls = count_chain t (Meta_line.head t.region ~line:(free_line cls))
+let limbo_count t ~cls = count_chain t (Meta_line.head t.region ~line:(limbo_line cls))
+
+let check_chains t =
+  for cls = 0 to Size_class.count - 1 do
+    let check c =
+      let d = Chunk_header.read t.region ~chunk:c in
+      if d.Chunk_header.size_class <> cls then
+        failwith
+          (Printf.sprintf
+             "Durable.check_chains: chunk %d in class-%d list has class %d" c
+             cls d.Chunk_header.size_class)
+    in
+    iter_chain t (Meta_line.head t.region ~line:(free_line cls)) check;
+    iter_chain t (Meta_line.head t.region ~line:(limbo_line cls)) check
+  done

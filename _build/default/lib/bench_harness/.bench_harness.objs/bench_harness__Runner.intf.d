@@ -1,0 +1,1 @@
+lib/bench_harness/runner.mli: Incll Workload

@@ -1,0 +1,205 @@
+type result = {
+  ops : int;
+  wall_s : float;
+  sim_s : float;
+  sim_total_s : float;
+  mops_sim : float;
+  mops_wall : float;
+  nodes_logged : int;
+  sfences : int;
+  clwbs : int;
+  wbinvds : int;
+  wbinvd_lines : int;
+  writes : int;
+  reads : int;
+  epochs : int;
+  incll_first_touches : int;
+  incll_val_uses : int;
+}
+
+let config_for ?(sfence_extra_ns = 0.0) ?(epoch_len_ns = 64.0e6)
+    ?(val_incll = true) ~nkeys_per_shard () =
+  (* ~150 bytes of steady-state NVM per key (value chunk + amortised node),
+     plus slack for epoch churn and the log. *)
+  let heap = (nkeys_per_shard * 320) + (24 * 1024 * 1024) in
+  let size = (heap + 4095) / 4096 * 4096 in
+  let nvm =
+    {
+      Nvm.Config.default with
+      Nvm.Config.size_bytes = size;
+      extlog_bytes = 8 * 1024 * 1024;
+      crash_support = Nvm.Config.Counting;
+      cost =
+        { Nvm.Config.default_cost_model with Nvm.Config.sfence_extra_ns };
+    }
+  in
+  { Incll.System.nvm; epoch_len_ns; val_incll }
+
+let apply_op sys op =
+  match op with
+  | Workload.Ycsb.Put (key, value) -> Incll.System.put sys ~key ~value
+  | Workload.Ycsb.Get key -> ignore (Incll.System.get sys ~key : string option)
+  | Workload.Ycsb.Scan (start, n) ->
+      ignore (Incll.System.scan sys ~start ~n : (string * string) list)
+
+let in_domains jobs =
+  match jobs with
+  | [| job |] -> [| job () |]
+  | _ ->
+      let handles = Array.map (fun job -> Domain.spawn job) jobs in
+      Array.map Domain.join handles
+
+let snapshot_shard store i =
+  Nvm.Stats.snapshot (Nvm.Region.stats (Incll.System.region (Store.Sharded.shard store i)))
+
+let epochs_of store i =
+  match Incll.System.epoch_manager (Store.Sharded.shard store i) with
+  | Some em -> Epoch.Manager.epochs_elapsed em
+  | None -> 0
+
+let counters_of store i =
+  match Incll.System.ctx (Store.Sharded.shard store i) with
+  | Some c ->
+      ( c.Incll.Ctx.counters.Incll.Ctx.first_touches,
+        c.Incll.Ctx.counters.Incll.Ctx.val_incll_uses )
+  | None -> (0, 0)
+
+type prepared = {
+  store : Store.Sharded.t;
+  threads : int;
+  shard_ops : Workload.Ycsb.op array array;
+}
+
+let prepare ?(seed = 1) ?(threads = 1) ?(ops_per_thread = 100_000) ?config
+    ~variant ~mix ~dist ~nkeys () =
+  let config =
+    match config with
+    | Some c -> c
+    | None -> config_for ~nkeys_per_shard:((nkeys / threads) + 1) ()
+  in
+  let store = Store.Sharded.create ~config variant ~shards:threads in
+  (* Populate in parallel: logical keys are scrambled, so striping them by
+     shard keeps per-shard insertion order random. *)
+  let keys = Workload.Ycsb.load_keys ~nkeys in
+  let by_shard = Array.make threads [] in
+  Array.iter
+    (fun k ->
+      let s = Store.Sharded.shard_of_key store k in
+      by_shard.(s) <- k :: by_shard.(s))
+    keys;
+  ignore
+    (in_domains
+       (Array.init threads (fun i ->
+            let sys = Store.Sharded.shard store i in
+            fun () ->
+              List.iter
+                (fun key ->
+                  Incll.System.put sys ~key
+                    ~value:(Workload.Ycsb.value_for key))
+                by_shard.(i))));
+  (* Pre-generate the global stream and route ops to their shards. *)
+  let rng = Util.Rng.create ~seed in
+  let spec = { Workload.Ycsb.mix; dist; nkeys } in
+  let stream = Workload.Ycsb.generate spec rng ~n:(threads * ops_per_thread) in
+  let ops_by_shard = Array.make threads [] in
+  Array.iter
+    (fun op ->
+      let key =
+        match op with
+        | Workload.Ycsb.Put (k, _) | Workload.Ycsb.Get k
+        | Workload.Ycsb.Scan (k, _) ->
+            k
+      in
+      let s = Store.Sharded.shard_of_key store key in
+      ops_by_shard.(s) <- op :: ops_by_shard.(s))
+    stream;
+  let shard_ops = Array.map (fun l -> Array.of_list (List.rev l)) ops_by_shard in
+  { store; threads; shard_ops }
+
+let measure { store; threads; shard_ops } =
+  (* Clean start: checkpoint, then snapshot. *)
+  Store.Sharded.advance_epochs store;
+  let before = Array.init threads (snapshot_shard store) in
+  let epochs_before = Array.init threads (epochs_of store) in
+  let counters_before = Array.init threads (counters_of store) in
+  let logged_before =
+    Array.init threads (fun i ->
+        Incll.System.nodes_logged (Store.Sharded.shard store i))
+  in
+  let wall0 = Unix.gettimeofday () in
+  ignore
+    (in_domains
+       (Array.init threads (fun i ->
+            let sys = Store.Sharded.shard store i in
+            let ops = shard_ops.(i) in
+            fun () -> Array.iter (apply_op sys) ops)));
+  let wall1 = Unix.gettimeofday () in
+  let after = Array.init threads (snapshot_shard store) in
+  let diff =
+    Array.init threads (fun i ->
+        Nvm.Stats.diff ~after:after.(i) ~before:before.(i))
+  in
+  let sum f = Array.fold_left (fun a d -> a + f d) 0 diff in
+  let sim_s =
+    Array.fold_left (fun a d -> Float.max a d.Nvm.Stats.sim_ns) 0.0 diff /. 1e9
+  in
+  let sim_total_s =
+    Array.fold_left (fun a d -> a +. d.Nvm.Stats.sim_ns) 0.0 diff /. 1e9
+  in
+  let ops = Array.fold_left (fun a o -> a + Array.length o) 0 shard_ops in
+  let wall_s = wall1 -. wall0 in
+  let epochs =
+    Array.fold_left ( + ) 0 (Array.init threads (epochs_of store))
+    - Array.fold_left ( + ) 0 epochs_before
+  in
+  let ft, vu =
+    let now = Array.init threads (counters_of store) in
+    let f = ref 0 and v = ref 0 in
+    for i = 0 to threads - 1 do
+      let f1, v1 = now.(i) and f0, v0 = counters_before.(i) in
+      f := !f + f1 - f0;
+      v := !v + v1 - v0
+    done;
+    (!f, !v)
+  in
+  let nodes_logged =
+    Array.fold_left ( + ) 0
+      (Array.init threads (fun i ->
+           Incll.System.nodes_logged (Store.Sharded.shard store i)
+           - logged_before.(i)))
+  in
+  {
+    ops;
+    wall_s;
+    sim_s;
+    sim_total_s;
+    mops_sim = (if sim_s > 0.0 then float_of_int ops /. sim_s /. 1e6 else 0.0);
+    mops_wall =
+      (if wall_s > 0.0 then float_of_int ops /. wall_s /. 1e6 else 0.0);
+    nodes_logged;
+    sfences = sum (fun d -> d.Nvm.Stats.sfence);
+    clwbs = sum (fun d -> d.Nvm.Stats.clwb);
+    wbinvds = sum (fun d -> d.Nvm.Stats.wbinvd);
+    wbinvd_lines = sum (fun d -> d.Nvm.Stats.wbinvd_lines);
+    writes = sum (fun d -> d.Nvm.Stats.writes);
+    reads = sum (fun d -> d.Nvm.Stats.reads);
+    epochs;
+    incll_first_touches = ft;
+    incll_val_uses = vu;
+  }
+
+let run ?seed ?threads ?ops_per_thread ?config ~variant ~mix ~dist ~nkeys () =
+  measure (prepare ?seed ?threads ?ops_per_thread ?config ~variant ~mix ~dist ~nkeys ())
+
+let run_latency_sweep ?seed ?threads ?ops_per_thread ?config ~variant ~mix
+    ~dist ~nkeys ~latencies () =
+  let p = prepare ?seed ?threads ?ops_per_thread ?config ~variant ~mix ~dist ~nkeys () in
+  List.map
+    (fun lat ->
+      for i = 0 to p.threads - 1 do
+        Nvm.Region.set_sfence_extra_ns
+          (Incll.System.region (Store.Sharded.shard p.store i))
+          lat
+      done;
+      (lat, measure p))
+    latencies

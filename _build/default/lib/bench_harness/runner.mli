@@ -1,0 +1,74 @@
+(** Benchmark runner: build a store, populate it, drive a YCSB stream with
+    one domain per shard, and report throughput in both clocks.
+
+    Throughput is primarily reported against the {e simulated} clock
+    (ops / max-over-shards simulated seconds): it is derived purely from
+    counted memory-system events priced by [Nvm.Config.cost_model], which
+    is the quantity the paper's latency figures sweep and is immune to the
+    simulator's own host-CPU overhead. Wall-clock throughput is reported
+    alongside for reference. *)
+
+type result = {
+  ops : int;
+  wall_s : float;
+  sim_s : float;  (** Max over shards (parallel view). *)
+  sim_total_s : float;  (** Summed over shards. *)
+  mops_sim : float;
+  mops_wall : float;
+  nodes_logged : int;  (** External-log appends during the measured phase. *)
+  sfences : int;
+  clwbs : int;
+  wbinvds : int;
+  wbinvd_lines : int;
+  writes : int;
+  reads : int;
+  epochs : int;  (** Checkpoints taken during the measured phase. *)
+  incll_first_touches : int;
+  incll_val_uses : int;
+}
+
+val config_for :
+  ?sfence_extra_ns:float ->
+  ?epoch_len_ns:float ->
+  ?val_incll:bool ->
+  nkeys_per_shard:int ->
+  unit ->
+  Incll.System.config
+(** Size the region (Counting mode — throughput runs never crash) to the
+    working set, leaving head-room for the external log and churn. *)
+
+val run :
+  ?seed:int ->
+  ?threads:int ->
+  ?ops_per_thread:int ->
+  ?config:Incll.System.config ->
+  variant:Incll.System.variant ->
+  mix:Workload.Ycsb.mix ->
+  dist:Workload.Ycsb.dist ->
+  nkeys:int ->
+  unit ->
+  result
+(** Populate [nkeys] entries, checkpoint, then apply
+    [threads * ops_per_thread] pre-generated operations with one domain
+    per shard (ops are routed to the shard that owns their key, like the
+    paper's shared-tree threads each operating on the whole key space).
+    Statistics cover only the measured phase. *)
+
+val run_latency_sweep :
+  ?seed:int ->
+  ?threads:int ->
+  ?ops_per_thread:int ->
+  ?config:Incll.System.config ->
+  variant:Incll.System.variant ->
+  mix:Workload.Ycsb.mix ->
+  dist:Workload.Ycsb.dist ->
+  nkeys:int ->
+  latencies:float list ->
+  unit ->
+  (float * result) list
+(** Populate once, then re-run the same pre-generated stream under each
+    emulated NVM latency (Figures 3 and 8). The tree state carries over
+    between points — the stream is update/read-only against a fixed key
+    population, so each window measures the same logical work. *)
+
+val apply_op : Incll.System.t -> Workload.Ycsb.op -> unit

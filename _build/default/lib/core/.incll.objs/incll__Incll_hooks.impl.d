@@ -1,0 +1,1 @@
+lib/core/incll_hooks.ml: Ctx Int64 List Masstree Nvm Recovery

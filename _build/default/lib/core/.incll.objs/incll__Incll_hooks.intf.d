@@ -1,0 +1,1 @@
+lib/core/incll_hooks.mli: Ctx Masstree

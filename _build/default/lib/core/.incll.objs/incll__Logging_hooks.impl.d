@@ -1,0 +1,1 @@
+lib/core/logging_hooks.ml: Ctx Int64 List Masstree Nvm

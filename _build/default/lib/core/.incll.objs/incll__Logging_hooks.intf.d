@@ -1,0 +1,1 @@
+lib/core/logging_hooks.mli: Ctx Masstree

@@ -1,0 +1,1 @@
+lib/core/system.ml: Alloc Ctx Epoch Extlog Incll_hooks Logging_hooks Masstree Nvm Option Recovery String Unix

@@ -1,0 +1,1 @@
+lib/core/system.mli: Alloc Ctx Epoch Masstree Nvm Util

@@ -1,0 +1,45 @@
+type counters = {
+  mutable first_touches : int;
+  mutable val_incll_uses : int;
+  mutable val_incll_hits : int;
+  mutable ext_fallback_mixed : int;
+  mutable ext_fallback_update : int;
+  mutable ext_fallback_epoch : int;
+  mutable ext_structural : int;
+  mutable lazy_recoveries : int;
+}
+
+type t = {
+  region : Nvm.Region.t;
+  em : Epoch.Manager.t;
+  log : Extlog.Log.t;
+  counters : counters;
+}
+
+let fresh_counters () =
+  {
+    first_touches = 0;
+    val_incll_uses = 0;
+    val_incll_hits = 0;
+    ext_fallback_mixed = 0;
+    ext_fallback_update = 0;
+    ext_fallback_epoch = 0;
+    ext_structural = 0;
+    lazy_recoveries = 0;
+  }
+
+let make em log =
+  { region = Epoch.Manager.region em; em; log; counters = fresh_counters () }
+
+let current t = Epoch.Manager.current t.em
+let lower16 = Epoch.Manager.lower16
+let higher = Epoch.Manager.higher
+
+let rec log_node t ~addr ~size =
+  try Extlog.Log.append t.log ~epoch:(current t) ~addr ~size
+  with Extlog.Log.Log_full ->
+    (* A checkpoint truncates the log; the entry then lands in the new
+       epoch, which is also the epoch the pending modification will run
+       in (no mutation has happened yet when a pre-hook logs). *)
+    Epoch.Manager.advance t.em;
+    log_node t ~addr ~size

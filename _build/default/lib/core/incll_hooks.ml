@@ -1,0 +1,199 @@
+module L = Masstree.Leaf
+module I = Masstree.Internal
+module EW = Masstree.Epoch_word
+module V = Masstree.Val_incll
+
+(* After externally logging a leaf: stamp it logged-for-this-epoch and
+   invalidate its value InCLLs with the current epoch's low bits, so stale
+   low-epoch fields can never alias a failed epoch after the higher bits of
+   nodeEpoch move (Listing 3 line 15). Reads the epoch *after* logging:
+   a full-log retry inside [Ctx.log_node] may have advanced it, and the
+   entry it wrote is tagged with the new epoch. *)
+let stamp_logged ctx leaf =
+  let region = ctx.Ctx.region in
+  let g = Ctx.current ctx in
+  L.set_epoch_word region leaf
+    { EW.epoch = g; ins_allowed = true; logged = true };
+  let inv = V.invalid ~low_epoch:(Ctx.lower16 g) in
+  L.set_incll_by_index region leaf ~which:0 inv;
+  L.set_incll_by_index region leaf ~which:1 inv;
+  Nvm.Region.release_fence region
+
+let log_leaf ctx leaf =
+  Ctx.log_node ctx ~addr:leaf ~size:L.node_bytes;
+  stamp_logged ctx leaf
+
+(* The first-touch body of Listing 3: make the node recoverable for this
+   epoch. [vc] builds the two value-InCLL words given the epoch's low bits
+   (invalid words for inserts/removes; the pre-image of the updated slot
+   for updates). *)
+let first_touch ctx leaf ~vc =
+  let region = ctx.Ctx.region in
+  let g = Ctx.current ctx in
+  let ew = L.epoch_word region leaf in
+  if Ctx.higher g <> Ctx.higher ew.EW.epoch then begin
+    (* 16 bits cannot encode the epoch distance for the value InCLLs:
+       fall back on the external log (§4.1.3; ~once an hour). *)
+    ctx.Ctx.counters.Ctx.ext_fallback_epoch <-
+      ctx.Ctx.counters.Ctx.ext_fallback_epoch + 1;
+    log_leaf ctx leaf
+  end
+  else begin
+    let low = Ctx.lower16 g in
+    let vc1, vc2 = vc ~low_epoch:low in
+    (* Undo copies first, nodeEpoch second: all in program order, and
+       permutationInCLL/nodeEpoch share a cache line, so PCSO turns this
+       order into the recovery invariant of §4.1.2. *)
+    L.set_perm_incll region leaf (L.perm region leaf);
+    L.set_incll_by_index region leaf ~which:0 vc1;
+    L.set_incll_by_index region leaf ~which:1 vc2;
+    Nvm.Region.release_fence region;
+    L.set_epoch_word region leaf
+      { EW.epoch = g; ins_allowed = true; logged = false };
+    ctx.Ctx.counters.Ctx.first_touches <-
+      ctx.Ctx.counters.Ctx.first_touches + 1
+  end
+
+let invalid_pair ~low_epoch =
+  let inv = V.invalid ~low_epoch in
+  (inv, inv)
+
+let pre_insert ctx ~leaf =
+  let region = ctx.Ctx.region in
+  let ew = L.epoch_word region leaf in
+  if ew.EW.epoch <> Ctx.current ctx then first_touch ctx leaf ~vc:invalid_pair
+  else if (not ew.EW.logged) && not ew.EW.ins_allowed then begin
+    (* A slot freed by a same-epoch delete could be re-populated,
+       destroying the key/value pair a rollback must restore (§4.1.1). *)
+    ctx.Ctx.counters.Ctx.ext_fallback_mixed <-
+      ctx.Ctx.counters.Ctx.ext_fallback_mixed + 1;
+    log_leaf ctx leaf
+  end
+
+let pre_remove ctx ~leaf =
+  let region = ctx.Ctx.region in
+  let ew = L.epoch_word region leaf in
+  if ew.EW.epoch <> Ctx.current ctx then first_touch ctx leaf ~vc:invalid_pair;
+  (* Deletes always fit in InCLLp, but they forbid later same-epoch
+     inserts (Listing 3's remove sets InsAllowed=false). The flag is
+     semantically transient (§4.1.2). *)
+  let ew = L.epoch_word region leaf in
+  if ew.EW.ins_allowed then
+    L.set_epoch_word region leaf { ew with EW.ins_allowed = false }
+
+let pre_update ctx ~val_incll ~leaf ~slot =
+  let region = ctx.Ctx.region in
+  if not val_incll then begin
+    (* Ablation: InCLLp only — updates always use the external log. *)
+    let ew = L.epoch_word region leaf in
+    if not (ew.EW.logged && ew.EW.epoch = Ctx.current ctx) then begin
+      ctx.Ctx.counters.Ctx.ext_fallback_update <-
+        ctx.Ctx.counters.Ctx.ext_fallback_update + 1;
+      log_leaf ctx leaf
+    end
+  end
+  else begin
+    let g = Ctx.current ctx in
+    let ew = L.epoch_word region leaf in
+    if ew.EW.epoch <> g then begin
+      (* First touch: log the pre-image of this slot in its line's InCLL
+         and leave the other line's InCLL invalid (Listing 3's update). *)
+      let vc ~low_epoch =
+        let mine =
+          V.pack ~ptr:(L.value region leaf ~slot) ~idx:slot ~low_epoch
+        in
+        let inv = V.invalid ~low_epoch in
+        if slot <= 6 then (mine, inv) else (inv, mine)
+      in
+      first_touch ctx leaf ~vc;
+      (* first_touch may have chosen the external log instead; only count
+         an InCLL use when it did not. *)
+      if not (L.epoch_word region leaf).EW.logged then
+        ctx.Ctx.counters.Ctx.val_incll_uses <-
+          ctx.Ctx.counters.Ctx.val_incll_uses + 1
+    end
+    else if ew.EW.logged then ()
+    else begin
+      let which = if slot <= 6 then 0 else 1 in
+      let d = V.unpack (L.incll_by_index region leaf ~which) in
+      if d.V.idx = slot then
+        (* The epoch-start value of this slot is already logged; further
+           overwrites need nothing (valuable under skew, §4.1.3). *)
+        ctx.Ctx.counters.Ctx.val_incll_hits <-
+          ctx.Ctx.counters.Ctx.val_incll_hits + 1
+      else if d.V.idx = V.invalid_idx then begin
+        (* This line's InCLL is still free this epoch: claim it. Same
+           cache line as the value slot, so no fence is needed before the
+           overwrite. Note: Listing 3's same-epoch arm omits this store
+           and would lose the pre-image; §4.1.3's prose ("it is still
+           possible to use the unused InCLL") requires it, so we follow
+           the prose. *)
+        L.set_incll_by_index region leaf ~which
+          (V.pack ~ptr:(L.value region leaf ~slot) ~idx:slot
+             ~low_epoch:(Ctx.lower16 g));
+        Nvm.Region.release_fence region;
+        ctx.Ctx.counters.Ctx.val_incll_uses <-
+          ctx.Ctx.counters.Ctx.val_incll_uses + 1
+      end
+      else begin
+        (* Two hot slots share the line: external log (§4.1.3). *)
+        ctx.Ctx.counters.Ctx.ext_fallback_update <-
+          ctx.Ctx.counters.Ctx.ext_fallback_update + 1;
+        log_leaf ctx leaf
+      end
+    end
+  end
+
+(* Structural changes (§4.2): log every pre-existing node that is about to
+   be mutated, all within one epoch. If a full log forces a checkpoint
+   mid-list, every node logged so far belongs to the old epoch while the
+   mutation will run in the new one — restart the whole list. *)
+let pre_structural ctx nodes =
+  let region = ctx.Ctx.region in
+  let rec attempt () =
+    let e0 = Ctx.current ctx in
+    let log_one (addr, size) =
+      if addr = Nvm.Layout.off_root then begin
+        if
+          Int64.to_int (Nvm.Region.read_i64 region Nvm.Layout.off_root_meta)
+          <> e0
+        then begin
+          Ctx.log_node ctx ~addr ~size;
+          Nvm.Region.write_i64 region Nvm.Layout.off_root_meta
+            (Int64.of_int e0);
+          ctx.Ctx.counters.Ctx.ext_structural <-
+            ctx.Ctx.counters.Ctx.ext_structural + 1
+        end
+      end
+      else if L.is_leaf_node region addr then begin
+        let ew = L.epoch_word region addr in
+        if not (ew.EW.logged && ew.EW.epoch = e0) then begin
+          Ctx.log_node ctx ~addr ~size:L.node_bytes;
+          stamp_logged ctx addr;
+          ctx.Ctx.counters.Ctx.ext_structural <-
+            ctx.Ctx.counters.Ctx.ext_structural + 1
+        end
+      end
+      else if I.logged_epoch region addr <> e0 then begin
+        (* Internal node: a plain logged-epoch word makes the log
+           at-most-once per epoch (§4.2). *)
+        Ctx.log_node ctx ~addr ~size:I.node_bytes;
+        I.set_logged_epoch region addr e0;
+        ctx.Ctx.counters.Ctx.ext_structural <-
+          ctx.Ctx.counters.Ctx.ext_structural + 1
+      end
+    in
+    List.iter log_one nodes;
+    if Ctx.current ctx <> e0 then attempt ()
+  in
+  attempt ()
+
+let make ?(val_incll = true) ctx =
+  {
+    Masstree.Hooks.on_leaf_access =
+      (fun ~leaf -> Recovery.lazy_leaf_recovery ctx ~leaf);
+    pre_leaf_insert = (fun ~leaf -> pre_insert ctx ~leaf);
+    pre_leaf_remove = (fun ~leaf -> pre_remove ctx ~leaf);
+    pre_leaf_update = (fun ~leaf ~slot -> pre_update ctx ~val_incll ~leaf ~slot);
+    pre_structural = (fun nodes -> pre_structural ctx nodes);
+  }

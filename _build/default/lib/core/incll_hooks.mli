@@ -1,0 +1,27 @@
+(** The In-Cache-Line Logging algorithm (§4.1, Listing 3), packaged as the
+    Masstree persistence hooks.
+
+    Per leaf modification the hook decides between three outcomes:
+
+    - {b free}: the node was already first-touched this epoch and the
+      modification is covered (repeat inserts/removes under InCLLp, or a
+      re-update of the slot a value InCLL already logs);
+    - {b InCLL}: write the undo copies into the node's own cache lines —
+      a release fence but {e no} write-back and {e no} draining fence;
+    - {b external log}: fall back to the §4.2 log (one flush chain + one
+      fence), for mixed delete-then-insert epochs, a second value update
+      landing on a busy line, an InCLL epoch-field overflow, or any
+      structural change.
+
+    Store-order obligations implemented here (and checked by the tests):
+    within a first touch, [permutationInCLL] and both value InCLLs are
+    written {e before} [nodeEpoch]; all four share program order per line,
+    which PCSO preserves (§4.1.2). *)
+
+val make : ?val_incll:bool -> Ctx.t -> Masstree.Hooks.t
+(** Build the INCLL-variant hooks. [on_leaf_access] performs Listing 4's
+    lazy node recovery via {!Recovery.lazy_leaf_recovery}.
+
+    [val_incll:false] is the InCLLp-only ablation (§4.1.3): value updates
+    always fall back to the external log while inserts and removes still
+    use the permutation InCLL. Default [true]. *)

@@ -1,0 +1,9 @@
+(** The LOGGING baseline of Figures 7 and 8: InCLL disabled, every modified
+    node protected by the external log alone.
+
+    A node is logged (whole image, one flush chain + one fence) on its
+    first modification in each epoch; the leaf's epoch word doubles as the
+    logged-this-epoch marker. Recovery is replay-only, plus a cheap lazy
+    re-stamp so markers stay monotonic across restarts. *)
+
+val make : Ctx.t -> Masstree.Hooks.t

@@ -1,0 +1,30 @@
+(** Crash recovery (§4.3, Listing 4).
+
+    Eager phase (before execution resumes, driven by [System.recover]):
+    replay the external log — entries are mutually independent, so order
+    does not matter — and restore the allocator metadata lines. Nothing is
+    flushed: if recovery crashes, the recovery-marker epoch fails and the
+    whole procedure re-runs idempotently.
+
+    Lazy phase (this module): each leaf is restored from its InCLLs on
+    first access. Idempotence across repeated crashes rests on two store
+    orders, both within single cache lines: the [permutation] restore
+    precedes the [nodeEpoch] re-stamp (line 1), and each value restore
+    precedes the invalidation of its InCLL word (lines 4/5). Undo copies
+    themselves are never overwritten by recovery.
+
+    The paper's hashed recovery-lock array exists to serialise concurrent
+    lazy recoveries; with shard-per-domain ownership a leaf is only ever
+    recovered by its owning domain, so no locking is needed here. *)
+
+val lazy_leaf_recovery : Ctx.t -> leaf:int -> unit
+(** Listing 4's [lazyNodeRecovery]/[nodeRecovery]: if the leaf predates
+    this run, restore [permutation] from [permutationInCLL] and any value
+    slot whose InCLL epoch names a failed epoch, then re-stamp the node
+    with the recovery-marker epoch and re-initialise its (transient)
+    version word. *)
+
+val eager_sweep : Ctx.t -> Masstree.Tree.t -> Alloc.Durable.t -> unit
+(** Recover {e every} node and allocator chain now instead of lazily. Used
+    before compacting the failed-epoch set, and by tests that want a fully
+    clean image. *)

@@ -1,0 +1,254 @@
+type variant = Mt | Mt_plus | Logging | Incll
+
+let variant_name = function
+  | Mt -> "MT"
+  | Mt_plus -> "MT+"
+  | Logging -> "LOGGING"
+  | Incll -> "INCLL"
+
+let variant_of_string s =
+  match String.uppercase_ascii s with
+  | "MT" -> Mt
+  | "MT+" | "MTPLUS" | "MT_PLUS" -> Mt_plus
+  | "LOGGING" | "LOG" -> Logging
+  | "INCLL" -> Incll
+  | _ -> invalid_arg ("System.variant_of_string: " ^ s)
+
+type config = {
+  nvm : Nvm.Config.t;
+  epoch_len_ns : float;
+  val_incll : bool;
+}
+
+let default_config =
+  { nvm = Nvm.Config.default; epoch_len_ns = 64.0e6; val_incll = true }
+
+type recover_stats = {
+  replayed_entries : int;
+  recovery_sim_ns : float;
+  recovery_wall_ns : float;
+}
+
+type t = {
+  variant : variant;
+  config : config;
+  region : Nvm.Region.t;
+  em : Epoch.Manager.t option;
+  ctx : Ctx.t option;
+  dalloc : Alloc.Durable.t option;
+  tree : Masstree.Tree.t;
+  last_recover_stats : recover_stats option;
+}
+
+let variant t = t.variant
+let region t = t.region
+let tree t = t.tree
+let epoch_manager t = t.em
+let ctx t = t.ctx
+let durable_alloc t = t.dalloc
+let last_recover_stats t = t.last_recover_stats
+
+let nodes_logged t =
+  match t.ctx with Some c -> Extlog.Log.nodes_logged c.Ctx.log | None -> 0
+
+let hooks_for variant config ctx =
+  match variant with
+  | Mt | Mt_plus -> Masstree.Hooks.transient
+  | Logging -> Logging_hooks.make ctx
+  | Incll -> Incll_hooks.make ~val_incll:config.val_incll ctx
+
+(* The external log is discarded at every checkpoint (§3). *)
+let subscribe_log_truncation em log =
+  Epoch.Manager.subscribe_post_advance em (fun () ->
+      Extlog.Log.truncate log ~epoch:(Epoch.Manager.current em))
+
+let create ?(config = default_config) variant =
+  let region = Nvm.Region.create config.nvm in
+  Nvm.Superblock.format region;
+  match variant with
+  | Mt | Mt_plus ->
+      let em =
+        match variant with
+        | Mt_plus ->
+            Some (Epoch.Manager.create ~epoch_len_ns:config.epoch_len_ns region)
+        | _ -> None
+      in
+      let kind =
+        match variant with
+        | Mt -> Alloc.Transient.General
+        | _ -> Alloc.Transient.Pool
+      in
+      let talloc = Alloc.Transient.create kind region in
+      let current_epoch =
+        match em with
+        | Some em -> fun () -> Epoch.Manager.current em
+        | None -> fun () -> 2
+      in
+      let tree =
+        Masstree.Tree.create region
+          (Alloc.Api.of_transient talloc)
+          Masstree.Hooks.transient ~current_epoch
+      in
+      {
+        variant;
+        config;
+        region;
+        em;
+        ctx = None;
+        dalloc = None;
+        tree;
+        last_recover_stats = None;
+      }
+  | Logging | Incll ->
+      let em = Epoch.Manager.create ~epoch_len_ns:config.epoch_len_ns region in
+      let dalloc = Alloc.Durable.create em in
+      let log = Extlog.Log.attach region in
+      Extlog.Log.truncate log ~epoch:(Epoch.Manager.current em);
+      subscribe_log_truncation em log;
+      let ctx = Ctx.make em log in
+      let tree =
+        Masstree.Tree.create region
+          (Alloc.Api.of_durable dalloc)
+          (hooks_for variant config ctx)
+          ~current_epoch:(fun () -> Epoch.Manager.current em)
+      in
+      (* Initialisation must itself be a completed checkpoint: a crash in
+         the first working epoch then rolls back to the freshly formatted
+         (empty) store instead of to an allocator state that predates the
+         root leaf. *)
+      Epoch.Manager.advance em;
+      {
+        variant;
+        config;
+        region;
+        em = Some em;
+        ctx = Some ctx;
+        dalloc = Some dalloc;
+        tree;
+        last_recover_stats = None;
+      }
+
+let after_op t =
+  match t.em with
+  | Some em -> ignore (Epoch.Manager.maybe_advance em)
+  | None -> ()
+
+let put t ~key ~value =
+  Nvm.Region.charge_op t.region;
+  Masstree.Tree.put t.tree ~key ~value;
+  after_op t
+
+let get t ~key =
+  Nvm.Region.charge_op t.region;
+  let r = Masstree.Tree.get t.tree ~key in
+  after_op t;
+  r
+
+let mem t ~key = Option.is_some (get t ~key)
+
+let remove t ~key =
+  Nvm.Region.charge_op t.region;
+  let r = Masstree.Tree.remove t.tree ~key in
+  after_op t;
+  r
+
+let scan t ~start ~n =
+  Nvm.Region.charge_op t.region;
+  let r = Masstree.Tree.scan t.tree ~start ~n in
+  after_op t;
+  r
+
+let scan_rev t ?bound ~n () =
+  Nvm.Region.charge_op t.region;
+  let r = Masstree.Tree.scan_rev t.tree ?bound ~n () in
+  after_op t;
+  r
+
+(* How much uncommitted work is currently at risk: the simulated time
+   since the last completed checkpoint (bounded by the epoch length). *)
+let durability_lag_ns t =
+  match t.em with
+  | None -> infinity
+  | Some em ->
+      (Nvm.Region.stats t.region).Nvm.Stats.sim_ns
+      -. Epoch.Manager.epoch_start_ns em
+
+let advance_epoch t =
+  match t.em with
+  | Some em -> Epoch.Manager.advance em
+  | None -> ()
+
+let require_recoverable t what =
+  match t.variant with
+  | Logging | Incll -> ()
+  | Mt | Mt_plus ->
+      failwith (what ^ ": the " ^ variant_name t.variant
+                ^ " variant is not recoverable")
+
+let crash t rng =
+  require_recoverable t "System.crash";
+  Nvm.Region.crash t.region rng
+
+let crash_with t ~choose =
+  require_recoverable t "System.crash_with";
+  Nvm.Region.crash_with t.region ~choose
+
+let recover_region ~variant ~config region =
+  (match variant with
+  | Logging | Incll -> ()
+  | Mt | Mt_plus ->
+      failwith "System.recover: transient variants are not recoverable");
+  Nvm.Superblock.check region;
+  let wall0 = Unix.gettimeofday () in
+  let sim0 = (Nvm.Region.stats region).Nvm.Stats.sim_ns in
+  let em =
+    Epoch.Manager.open_after_crash ~epoch_len_ns:config.epoch_len_ns region
+  in
+  let log = Extlog.Log.attach region in
+  let replayed =
+    Extlog.Log.replay log ~is_failed:(Epoch.Manager.is_failed em)
+  in
+  let dalloc = Alloc.Durable.open_after_crash em in
+  subscribe_log_truncation em log;
+  let ctx = Ctx.make em log in
+  let hooks = hooks_for variant config ctx in
+  let tree =
+    Masstree.Tree.open_existing region
+      (Alloc.Api.of_durable dalloc)
+      hooks
+      ~current_epoch:(fun () -> Epoch.Manager.current em)
+  in
+  (* Compact the failed-epoch set before it can overflow: recover every
+     node eagerly, persist that, then durably empty the set. *)
+  if Epoch.Manager.failed_count em >= Nvm.Layout.max_failed_epochs - 2
+  then begin
+    Recovery.eager_sweep ctx tree dalloc;
+    Nvm.Region.wbinvd region;
+    Epoch.Manager.clear_failed em
+  end;
+  (* Execution resumes in a fresh epoch; the checkpoint persists all
+     recovery writes and truncates the log. *)
+  Epoch.Manager.advance em;
+  let wall1 = Unix.gettimeofday () in
+  let sim1 = (Nvm.Region.stats region).Nvm.Stats.sim_ns in
+  {
+    variant;
+    config;
+    region;
+    em = Some em;
+    ctx = Some ctx;
+    dalloc = Some dalloc;
+    tree;
+    last_recover_stats =
+      Some
+        {
+          replayed_entries = replayed;
+          recovery_sim_ns = sim1 -. sim0;
+          recovery_wall_ns = (wall1 -. wall0) *. 1e9;
+        };
+  }
+
+let recover old = recover_region ~variant:old.variant ~config:old.config old.region
+
+let attach ?(config = default_config) variant region =
+  recover_region ~variant ~config region

@@ -1,0 +1,101 @@
+(** A complete durable key-value system instance: region + epoch manager +
+    allocator + external log + hooks + Masstree, assembled per variant.
+
+    The four variants of the paper's evaluation (§6):
+
+    - [Mt] — unmodified transient Masstree: general-purpose allocator, no
+      epochs, no persistence actions. Not recoverable.
+    - [Mt_plus] — the improved baseline: pool allocator and the per-epoch
+      global barrier + cache flush adopted from INCLL. Not recoverable
+      (nothing is logged).
+    - [Logging] — durable via the external undo log alone (the LOGGING
+      series of Figures 7/8).
+    - [Incll] — the paper's system: fine-grained checkpointing + InCLL +
+      external-log fallback (§3-§5), durable allocator included.
+
+    Ops charge the simulated clock and, for epoch-running variants, drive
+    the 64 ms checkpoint cadence. *)
+
+type variant = Mt | Mt_plus | Logging | Incll
+
+val variant_name : variant -> string
+val variant_of_string : string -> variant
+
+type config = {
+  nvm : Nvm.Config.t;
+  epoch_len_ns : float;
+  val_incll : bool;
+      (** [false] = the InCLLp-only ablation (value updates always fall
+          back to the external log). *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> variant -> t
+(** Fresh system on a fresh region. *)
+
+val variant : t -> variant
+val region : t -> Nvm.Region.t
+val tree : t -> Masstree.Tree.t
+val epoch_manager : t -> Epoch.Manager.t option
+val ctx : t -> Ctx.t option
+(** InCLL/logging context; [None] for the transient variants. *)
+
+val durable_alloc : t -> Alloc.Durable.t option
+
+(** {1 Operations} *)
+
+val put : t -> key:string -> value:string -> unit
+val get : t -> key:string -> string option
+val mem : t -> key:string -> bool
+val remove : t -> key:string -> bool
+val scan : t -> start:string -> n:int -> (string * string) list
+
+val scan_rev : t -> ?bound:string -> n:int -> unit -> (string * string) list
+(** Descending scan from the largest key [<= bound]. *)
+
+val durability_lag_ns : t -> float
+(** Simulated time since the last completed checkpoint — the window of
+    work a crash right now would lose (§4's tradeoff; bounded by the
+    epoch length). [infinity] for the MT variant, which never
+    checkpoints. *)
+
+val advance_epoch : t -> unit
+(** Force a checkpoint now (benchmarks use it to delimit measurements). *)
+
+(** {1 Crash and recovery (Logging / Incll variants, Precise regions)} *)
+
+val crash : t -> Util.Rng.t -> unit
+(** Simulate a power failure (see [Nvm.Region.crash]). The instance must
+    be discarded; call {!recover} to obtain a working successor on the
+    same region. *)
+
+val crash_with : t -> choose:(line:int -> nwrites:int -> int) -> unit
+
+val recover : t -> t
+(** Rebuild a system over the crashed region: replay the external log,
+    restore allocator roots, arm lazy node recovery, compact the
+    failed-epoch set if it is close to capacity, and checkpoint so
+    execution resumes in a fresh epoch. Returns the replacement instance
+    ([recover_stats] tells how much work it did). *)
+
+val attach : ?config:config -> variant -> Nvm.Region.t -> t
+(** Recover a system from a region obtained elsewhere — typically an NVM
+    image reloaded after a process restart ([Nvm.Image.load]). Runs the
+    same recovery procedure as {!recover}. The [config]'s cost model and
+    epoch length apply to the new instance; its region sizing is ignored
+    (the region already exists). *)
+
+type recover_stats = {
+  replayed_entries : int;
+  recovery_sim_ns : float;
+  recovery_wall_ns : float;
+}
+
+val last_recover_stats : t -> recover_stats option
+(** Statistics of the recovery that produced this instance. *)
+
+val nodes_logged : t -> int
+(** External-log appends so far (Figure 7's metric). *)

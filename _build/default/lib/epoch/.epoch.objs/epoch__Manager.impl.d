@@ -1,0 +1,1 @@
+lib/epoch/manager.ml: Hashtbl Int64 List Nvm

@@ -1,0 +1,1 @@
+lib/epoch/manager.mli: Nvm

@@ -1,0 +1,143 @@
+exception Failed_set_full
+
+type t = {
+  region : Nvm.Region.t;
+  epoch_len_ns : float;
+  mutable current : int;
+  mutable first_epoch_of_run : int;
+  mutable crashed_epoch : int option;
+  mutable epoch_start_ns : float;
+  mutable advances : int;
+  failed : (int, unit) Hashtbl.t;
+  mutable subscribers : (unit -> unit) list;  (* reversed *)
+}
+
+let default_epoch_len_ns = 64.0e6 (* 64 ms, §4 *)
+
+let region t = t.region
+let current t = t.current
+let first_epoch_of_run t = t.first_epoch_of_run
+let crashed_epoch t = t.crashed_epoch
+let is_failed t e = Hashtbl.mem t.failed e
+let failed_count t = Hashtbl.length t.failed
+let epoch_len_ns t = t.epoch_len_ns
+let epochs_elapsed t = t.advances
+let epoch_start_ns t = t.epoch_start_ns
+
+let failed_list t =
+  Hashtbl.fold (fun e () acc -> e :: acc) t.failed [] |> List.sort compare
+
+let subscribe_post_advance t f = t.subscribers <- f :: t.subscribers
+
+let run_subscribers t = List.iter (fun f -> f ()) (List.rev t.subscribers)
+
+let write_durable_epoch t e =
+  Nvm.Region.write_i64 t.region Nvm.Layout.off_durable_epoch (Int64.of_int e);
+  Nvm.Region.clwb t.region Nvm.Layout.off_durable_epoch;
+  Nvm.Region.sfence t.region
+
+let read_durable_epoch region =
+  Int64.to_int (Nvm.Region.read_i64 region Nvm.Layout.off_durable_epoch)
+
+let load_failed_set t =
+  Hashtbl.reset t.failed;
+  let n =
+    Int64.to_int (Nvm.Region.read_i64 t.region Nvm.Layout.off_failed_count)
+  in
+  if n < 0 || n > Nvm.Layout.max_failed_epochs then
+    failwith "Manager: corrupt failed-epoch count";
+  for i = 0 to n - 1 do
+    let e =
+      Int64.to_int
+        (Nvm.Region.read_i64 t.region (Nvm.Layout.failed_epoch_slot i))
+    in
+    Hashtbl.replace t.failed e ()
+  done
+
+(* Durable append: persist the new entry strictly before the count that
+   makes it visible, so a crash mid-append can only lose the append. *)
+let append_failed t e =
+  if Hashtbl.mem t.failed e then ()
+  else begin
+    let n = Hashtbl.length t.failed in
+    if n >= Nvm.Layout.max_failed_epochs then raise Failed_set_full;
+    let slot = Nvm.Layout.failed_epoch_slot n in
+    Nvm.Region.write_i64 t.region slot (Int64.of_int e);
+    Nvm.Region.clwb t.region slot;
+    Nvm.Region.sfence t.region;
+    Nvm.Region.write_i64 t.region Nvm.Layout.off_failed_count
+      (Int64.of_int (n + 1));
+    Nvm.Region.clwb t.region Nvm.Layout.off_failed_count;
+    Nvm.Region.sfence t.region;
+    Hashtbl.replace t.failed e ()
+  end
+
+let clear_failed t =
+  Nvm.Region.write_i64 t.region Nvm.Layout.off_failed_count 0L;
+  Nvm.Region.clwb t.region Nvm.Layout.off_failed_count;
+  Nvm.Region.sfence t.region;
+  Hashtbl.reset t.failed
+
+let create ?(epoch_len_ns = default_epoch_len_ns) region =
+  Nvm.Superblock.check region;
+  let t =
+    {
+      region;
+      epoch_len_ns;
+      current = 2;
+      first_epoch_of_run = 2;
+      crashed_epoch = None;
+      epoch_start_ns = (Nvm.Region.stats region).Nvm.Stats.sim_ns;
+      advances = 0;
+      failed = Hashtbl.create 8;
+      subscribers = [];
+    }
+  in
+  write_durable_epoch t 2;
+  t.epoch_start_ns <- (Nvm.Region.stats region).Nvm.Stats.sim_ns;
+  t
+
+let open_after_crash ?(epoch_len_ns = default_epoch_len_ns) region =
+  Nvm.Superblock.check region;
+  let crashed = read_durable_epoch region in
+  if crashed < 2 then failwith "Manager: corrupt durable epoch index";
+  let t =
+    {
+      region;
+      epoch_len_ns;
+      current = crashed + 1;  (* the recovery-marker epoch *)
+      first_epoch_of_run = crashed + 1;
+      crashed_epoch = Some crashed;
+      epoch_start_ns = (Nvm.Region.stats region).Nvm.Stats.sim_ns;
+      advances = 0;
+      failed = Hashtbl.create 8;
+      subscribers = [];
+    }
+  in
+  load_failed_set t;
+  append_failed t crashed;
+  (* Enter the recovery-marker epoch durably: if recovery itself crashes,
+     the marker epoch is added to the failed set by the next run and the
+     (idempotent) recovery simply repeats. *)
+  write_durable_epoch t t.current;
+  t
+
+let advance t =
+  Nvm.Region.wbinvd t.region;
+  write_durable_epoch t (t.current + 1);
+  t.current <- t.current + 1;
+  t.advances <- t.advances + 1;
+  t.epoch_start_ns <- (Nvm.Region.stats t.region).Nvm.Stats.sim_ns;
+  run_subscribers t
+
+let maybe_advance t =
+  let now = (Nvm.Region.stats t.region).Nvm.Stats.sim_ns in
+  if now -. t.epoch_start_ns >= t.epoch_len_ns then begin
+    advance t;
+    true
+  end
+  else false
+
+let lower16 e = e land 0xffff
+let higher e = e lsr 16
+let combine ~higher ~lower16 = (higher lsl 16) lor (lower16 land 0xffff)

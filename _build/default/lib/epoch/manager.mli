@@ -1,0 +1,84 @@
+(** Fine-grained checkpointing (§3, §4): epochs, the per-epoch global cache
+    flush, the durable epoch index, and the durable failed-epoch set.
+
+    Execution is partitioned into epochs (64 simulated milliseconds by
+    default, like the paper's Masstree reclamation interval). Advancing from
+    epoch [e] to [e+1] is the checkpoint:
+
+    + [wbinvd] — every modification of epoch [e] reaches NVM;
+    + the durable epoch index is set to [e+1] and flushed;
+    + subscribers run in the new epoch (external-log truncation, allocator
+      limbo merging).
+
+    If a crash happens while the durable index reads [f], recovery adds [f]
+    to the durable failed-epoch set and rolls the structures back to the
+    beginning of [f] — i.e. to the most recently completed checkpoint.
+
+    Epoch numbering: 0 and 1 are reserved (0 = never-used, 1 = pre-history);
+    a fresh system starts executing in epoch 2. After a crash of epoch [f],
+    [f+1] is the {e recovery marker} epoch ([first_epoch_of_run], Listing
+    4's [currExecEpoch]): lazily recovered nodes are stamped with it, and
+    normal execution resumes in [f+2] via a checkpoint at the end of
+    recovery. *)
+
+type t
+
+exception Failed_set_full
+(** The durable failed-epoch set is at capacity; the caller must run an
+    eager recovery sweep and then {!clear_failed}. *)
+
+val create : ?epoch_len_ns:float -> Nvm.Region.t -> t
+(** Initialise epoch state on a freshly formatted region and durably set the
+    epoch index to 2. *)
+
+val open_after_crash : ?epoch_len_ns:float -> Nvm.Region.t -> t
+(** Attach to a region that was running when it crashed: load the failed
+    set, durably add the crashed epoch to it, and durably enter the
+    recovery-marker epoch (so a crash during recovery fails the marker
+    epoch and recovery re-runs). Raises {!Failed_set_full} when the set
+    would overflow. *)
+
+val region : t -> Nvm.Region.t
+val current : t -> int
+(** The epoch new modifications belong to. *)
+
+val first_epoch_of_run : t -> int
+(** Listing 4's [currExecEpoch]: nodes whose [nodeEpoch] is below this may
+    need lazy recovery. *)
+
+val crashed_epoch : t -> int option
+(** After {!open_after_crash}, the epoch that was rolled back ([None] for a
+    fresh system). The external log replays exactly this epoch's entries. *)
+
+val is_failed : t -> int -> bool
+val failed_count : t -> int
+val failed_list : t -> int list
+
+val advance : t -> unit
+(** Perform a checkpoint now. *)
+
+val maybe_advance : t -> bool
+(** Checkpoint iff the simulated clock has moved [epoch_len_ns] past the
+    current epoch's start; returns whether it advanced. *)
+
+val epoch_len_ns : t -> float
+val epochs_elapsed : t -> int
+(** Number of [advance] calls so far (for reporting flush frequency). *)
+
+val epoch_start_ns : t -> float
+(** Simulated time at which the current epoch began. *)
+
+val subscribe_post_advance : t -> (unit -> unit) -> unit
+(** [f] runs inside every new epoch immediately after the checkpoint, and
+    once at the end of [open_after_crash]-driven recovery. Registration
+    order is preserved. *)
+
+val clear_failed : t -> unit
+(** Durably empty the failed-epoch set. Only legal after an eager recovery
+    sweep has re-stamped every node (no lazy restores may remain). *)
+
+(** {1 Epoch-number encodings used by the InCLL words (§4.1.3)} *)
+
+val lower16 : int -> int
+val higher : int -> int
+val combine : higher:int -> lower16:int -> int

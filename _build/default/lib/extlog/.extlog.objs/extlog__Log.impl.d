@@ -1,0 +1,1 @@
+lib/extlog/log.ml: Int64 Nvm

@@ -1,0 +1,1 @@
+lib/extlog/log.mli: Nvm

@@ -1,0 +1,143 @@
+exception Log_full
+
+let entry_magic = 0xE10C_11E0_1234_5678L
+let header_bytes = 40
+
+(* The first line of the log slice is a header holding the durable
+   truncation epoch: the epoch current when the log was last logically
+   discarded. Replay ignores entries tagged with older epochs — they are
+   stale survivors of earlier epochs that later, shorter logs did not
+   overwrite. *)
+let log_header_bytes = 64
+
+type t = {
+  region : Nvm.Region.t;
+  off : int;  (* first byte of the log slice *)
+  len : int;
+  mutable tail : int;  (* transient append cursor, relative to [off] *)
+  mutable nodes_logged : int;
+  mutable bytes_logged : int;
+}
+
+let attach region =
+  let cfg = Nvm.Region.config region in
+  {
+    region;
+    off = Nvm.Layout.extlog_off + log_header_bytes;
+    len = cfg.Nvm.Config.extlog_bytes - log_header_bytes;
+    tail = 0;
+    nodes_logged = 0;
+    bytes_logged = 0;
+  }
+
+let capacity t = t.len
+let used t = t.tail
+let nodes_logged t = t.nodes_logged
+let bytes_logged t = t.bytes_logged
+
+let truncation_epoch t =
+  Int64.to_int (Nvm.Region.read_i64 t.region Nvm.Layout.extlog_off)
+
+(* Durable: the truncation epoch must be persisted before this epoch's
+   entries are appended (one extra fence per checkpoint). *)
+let truncate t ~epoch =
+  t.tail <- 0;
+  Nvm.Region.write_i64 t.region Nvm.Layout.extlog_off (Int64.of_int epoch);
+  Nvm.Region.clwb t.region Nvm.Layout.extlog_off;
+  Nvm.Region.sfence t.region
+
+(* Checksum: xor of the payload words folded with the header fields, so a
+   torn entry (header persisted, payload not, or vice versa) is detected. *)
+let checksum region ~payload_off ~size ~epoch ~addr =
+  let acc = ref (Int64.of_int epoch) in
+  acc := Int64.logxor !acc (Int64.mul (Int64.of_int addr) 0x9E3779B97F4A7C15L);
+  acc := Int64.logxor !acc (Int64.of_int size);
+  for i = 0 to (size / 8) - 1 do
+    let w = Nvm.Region.read_i64 region (payload_off + (8 * i)) in
+    (* Mix the position in so swapped words change the sum. *)
+    acc :=
+      Int64.logxor !acc
+        (Int64.mul (Int64.add w (Int64.of_int (i + 1))) 0xC4CEB9FE1A85EC53L)
+  done;
+  !acc
+
+let append t ~epoch ~addr ~size =
+  if size <= 0 || size land 7 <> 0 then
+    invalid_arg "Extlog.append: size must be a positive multiple of 8";
+  let total = header_bytes + size in
+  if t.tail + total > t.len then raise Log_full;
+  let entry = t.off + t.tail in
+  let payload_off = entry + header_bytes in
+  (* Payload first, then the header that makes the entry meaningful; the
+     checksum validates the pair, so one fence suffices. *)
+  Nvm.Region.blit_within t.region ~src:addr ~dst:payload_off ~len:size;
+  Nvm.Region.write_i64 t.region (entry + 8) (Int64.of_int epoch);
+  Nvm.Region.write_i64 t.region (entry + 16) (Int64.of_int addr);
+  Nvm.Region.write_i64 t.region (entry + 24) (Int64.of_int size);
+  Nvm.Region.write_i64 t.region (entry + 32)
+    (checksum t.region ~payload_off ~size ~epoch ~addr);
+  Nvm.Region.write_i64 t.region entry entry_magic;
+  (* Write back every line of the entry, then one fence. *)
+  let first_line = entry land lnot (Nvm.Config.line_size - 1) in
+  let last = entry + total - 1 in
+  let line = ref first_line in
+  while !line <= last do
+    Nvm.Region.clwb t.region !line;
+    line := !line + Nvm.Config.line_size
+  done;
+  Nvm.Region.sfence t.region;
+  t.tail <- t.tail + total;
+  t.nodes_logged <- t.nodes_logged + 1;
+  t.bytes_logged <- t.bytes_logged + size
+
+(* Walk the intact-entry prefix, calling [f] on each entry. *)
+let fold_entries t f =
+  let region_size = Nvm.Region.size t.region in
+  let rec loop pos =
+    if pos + header_bytes > t.len then ()
+    else begin
+      let entry = t.off + pos in
+      if Nvm.Region.read_i64 t.region entry <> entry_magic then ()
+      else begin
+        let epoch = Int64.to_int (Nvm.Region.read_i64 t.region (entry + 8)) in
+        let addr = Int64.to_int (Nvm.Region.read_i64 t.region (entry + 16)) in
+        let size = Int64.to_int (Nvm.Region.read_i64 t.region (entry + 24)) in
+        let sum = Nvm.Region.read_i64 t.region (entry + 32) in
+        let shape_ok =
+          size > 0
+          && size land 7 = 0
+          && pos + header_bytes + size <= t.len
+          && addr >= 0
+          && addr + size <= region_size
+        in
+        if not shape_ok then ()
+        else if
+          checksum t.region ~payload_off:(entry + header_bytes) ~size ~epoch
+            ~addr
+          <> sum
+        then ()
+        else begin
+          f ~epoch ~addr ~size ~payload_off:(entry + header_bytes);
+          loop (pos + header_bytes + size)
+        end
+      end
+    end
+  in
+  loop 0
+
+let scan_entries t f =
+  fold_entries t (fun ~epoch ~addr ~size ~payload_off:_ -> f ~epoch ~addr ~size)
+
+let replay t ~is_failed =
+  let applied = ref 0 in
+  let floor = truncation_epoch t in
+  (* Replayable entries form a contiguous prefix (see interface); stop at
+     the first stale or non-failed entry. *)
+  let stop = ref false in
+  fold_entries t (fun ~epoch ~addr ~size ~payload_off ->
+      if (not !stop) && epoch >= floor && is_failed epoch then begin
+        Nvm.Region.blit_within t.region ~src:payload_off ~dst:addr ~len:size;
+        incr applied
+      end
+      else stop := true);
+  !applied

@@ -1,0 +1,56 @@
+(** The external undo log (§4.2).
+
+    An object-granularity undo log in its own slice of the persistent
+    region. When a node must be logged, its {e entire current image} is
+    appended and persisted (one [clwb] chain plus one [sfence]) {e before}
+    the node is modified. A node is logged at most once per epoch (the
+    caller tracks that via the node's logged-epoch field), so entries are
+    mutually independent and can be replayed in any order (§4.3).
+
+    The log is logically discarded at every checkpoint: the append cursor is
+    transient and truncation resets it to the start, which means the entries
+    of the epoch being rolled back always form a contiguous prefix of the
+    log area. Each entry carries its epoch and a checksum, so replay applies
+    exactly the prefix of intact entries belonging to the crashed epoch and
+    stops at the first stale or torn entry. *)
+
+type t
+
+exception Log_full
+(** Raised by {!append} when the entry does not fit; the caller reacts by
+    forcing a checkpoint (which truncates the log) and retrying. *)
+
+val attach : Nvm.Region.t -> t
+(** Attach to the region's log slice with the cursor at the start. Use after
+    [create] or at the start of recovery (replay does not need a cursor). *)
+
+val append : t -> epoch:int -> addr:int -> size:int -> unit
+(** Log the current image of the object at [addr .. addr+size): copy it into
+    the log, write the entry header, flush and fence. [size] must be a
+    positive multiple of 8. After [append] returns, the entry is durable. *)
+
+val truncate : t -> epoch:int -> unit
+(** Logically discard the log (run from a checkpoint subscriber): reset the
+    cursor and durably record [epoch] as the truncation floor, so stale
+    entries of older epochs that the new epoch does not overwrite can never
+    be replayed. *)
+
+val truncation_epoch : t -> int
+
+val replay : t -> is_failed:(int -> bool) -> int
+(** Copy every intact entry belonging to a failed epoch at or above the
+    truncation floor back to its home address; returns the number of
+    entries applied. Idempotent, and writes are not flushed — if recovery
+    crashes, it simply runs again (§4.3). *)
+
+val scan_entries : t -> (epoch:int -> addr:int -> size:int -> unit) -> unit
+(** Iterate the intact entry prefix (diagnostics and tests). *)
+
+(** {1 Statistics (Figure 7 measures logged-node counts)} *)
+
+val nodes_logged : t -> int
+(** Total successful appends since [attach]. *)
+
+val bytes_logged : t -> int
+val capacity : t -> int
+val used : t -> int

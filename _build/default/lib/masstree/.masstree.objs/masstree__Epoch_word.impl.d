@@ -1,0 +1,1 @@
+lib/masstree/epoch_word.ml: Int64 Util

@@ -1,0 +1,1 @@
+lib/masstree/hooks.mli:

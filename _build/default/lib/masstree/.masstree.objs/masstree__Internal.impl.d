@@ -1,0 +1,1 @@
+lib/masstree/internal.ml: Alloc Int64 Key Nvm Util

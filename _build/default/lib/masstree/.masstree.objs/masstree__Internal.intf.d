@@ -1,0 +1,1 @@
+lib/masstree/internal.mli: Alloc Nvm

@@ -1,0 +1,1 @@
+lib/masstree/key.ml: Char Int64 String

@@ -1,0 +1,1 @@
+lib/masstree/leaf.ml: Alloc Epoch_word Int64 Key Nvm Permutation Util Val_incll

@@ -1,0 +1,1 @@
+lib/masstree/leaf.mli: Alloc Epoch_word Nvm Permutation

@@ -1,0 +1,1 @@
+lib/masstree/permutation.ml: Array Format List String Util

@@ -1,0 +1,1 @@
+lib/masstree/tree.ml: Alloc Bytes Hooks Int64 Internal Key Leaf List Nvm Option Permutation Printf String

@@ -1,0 +1,1 @@
+lib/masstree/tree.mli: Alloc Hooks Nvm

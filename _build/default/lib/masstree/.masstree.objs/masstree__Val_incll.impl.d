@@ -1,0 +1,1 @@
+lib/masstree/val_incll.ml: Int64 Util

@@ -1,0 +1,16 @@
+type decoded = { epoch : int; ins_allowed : bool; logged : bool }
+
+let pack ~epoch ~ins_allowed ~logged =
+  let open Int64 in
+  logor
+    (logand (of_int epoch) (Util.Bits.mask 62))
+    (logor
+       (if ins_allowed then shift_left 1L 62 else 0L)
+       (if logged then shift_left 1L 63 else 0L))
+
+let unpack w =
+  {
+    epoch = Util.Bits.get_int w ~lo:0 ~width:62;
+    ins_allowed = Util.Bits.get w ~lo:62 ~width:1 = 1L;
+    logged = Util.Bits.get w ~lo:63 ~width:1 = 1L;
+  }

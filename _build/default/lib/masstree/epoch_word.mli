@@ -1,0 +1,13 @@
+(** The InCLLp control word (§4.1.1): [nodeEpoch] plus the two transient
+    booleans, packed into the word at leaf offset 64:
+
+    {v | logged (1) | insAllowed (1) | nodeEpoch (62) | v}
+
+    [insAllowed] and [logged] are "semantically transient and do not
+    require persistence ordering" (§4.1.2) — recovery never trusts them —
+    so sharing the epoch's word costs nothing. *)
+
+type decoded = { epoch : int; ins_allowed : bool; logged : bool }
+
+val pack : epoch:int -> ins_allowed:bool -> logged:bool -> int64
+val unpack : int64 -> decoded

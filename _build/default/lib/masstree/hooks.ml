@@ -1,0 +1,16 @@
+type t = {
+  on_leaf_access : leaf:int -> unit;
+  pre_leaf_insert : leaf:int -> unit;
+  pre_leaf_remove : leaf:int -> unit;
+  pre_leaf_update : leaf:int -> slot:int -> unit;
+  pre_structural : (int * int) list -> unit;
+}
+
+let transient =
+  {
+    on_leaf_access = (fun ~leaf:_ -> ());
+    pre_leaf_insert = (fun ~leaf:_ -> ());
+    pre_leaf_remove = (fun ~leaf:_ -> ());
+    pre_leaf_update = (fun ~leaf:_ ~slot:_ -> ());
+    pre_structural = (fun _ -> ());
+  }

@@ -1,0 +1,38 @@
+(** Persistence hooks: the seam between the Masstree substrate and the
+    paper's durability machinery.
+
+    The tree calls a hook {e before} each class of modification (and on
+    each leaf access, for lazy recovery). The [incll] library provides the
+    implementations: Listing 3 for the INCLL variant, log-everything for
+    the LOGGING variant, and {!transient} no-ops for MT / MT+. Keeping the
+    tree code hook-parameterised is what makes the paper's ablations
+    (Figures 7/8, §6.1) single-switch experiments.
+
+    Contract the tree upholds:
+    - [on_leaf_access] runs before any field of a leaf is read;
+    - [pre_*] hooks run before the corresponding mutation, and the hook may
+      itself write to the node (InCLL updates) or to the external log;
+    - for structural changes, {e all} pre-existing nodes about to be
+      mutated are announced in one [pre_structural] call before any of
+      them is touched (freshly allocated nodes are exempt — epoch rollback
+      reclaims them via the allocator); a hook may force a checkpoint
+      internally (e.g. on a full log), so the tree must not cache epoch
+      numbers across a hook call. *)
+
+type t = {
+  on_leaf_access : leaf:int -> unit;
+      (** Lazy recovery check (Listing 4's [lazyNodeRecovery]). *)
+  pre_leaf_insert : leaf:int -> unit;
+      (** Before activating a free slot (writes keys/vals/permutation). *)
+  pre_leaf_remove : leaf:int -> unit;
+      (** Before deactivating a slot (writes permutation only). *)
+  pre_leaf_update : leaf:int -> slot:int -> unit;
+      (** Before overwriting [vals\[slot\]]. *)
+  pre_structural : (int * int) list -> unit;
+      (** Before a split or root change mutates the listed pre-existing
+          [(address, size)] objects (tree nodes and/or the superblock root
+          line). *)
+}
+
+val transient : t
+(** No-op hooks: the MT / MT+ baselines. *)

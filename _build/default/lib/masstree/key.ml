@@ -1,0 +1,44 @@
+type slice = { bits : int64; len : int }
+
+let layer_link_len = 15
+let suffix_len_marker = 9
+
+let slice_at key ~layer =
+  let off = 8 * layer in
+  let klen = String.length key in
+  if off > klen then invalid_arg "Key.slice_at: layer beyond key";
+  let len = min 8 (klen - off) in
+  let bits = ref 0L in
+  for i = 0 to len - 1 do
+    bits :=
+      Int64.logor
+        (Int64.shift_left !bits 8)
+        (Int64.of_int (Char.code key.[off + i]))
+  done;
+  (* Left-align: pad the low bytes with zeros so shorter slices compare as
+     prefixes. *)
+  { bits = Int64.shift_left !bits (8 * (8 - len)); len }
+
+let has_suffix key ~layer = String.length key > 8 * (layer + 1)
+
+let suffix key ~layer =
+  let off = 8 * (layer + 1) in
+  String.sub key off (String.length key - off)
+
+let compare_slices = Int64.unsigned_compare
+
+let compare_entry s1 l1 s2 l2 =
+  let c = compare_slices s1 s2 in
+  if c <> 0 then c else compare (l1 : int) l2
+
+let bytes_of_slice bits ~len =
+  String.init len (fun i ->
+      Char.chr
+        (Int64.to_int
+           (Int64.logand (Int64.shift_right_logical bits (8 * (7 - i))) 0xffL)))
+
+let of_int64 v = bytes_of_slice v ~len:8
+
+let to_int64 s =
+  if String.length s <> 8 then invalid_arg "Key.to_int64: need 8 bytes";
+  (slice_at s ~layer:0).bits

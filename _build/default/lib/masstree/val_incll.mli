@@ -1,0 +1,27 @@
+(** The packed value-InCLL word (§4.1.3, Listing 2's [ValInCLL]).
+
+    One 64-bit word logs one value-pointer overwrite:
+
+    {v
+    | lowNodeEpoch (16) | pointer>>4 (44) | idx (4) |
+     63               48 47             4 3        0
+    v}
+
+    The paper steals the canonical-form upper bits of an x64 pointer and
+    the low bits guaranteed by 16-byte alignment; our region offsets are
+    16-byte aligned and far below 2^48, so the same packing applies. [idx]
+    identifies which of the seven value slots sharing the cache line was
+    logged; 15 ([invalid_idx]) means "unused". The 16 epoch bits combine
+    with the high bits of the node's [nodeEpoch] (§4.1.3). *)
+
+type decoded = { ptr : int; idx : int; low_epoch : int }
+
+val invalid_idx : int
+
+val pack : ptr:int -> idx:int -> low_epoch:int -> int64
+val unpack : int64 -> decoded
+
+val invalid : low_epoch:int -> int64
+(** An unused InCLL stamped with the epoch's low bits. *)
+
+val is_invalid : int64 -> bool

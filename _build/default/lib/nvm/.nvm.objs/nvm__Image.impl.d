@@ -1,0 +1,1 @@
+lib/nvm/image.ml: Bytes Config Fun Int64 Region

@@ -1,0 +1,1 @@
+lib/nvm/image.mli: Config Region

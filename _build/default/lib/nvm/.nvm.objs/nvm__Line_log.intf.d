@@ -1,0 +1,1 @@
+lib/nvm/line_log.mli: Bytes

@@ -1,0 +1,1 @@
+lib/nvm/region.ml: Array Bytes Char Config Line_log List Printf Stats Util

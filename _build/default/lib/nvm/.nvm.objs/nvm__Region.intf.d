@@ -1,0 +1,1 @@
+lib/nvm/region.mli: Bytes Config Stats Util

@@ -1,0 +1,1 @@
+lib/nvm/superblock.ml: Int64 Layout Region

@@ -1,0 +1,62 @@
+(** Map of the persistent region.
+
+    {v
+    [ superblock: 4 KiB ][ external log ][ heap ... ]
+    v}
+
+    The superblock holds the durable roots of every subsystem. Fields that
+    are modified together with their own InCLL undo copy are grouped into a
+    single cache line each, because the InCLL technique requires the datum
+    and its log to share a line. *)
+
+val superblock_bytes : int
+
+(** {1 Superblock fields (byte offsets)} *)
+
+val off_magic : int
+val off_format : int
+val off_size : int
+
+val off_durable_epoch : int
+(** The global epoch index, durably advanced at each checkpoint (§4). Lives
+    in its own line so the bump can be flushed independently. *)
+
+val off_failed_count : int
+
+val failed_epoch_slot : int -> int
+(** Offset of the i-th entry of the durable failed-epoch set. *)
+
+val max_failed_epochs : int
+
+val off_root : int
+(** Root pointer of the durable Masstree; its whole line is protected by the
+    external log on structural root changes. *)
+
+val off_root_meta : int
+(** Auxiliary root metadata word (same line as the root pointer). *)
+
+val off_bump : int
+(** Heap wilderness bump pointer; [off_bump_incll] and [off_bump_epoch]
+    share its cache line so bump movements are InCLL-logged (§5). *)
+
+val off_bump_incll : int
+val off_bump_epoch : int
+
+val alloc_class_free_line : int -> int
+(** Offset of the free-list metadata line of size class [i]:
+    head at +0, headInCLL at +8, headEpoch at +16. *)
+
+val alloc_class_limbo_line : int -> int
+(** Offset of the limbo-list (epoch-based reclamation) metadata line of size
+    class [i]; same field layout as the free line. *)
+
+val max_size_classes : int
+
+(** {1 Region slices} *)
+
+val extlog_off : int
+val heap_off : Config.t -> int
+val heap_len : Config.t -> int
+
+val magic : int64
+val format_version : int64

@@ -1,0 +1,58 @@
+(* Each entry packs (off:7 bits | len:8 bits | payload_pos:rest) into one
+   int; payloads are stored back to back in a growable byte buffer. *)
+
+type t = {
+  mutable meta : int array;
+  mutable n : int;
+  mutable payload : Bytes.t;
+  mutable payload_len : int;
+}
+
+let create () =
+  { meta = Array.make 8 0; n = 0; payload = Bytes.create 64; payload_len = 0 }
+
+let count t = t.n
+let payload_bytes t = t.payload_len
+
+let ensure_meta t =
+  if t.n = Array.length t.meta then begin
+    let meta = Array.make (t.n * 2) 0 in
+    Array.blit t.meta 0 meta 0 t.n;
+    t.meta <- meta
+  end
+
+let ensure_payload t extra =
+  let needed = t.payload_len + extra in
+  if needed > Bytes.length t.payload then begin
+    let cap = ref (Bytes.length t.payload * 2) in
+    while !cap < needed do
+      cap := !cap * 2
+    done;
+    let payload = Bytes.create !cap in
+    Bytes.blit t.payload 0 payload 0 t.payload_len;
+    t.payload <- payload
+  end
+
+let append t ~off ~src ~src_pos ~len =
+  if off < 0 || len <= 0 || off + len > Config.line_size then
+    invalid_arg "Line_log.append: write does not fit in a line";
+  ensure_meta t;
+  ensure_payload t len;
+  t.meta.(t.n) <- off lor (len lsl 7) lor (t.payload_len lsl 15);
+  t.n <- t.n + 1;
+  Bytes.blit src src_pos t.payload t.payload_len len;
+  t.payload_len <- t.payload_len + len
+
+let apply_prefix t ~k ~dst ~dst_pos =
+  if k < 0 || k > t.n then invalid_arg "Line_log.apply_prefix";
+  for i = 0 to k - 1 do
+    let m = Array.unsafe_get t.meta i in
+    let off = m land 0x7f in
+    let len = (m lsr 7) land 0xff in
+    let pos = m lsr 15 in
+    Bytes.blit t.payload pos dst (dst_pos + off) len
+  done
+
+let clear t =
+  t.n <- 0;
+  t.payload_len <- 0

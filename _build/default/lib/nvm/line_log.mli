@@ -1,0 +1,28 @@
+(** Pending-write log of one dirty cache line.
+
+    PCSO (§2.1) guarantees that two writes to the same cache line reach NVM
+    in program order. The simulator realises this by recording, for every
+    dirty line, the program-ordered sequence of stores since the line was
+    last written back. On a crash, an arbitrary {e prefix} of that sequence
+    is applied to the line's persisted image — independently per line, which
+    is exactly the PCSO granularity guarantee and nothing stronger. *)
+
+type t
+
+val create : unit -> t
+
+val count : t -> int
+(** Number of pending writes. *)
+
+val payload_bytes : t -> int
+(** Total payload bytes retained (used to bound memory via eviction). *)
+
+val append : t -> off:int -> src:Bytes.t -> src_pos:int -> len:int -> unit
+(** Record a store of [len] bytes at line-relative offset [off] whose value
+    is [src\[src_pos .. src_pos+len-1\]]. *)
+
+val apply_prefix : t -> k:int -> dst:Bytes.t -> dst_pos:int -> unit
+(** Apply the first [k] pending writes (in program order) to the persisted
+    line image starting at [dst_pos]. [k] may range over [0 .. count]. *)
+
+val clear : t -> unit

@@ -1,0 +1,310 @@
+type addr = int
+
+type t = {
+  cfg : Config.t;
+  nlines : int;
+  volatile : Bytes.t;
+  persisted : Bytes.t;  (* unused (length 0) in Counting mode *)
+  dirty : Bytes.t;  (* one byte per line: 0 clean, 1 dirty *)
+  dirty_list : Util.Ivec.t;  (* line ids, unordered *)
+  dirty_pos : int array;  (* line -> index in dirty_list, -1 if clean *)
+  logs : Line_log.t option array;  (* Precise mode: log per dirty line *)
+  pending_wb : Util.Ivec.t;  (* lines clwb'd since the last sfence *)
+  evict_rng : Util.Rng.t;
+  stats : Stats.t;
+  scratch : Bytes.t;  (* 8-byte staging buffer for word stores *)
+  mutable sfence_extra_ns : float;  (* runtime-adjustable emulated latency *)
+  (* Direct-mapped LLC tag array: models capacity misses so locality has a
+     price. Tag slots hold line ids (+1; 0 = empty). *)
+  llc_tags : int array;
+  llc_mask : int;
+}
+
+let line_of_addr addr = addr lsr Config.line_shift
+let same_line a b = line_of_addr a = line_of_addr b
+
+let precise t = t.cfg.Config.crash_support = Config.Precise
+
+let create (cfg : Config.t) =
+  if cfg.size_bytes <= 0 || cfg.size_bytes land (Config.line_size - 1) <> 0
+  then invalid_arg "Region.create: size must be a positive multiple of 64";
+  let nlines = cfg.size_bytes / Config.line_size in
+  {
+    cfg;
+    nlines;
+    volatile = Bytes.make cfg.size_bytes '\000';
+    persisted =
+      (match cfg.crash_support with
+      | Config.Precise -> Bytes.make cfg.size_bytes '\000'
+      | Config.Counting -> Bytes.create 0);
+    dirty = Bytes.make nlines '\000';
+    dirty_list = Util.Ivec.create ~capacity:1024 ();
+    dirty_pos = Array.make nlines (-1);
+    logs = Array.make (if cfg.crash_support = Config.Precise then nlines else 0) None;
+    pending_wb = Util.Ivec.create ~capacity:64 ();
+    evict_rng = Util.Rng.create ~seed:0x5eed_ca5e;
+    stats = Stats.create ();
+    scratch = Bytes.create 8;
+    sfence_extra_ns = cfg.cost.Config.sfence_extra_ns;
+    (* 2^18 slots x 64 B = a 16 MiB simulated LLC. *)
+    llc_tags = Array.make 262144 0;
+    llc_mask = 262143;
+  }
+
+let config t = t.cfg
+let stats t = t.stats
+let size t = t.cfg.Config.size_bytes
+let dirty_line_count t = Util.Ivec.length t.dirty_list
+let is_dirty_line t line = Bytes.unsafe_get t.dirty line <> '\000'
+
+(* --- dirty tracking ------------------------------------------------- *)
+
+let commit_line t line =
+  if Bytes.unsafe_get t.dirty line = '\001' then begin
+    if precise t then begin
+      let pos = line * Config.line_size in
+      Bytes.blit t.volatile pos t.persisted pos Config.line_size;
+      (match t.logs.(line) with Some log -> Line_log.clear log | None -> ())
+    end;
+    Bytes.unsafe_set t.dirty line '\000';
+    let idx = t.dirty_pos.(line) in
+    let moved = Util.Ivec.swap_remove t.dirty_list idx in
+    if moved >= 0 then t.dirty_pos.(moved) <- idx;
+    t.dirty_pos.(line) <- -1;
+    t.stats.Stats.lines_committed <- t.stats.Stats.lines_committed + 1
+  end
+
+let evict_some t =
+  let n = dirty_line_count t in
+  if n > 0 then begin
+    let batch = min t.cfg.Config.evict_batch n in
+    for _ = 1 to batch do
+      let remaining = dirty_line_count t in
+      if remaining > 0 then begin
+        let victim =
+          Util.Ivec.get t.dirty_list (Util.Rng.int t.evict_rng remaining)
+        in
+        commit_line t victim;
+        t.stats.Stats.evictions <- t.stats.Stats.evictions + 1
+      end
+    done
+  end
+
+let mark_dirty t line =
+  if Bytes.unsafe_get t.dirty line = '\000' then begin
+    Bytes.unsafe_set t.dirty line '\001';
+    t.dirty_pos.(line) <- Util.Ivec.length t.dirty_list;
+    Util.Ivec.push t.dirty_list line;
+    match t.cfg.Config.max_dirty_lines with
+    | Some cap when dirty_line_count t > cap -> evict_some t
+    | _ -> ()
+  end
+
+let log_of_line t line =
+  match t.logs.(line) with
+  | Some log -> log
+  | None ->
+      let log = Line_log.create () in
+      t.logs.(line) <- Some log;
+      log
+
+(* Record one intra-line store in Precise mode, evicting the line first if
+   its pending log outgrew the configured bound (a legal cache behaviour
+   that keeps simulator memory bounded). *)
+let record_store t line ~off ~src ~src_pos ~len =
+  let log = log_of_line t line in
+  if Line_log.payload_bytes log > t.cfg.Config.max_line_log_bytes then begin
+    commit_line t line;
+    t.stats.Stats.evictions <- t.stats.Stats.evictions + 1
+  end;
+  Line_log.append (log_of_line t line) ~off ~src ~src_pos ~len
+
+let check_range t addr len =
+  if addr < 0 || len < 0 || addr + len > t.cfg.Config.size_bytes then
+    invalid_arg
+      (Printf.sprintf "Region: address range [%d, %d) out of bounds" addr
+         (addr + len))
+
+let touch_llc t line =
+  let slot = line land t.llc_mask in
+  let tag = line + 1 in
+  if Array.unsafe_get t.llc_tags slot <> tag then begin
+    Array.unsafe_set t.llc_tags slot tag;
+    Stats.add_ns t.stats t.cfg.Config.cost.Config.mem_miss_ns
+  end
+
+(* Store [len] bytes from src at [addr]; caller guarantees the span stays
+   within one cache line. *)
+let store_in_line t addr ~src ~src_pos ~len =
+  let line = line_of_addr addr in
+  touch_llc t line;
+  Bytes.blit src src_pos t.volatile addr len;
+  if precise t then
+    record_store t line ~off:(addr land (Config.line_size - 1)) ~src ~src_pos
+      ~len;
+  mark_dirty t line;
+  t.stats.Stats.writes <- t.stats.Stats.writes + 1;
+  t.stats.Stats.bytes_written <- t.stats.Stats.bytes_written + len;
+  Stats.add_ns t.stats t.cfg.Config.cost.Config.write_ns
+
+(* --- loads and stores ------------------------------------------------ *)
+
+let charge_read t addr =
+  t.stats.Stats.reads <- t.stats.Stats.reads + 1;
+  Stats.add_ns t.stats t.cfg.Config.cost.Config.read_ns;
+  touch_llc t (line_of_addr addr)
+
+let read_i64 t addr =
+  check_range t addr 8;
+  charge_read t addr;
+  Bytes.get_int64_le t.volatile addr
+
+let write_i64 t addr v =
+  check_range t addr 8;
+  if addr land 7 <> 0 then invalid_arg "Region.write_i64: unaligned";
+  Bytes.set_int64_le t.scratch 0 v;
+  store_in_line t addr ~src:t.scratch ~src_pos:0 ~len:8
+
+let read_u8 t addr =
+  check_range t addr 1;
+  charge_read t addr;
+  Char.code (Bytes.get t.volatile addr)
+
+let write_u8 t addr v =
+  check_range t addr 1;
+  Bytes.set t.scratch 0 (Char.chr (v land 0xff));
+  store_in_line t addr ~src:t.scratch ~src_pos:0 ~len:1
+
+let write_span t addr src src_pos len =
+  (* Split a multi-line store into per-line stores, in address order. *)
+  let rec loop addr src_pos remaining =
+    if remaining > 0 then begin
+      let line_end = (line_of_addr addr + 1) * Config.line_size in
+      let chunk = min remaining (line_end - addr) in
+      store_in_line t addr ~src ~src_pos ~len:chunk;
+      loop (addr + chunk) (src_pos + chunk) (remaining - chunk)
+    end
+  in
+  loop addr src_pos len
+
+let write_bytes t addr b =
+  let len = Bytes.length b in
+  check_range t addr len;
+  write_span t addr b 0 len
+
+let read_bytes t addr ~len =
+  check_range t addr len;
+  Bytes.sub t.volatile addr len
+
+let blit_to_buf t addr buf ~pos ~len =
+  check_range t addr len;
+  Bytes.blit t.volatile addr buf pos len
+
+let blit_within t ~src ~dst ~len =
+  check_range t src len;
+  check_range t dst len;
+  let tmp = Bytes.sub t.volatile src len in
+  write_span t dst tmp 0 len
+
+(* --- persistence instructions ---------------------------------------- *)
+
+let clwb t addr =
+  check_range t addr 1;
+  let line = line_of_addr addr in
+  Util.Ivec.push t.pending_wb line;
+  t.stats.Stats.clwb <- t.stats.Stats.clwb + 1;
+  Stats.add_ns t.stats t.cfg.Config.cost.Config.clwb_ns
+
+let sfence t =
+  Util.Ivec.iter (fun line -> commit_line t line) t.pending_wb;
+  Util.Ivec.clear t.pending_wb;
+  t.stats.Stats.sfence <- t.stats.Stats.sfence + 1;
+  let c = t.cfg.Config.cost in
+  Stats.add_ns t.stats (c.Config.sfence_ns +. t.sfence_extra_ns)
+
+let release_fence t =
+  (* Same-line ordering is already program order in this simulator; the
+     release fence exists so call sites mirror the paper's Listing 3. *)
+  t.stats.Stats.release_fence <- t.stats.Stats.release_fence + 1
+
+let wbinvd t =
+  let ndirty = dirty_line_count t in
+  (* commit_line swap-removes from the list; drain from the back. *)
+  while dirty_line_count t > 0 do
+    let line = Util.Ivec.get t.dirty_list (dirty_line_count t - 1) in
+    commit_line t line
+  done;
+  Util.Ivec.clear t.pending_wb;
+  (* Real wbinvd also invalidates, but the post-flush refill of a 19 MB
+     L3 over a 64 ms epoch costs the paper's machine ~1%; at this
+     simulator's compressed epoch scale the same modelling would charge
+     10-20%, so the invalidation side effect is deliberately not
+     modelled (see DESIGN.md "scaling trilemma"). *)
+  t.stats.Stats.wbinvd <- t.stats.Stats.wbinvd + 1;
+  t.stats.Stats.wbinvd_lines <- t.stats.Stats.wbinvd_lines + ndirty;
+  let c = t.cfg.Config.cost in
+  Stats.add_ns t.stats
+    (c.Config.wbinvd_base_ns
+    +. (float_of_int ndirty *. c.Config.wbinvd_per_line_ns))
+
+let charge_op t = Stats.add_ns t.stats t.cfg.Config.cost.Config.op_base_ns
+
+let set_sfence_extra_ns t ns = t.sfence_extra_ns <- ns
+let advance_clock t ns = Stats.add_ns t.stats ns
+
+(* --- crash injection -------------------------------------------------- *)
+
+let crash_with t ~choose =
+  if not (precise t) then
+    failwith "Region.crash: region was created in Counting mode";
+  while dirty_line_count t > 0 do
+    let line = Util.Ivec.get t.dirty_list (dirty_line_count t - 1) in
+    (match t.logs.(line) with
+    | Some log ->
+        let n = Line_log.count log in
+        let k = choose ~line ~nwrites:n in
+        if k < 0 || k > n then invalid_arg "Region.crash_with: bad prefix";
+        Line_log.apply_prefix log ~k ~dst:t.persisted
+          ~dst_pos:(line * Config.line_size);
+        Line_log.clear log
+    | None -> ());
+    (* Remove from the dirty set without committing volatile content. *)
+    Bytes.unsafe_set t.dirty line '\000';
+    let idx = t.dirty_pos.(line) in
+    let moved = Util.Ivec.swap_remove t.dirty_list idx in
+    if moved >= 0 then t.dirty_pos.(moved) <- idx;
+    t.dirty_pos.(line) <- -1
+  done;
+  Util.Ivec.clear t.pending_wb;
+  Bytes.blit t.persisted 0 t.volatile 0 (Bytes.length t.persisted);
+  t.stats.Stats.crashes <- t.stats.Stats.crashes + 1
+
+let crash t rng =
+  crash_with t ~choose:(fun ~line:_ ~nwrites -> Util.Rng.int rng (nwrites + 1))
+
+let crash_persist_none t = crash_with t ~choose:(fun ~line:_ ~nwrites:_ -> 0)
+let crash_persist_all t = crash_with t ~choose:(fun ~line:_ ~nwrites -> nwrites)
+
+(* Install a reboot image: both views equal [image], cache empty. Used by
+   Image.load; not part of the simulated instruction set. *)
+let install_image t image =
+  if not (precise t) then failwith "Region.install_image: Counting mode";
+  let n = Bytes.length image in
+  if n > Bytes.length t.volatile then invalid_arg "Region.install_image";
+  Bytes.blit image 0 t.volatile 0 n;
+  Bytes.blit image 0 t.persisted 0 n
+
+let pending_writes t =
+  if not (precise t) then failwith "Region.pending_writes: Counting mode";
+  let acc = ref [] in
+  Util.Ivec.iter
+    (fun line ->
+      let n = match t.logs.(line) with Some l -> Line_log.count l | None -> 0 in
+      acc := (line, n) :: !acc)
+    t.dirty_list;
+  List.sort compare !acc
+
+let read_persisted_i64 t addr =
+  if not (precise t) then
+    failwith "Region.read_persisted_i64: Counting mode";
+  Bytes.get_int64_le t.persisted addr

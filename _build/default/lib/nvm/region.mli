@@ -1,0 +1,109 @@
+(** The simulated persistent region: a byte-addressable NVM address space
+    behind a write-back CPU cache.
+
+    Two images are maintained: the {e volatile} image (what loads observe —
+    cache plus memory, i.e. the most recent stores) and the {e persisted}
+    image (what would survive a power failure). Stores update the volatile
+    image and dirty the containing 64-byte line; a line's content reaches
+    the persisted image when it is written back — by [clwb]+[sfence], by a
+    capacity eviction, or by the global [wbinvd] flush. On a {!crash}, each
+    dirty line persists an arbitrary program-order prefix of its pending
+    stores (the PCSO model, §2.1), the volatile image is discarded, and
+    execution must recover from the persisted image alone.
+
+    Addresses are byte offsets into the region; offset 0 plays the role of
+    the null pointer and is never handed out by allocators. A region is
+    owned by a single domain (the sharded store gives each domain its own
+    region). *)
+
+type t
+
+type addr = int
+(** Byte offset into the region. *)
+
+val create : Config.t -> t
+(** Fresh region, zero-filled, both images identical, nothing dirty. *)
+
+val config : t -> Config.t
+val stats : t -> Stats.t
+val size : t -> int
+
+val line_of_addr : addr -> int
+val same_line : addr -> addr -> bool
+val dirty_line_count : t -> int
+val is_dirty_line : t -> int -> bool
+
+(** {1 Loads and stores (volatile image)} *)
+
+val read_i64 : t -> addr -> int64
+val write_i64 : t -> addr -> int64 -> unit
+(** [addr] must be 8-byte aligned, so a word never straddles lines. *)
+
+val read_u8 : t -> addr -> int
+val write_u8 : t -> addr -> int -> unit
+
+val read_bytes : t -> addr -> len:int -> Bytes.t
+val write_bytes : t -> addr -> Bytes.t -> unit
+(** Multi-line stores are split into per-line stores in address order. *)
+
+val blit_to_buf : t -> addr -> Bytes.t -> pos:int -> len:int -> unit
+val blit_within : t -> src:addr -> dst:addr -> len:int -> unit
+(** Volatile-image copy, recorded as stores to the destination lines. *)
+
+(** {1 Persistence instructions} *)
+
+val clwb : t -> addr -> unit
+(** Initiate an asynchronous write-back of the line containing [addr]. The
+    line is guaranteed persisted only after the next {!sfence}. *)
+
+val sfence : t -> unit
+(** Drain: every line [clwb]'d since the previous fence is committed to the
+    persisted image. Expensive — a full NVM round trip (plus the emulated
+    extra latency of Figures 3/8). *)
+
+val release_fence : t -> unit
+(** C++11 release fence: restricts compiler reordering only; free at run
+    time and {e does not} persist anything (§2.1). Counted for reporting. *)
+
+val wbinvd : t -> unit
+(** Global cache flush: commits every dirty line (§4, §6.2). Cost is
+    [wbinvd_base_ns + dirty_lines * wbinvd_per_line_ns]. *)
+
+val charge_op : t -> unit
+(** Advance the simulated clock by the per-operation baseline cost. *)
+
+val set_sfence_extra_ns : t -> float -> unit
+(** Adjust the emulated NVM latency at run time (the Figures 3/8 sweeps
+    change it between measurement windows on one populated store). *)
+
+val advance_clock : t -> float -> unit
+
+(** {1 Crash injection (Precise mode only)} *)
+
+val crash : t -> Util.Rng.t -> unit
+(** Power failure: for each dirty line, an independently chosen uniform
+    prefix of its pending stores is applied to the persisted image; then
+    the volatile image is reloaded from the persisted one and all cache
+    state is lost. *)
+
+val crash_with : t -> choose:(line:int -> nwrites:int -> int) -> unit
+(** Adversarial crash: [choose ~line ~nwrites] picks how many of the
+    pending stores of [line] persist (0..nwrites). *)
+
+val crash_persist_none : t -> unit
+(** Deterministic worst case: no pending store persists. *)
+
+val crash_persist_all : t -> unit
+(** Deterministic best case: every pending store persists (equivalent to a
+    flush followed by a clean restart). *)
+
+val install_image : t -> Bytes.t -> unit
+(** Used by {!Image.load}: set both views to a reboot image with a cold
+    cache. Precise mode only. *)
+
+val pending_writes : t -> (int * int) list
+(** Dirty lines and their pending-store counts, sorted by line id (drives
+    the systematic crash-state enumeration in the tests). *)
+
+val read_persisted_i64 : t -> addr -> int64
+(** Inspect the persisted image (white-box testing only). *)

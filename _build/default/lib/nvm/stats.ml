@@ -1,0 +1,85 @@
+type t = {
+  mutable writes : int;
+  mutable reads : int;
+  mutable bytes_written : int;
+  mutable clwb : int;
+  mutable sfence : int;
+  mutable release_fence : int;
+  mutable wbinvd : int;
+  mutable wbinvd_lines : int;
+  mutable lines_committed : int;
+  mutable evictions : int;
+  mutable crashes : int;
+  mutable sim_ns : float;
+}
+
+let create () =
+  {
+    writes = 0;
+    reads = 0;
+    bytes_written = 0;
+    clwb = 0;
+    sfence = 0;
+    release_fence = 0;
+    wbinvd = 0;
+    wbinvd_lines = 0;
+    lines_committed = 0;
+    evictions = 0;
+    crashes = 0;
+    sim_ns = 0.0;
+  }
+
+let reset t =
+  t.writes <- 0;
+  t.reads <- 0;
+  t.bytes_written <- 0;
+  t.clwb <- 0;
+  t.sfence <- 0;
+  t.release_fence <- 0;
+  t.wbinvd <- 0;
+  t.wbinvd_lines <- 0;
+  t.lines_committed <- 0;
+  t.evictions <- 0;
+  t.crashes <- 0;
+  t.sim_ns <- 0.0
+
+let add_ns t ns = t.sim_ns <- t.sim_ns +. ns
+
+let snapshot t =
+  {
+    writes = t.writes;
+    reads = t.reads;
+    bytes_written = t.bytes_written;
+    clwb = t.clwb;
+    sfence = t.sfence;
+    release_fence = t.release_fence;
+    wbinvd = t.wbinvd;
+    wbinvd_lines = t.wbinvd_lines;
+    lines_committed = t.lines_committed;
+    evictions = t.evictions;
+    crashes = t.crashes;
+    sim_ns = t.sim_ns;
+  }
+
+let diff ~after ~before =
+  {
+    writes = after.writes - before.writes;
+    reads = after.reads - before.reads;
+    bytes_written = after.bytes_written - before.bytes_written;
+    clwb = after.clwb - before.clwb;
+    sfence = after.sfence - before.sfence;
+    release_fence = after.release_fence - before.release_fence;
+    wbinvd = after.wbinvd - before.wbinvd;
+    wbinvd_lines = after.wbinvd_lines - before.wbinvd_lines;
+    lines_committed = after.lines_committed - before.lines_committed;
+    evictions = after.evictions - before.evictions;
+    crashes = after.crashes - before.crashes;
+    sim_ns = after.sim_ns -. before.sim_ns;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "writes=%d reads=%d bytes=%d clwb=%d sfence=%d release=%d wbinvd=%d committed=%d \
+     evictions=%d crashes=%d sim_ms=%.3f"
+    t.writes t.reads t.bytes_written t.clwb t.sfence t.release_fence t.wbinvd
+    t.lines_committed t.evictions t.crashes (t.sim_ns /. 1e6)

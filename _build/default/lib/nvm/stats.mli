@@ -1,0 +1,34 @@
+(** Persistence-event statistics and the simulated clock.
+
+    The paper's latency figures (3 and 8) emulate slower NVM by adding a
+    delay after each [sfence]. In this reproduction the equivalent is a
+    virtual clock: every simulated-hardware event advances [sim_ns] by its
+    cost-model price, so "throughput under emulated latency" is
+    [ops / sim_seconds] and depends only on counted events — exactly the
+    quantity the paper sweeps. *)
+
+type t = {
+  mutable writes : int;  (** Individual store instructions to NVM space. *)
+  mutable reads : int;  (** Individual load instructions from NVM space. *)
+  mutable bytes_written : int;
+  mutable clwb : int;  (** Asynchronous line write-back initiations. *)
+  mutable sfence : int;  (** Draining fences (full NVM round trips). *)
+  mutable release_fence : int;  (** Compiler-only fences: free at run time. *)
+  mutable wbinvd : int;  (** Global cache flushes (one per epoch). *)
+  mutable wbinvd_lines : int;  (** Dirty lines written back by those flushes. *)
+  mutable lines_committed : int;
+      (** Lines whose volatile content reached the persisted image, for any
+          reason (clwb+sfence, eviction, wbinvd). *)
+  mutable evictions : int;  (** Capacity write-backs by cache replacement. *)
+  mutable crashes : int;
+  mutable sim_ns : float;  (** Simulated elapsed time. *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val add_ns : t -> float -> unit
+val diff : after:t -> before:t -> t
+(** Event-count difference (for measuring a window; [sim_ns] also differs). *)
+
+val snapshot : t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,15 @@
+let format region =
+  Region.write_i64 region Layout.off_magic Layout.magic;
+  Region.write_i64 region Layout.off_format Layout.format_version;
+  Region.write_i64 region Layout.off_size
+    (Int64.of_int (Region.size region));
+  Region.clwb region Layout.off_magic;
+  Region.sfence region
+
+let is_formatted region =
+  Region.read_i64 region Layout.off_magic = Layout.magic
+  && Region.read_i64 region Layout.off_format = Layout.format_version
+
+let check region =
+  if not (is_formatted region) then
+    failwith "Superblock.check: region is not a formatted InCLL region"

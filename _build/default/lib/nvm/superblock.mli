@@ -1,0 +1,13 @@
+(** Superblock lifecycle: formatting and opening a persistent region. *)
+
+val format : Region.t -> unit
+(** Write magic, format version and region size, and flush them durably.
+    Must be called exactly once on a fresh region before any other
+    subsystem initialises its superblock fields. *)
+
+val is_formatted : Region.t -> bool
+(** True when the magic and format version match (used after a crash to
+    decide between recovery and formatting). *)
+
+val check : Region.t -> unit
+(** Raise [Failure] when the region is not a formatted InCLL region. *)

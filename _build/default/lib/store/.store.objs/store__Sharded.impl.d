@@ -1,0 +1,1 @@
+lib/store/sharded.ml: Array Float Incll Int64 List Masstree Nvm

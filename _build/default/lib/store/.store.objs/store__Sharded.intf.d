@@ -1,0 +1,1 @@
+lib/store/sharded.mli: Incll Util

@@ -1,0 +1,79 @@
+type t = {
+  variant : Incll.System.variant;
+  mutable shards : Incll.System.t array;
+}
+
+let create ?config variant ~shards =
+  if shards <= 0 then invalid_arg "Sharded.create";
+  {
+    variant;
+    shards = Array.init shards (fun _ -> Incll.System.create ?config variant);
+  }
+
+let of_system sys =
+  { variant = Incll.System.variant sys; shards = [| sys |] }
+
+let nshards t = Array.length t.shards
+let shard t i = t.shards.(i)
+let variant t = t.variant
+
+(* Monotone map from the first key slice to a shard index: multiply the
+   top 32 bits by the shard count. *)
+let shard_of_key t key =
+  let n = Array.length t.shards in
+  if n = 1 then 0
+  else begin
+    let bits = (Masstree.Key.slice_at key ~layer:0).Masstree.Key.bits in
+    let top = Int64.to_int (Int64.shift_right_logical bits 32) in
+    (top * n) lsr 32
+  end
+
+let put t ~key ~value =
+  Incll.System.put t.shards.(shard_of_key t key) ~key ~value
+
+let get t ~key = Incll.System.get t.shards.(shard_of_key t key) ~key
+let remove t ~key = Incll.System.remove t.shards.(shard_of_key t key) ~key
+
+let scan t ~start ~n =
+  let rec gather i start acc need =
+    if need <= 0 || i >= Array.length t.shards then List.rev acc
+    else begin
+      let part = Incll.System.scan t.shards.(i) ~start ~n:need in
+      let acc = List.rev_append part acc in
+      gather (i + 1) "" acc (need - List.length part)
+    end
+  in
+  gather (shard_of_key t start) start [] n
+
+let scan_rev t ?bound ~n () =
+  (* Walk shards from the bound's owner downwards. *)
+  let start_shard =
+    match bound with Some b -> shard_of_key t b | None -> Array.length t.shards - 1
+  in
+  let rec gather i bound acc need =
+    if need <= 0 || i < 0 then List.rev acc
+    else begin
+      let part = Incll.System.scan_rev t.shards.(i) ?bound ~n:need () in
+      let acc = List.rev_append part acc in
+      gather (i - 1) None acc (need - List.length part)
+    end
+  in
+  gather start_shard bound [] n
+
+let advance_epochs t = Array.iter Incll.System.advance_epoch t.shards
+let crash t rng = Array.iter (fun s -> Incll.System.crash s rng) t.shards
+
+let recover t =
+  { t with shards = Array.map Incll.System.recover t.shards }
+
+let sim_ns s =
+  (Nvm.Region.stats (Incll.System.region s)).Nvm.Stats.sim_ns
+
+let total_sim_ns t = Array.fold_left (fun a s -> a +. sim_ns s) 0.0 t.shards
+
+let max_sim_ns t = Array.fold_left (fun a s -> Float.max a (sim_ns s)) 0.0 t.shards
+
+let cardinal t =
+  Array.fold_left
+    (fun a s -> a + Masstree.Tree.cardinal (Incll.System.tree s))
+    0 t.shards

@@ -1,0 +1,53 @@
+(** Range-sharded multi-tree store: the concurrency substitute documented
+    in DESIGN.md §1.
+
+    The paper's Masstree uses optimistic concurrency control inside one
+    tree; this reproduction instead range-partitions the key space over
+    [n] independent durable systems, one per domain. Each shard owns its
+    region, cache simulation, epoch clock and external log, so the
+    persistence machinery — the paper's contribution — runs unchanged and
+    unsynchronised inside every shard.
+
+    Sharding is by the top bits of the first 8-byte key slice; scrambled
+    benchmark keys spread uniformly. Shard ranges are ordered, so range
+    scans concatenate per-shard scans.
+
+    The store itself is a sequential facade; parallel benchmarks spawn one
+    domain per shard and drive the shards directly (see
+    [Bench_harness.Runner]). *)
+
+type t
+
+val create : ?config:Incll.System.config -> Incll.System.variant -> shards:int -> t
+
+val of_system : Incll.System.t -> t
+(** Wrap one existing system (e.g. restored from an NVM image) as a
+    single-shard store. *)
+
+val nshards : t -> int
+val shard : t -> int -> Incll.System.t
+val shard_of_key : t -> string -> int
+val variant : t -> Incll.System.variant
+
+val put : t -> key:string -> value:string -> unit
+val get : t -> key:string -> string option
+val remove : t -> key:string -> bool
+val scan : t -> start:string -> n:int -> (string * string) list
+
+val scan_rev : t -> ?bound:string -> n:int -> unit -> (string * string) list
+(** Descending scan across shards from the largest key [<= bound]. *)
+
+val advance_epochs : t -> unit
+(** Checkpoint every shard (the MT+ "global barrier" analogue). *)
+
+val crash : t -> Util.Rng.t -> unit
+val recover : t -> t
+
+val total_sim_ns : t -> float
+(** Sum of per-shard simulated clocks (sequential-work view). *)
+
+val max_sim_ns : t -> float
+(** Max over shards (parallel wall-clock view: shards run on their own
+    domains). *)
+
+val cardinal : t -> int

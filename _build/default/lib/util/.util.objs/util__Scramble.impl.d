@@ -1,0 +1,1 @@
+lib/util/scramble.ml: Int64

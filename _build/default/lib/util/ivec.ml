@@ -1,0 +1,45 @@
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 8) () = { data = Array.make (max capacity 1) 0; len = 0 }
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Ivec.get";
+  Array.unsafe_get t.data i
+
+let set t i v =
+  if i < 0 || i >= t.len then invalid_arg "Ivec.set";
+  Array.unsafe_set t.data i v
+
+let grow t =
+  let cap = Array.length t.data in
+  let data = Array.make (cap * 2) 0 in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let push t v =
+  if t.len = Array.length t.data then grow t;
+  Array.unsafe_set t.data t.len v;
+  t.len <- t.len + 1
+
+let clear t = t.len <- 0
+
+let swap_remove t i =
+  if i < 0 || i >= t.len then invalid_arg "Ivec.swap_remove";
+  t.len <- t.len - 1;
+  if i < t.len then begin
+    let last = Array.unsafe_get t.data t.len in
+    Array.unsafe_set t.data i last;
+    last
+  end
+  else -1
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (Array.unsafe_get t.data i)
+  done
+
+let to_list t =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (get t i :: acc) in
+  loop (t.len - 1) []

@@ -1,0 +1,22 @@
+(** Growable integer vector (OCaml 5.1's stdlib has no [Dynarray] yet).
+
+    Used on the NVM simulator's hot paths (dirty-line lists, pending-write
+    logs), so it is unboxed and allocation-light. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val push : t -> int -> unit
+val clear : t -> unit
+(** Drops all elements (keeps capacity). *)
+
+val swap_remove : t -> int -> int
+(** [swap_remove t i] removes index [i] in O(1) by moving the last element
+    into its place; returns the element that now lives at [i] (or [-1] if
+    [i] became out of range). *)
+
+val iter : (int -> unit) -> t -> unit
+val to_list : t -> int list

@@ -1,0 +1,25 @@
+let fmix64 k =
+  let open Int64 in
+  let k = logxor k (shift_right_logical k 33) in
+  let k = mul k 0xFF51AFD7ED558CCDL in
+  let k = logxor k (shift_right_logical k 33) in
+  let k = mul k 0xC4CEB9FE1A85EC53L in
+  logxor k (shift_right_logical k 33)
+
+(* Multiplicative inverses of the fmix64 constants modulo 2^64. *)
+let inv1 = 0x4F74430C22A54005L
+let inv2 = 0x9CB4B2F8129337DBL
+
+let unxorshift k shift =
+  (* Invert k ^ (k >>> shift) for shift >= 32 (single step suffices). *)
+  Int64.logxor k (Int64.shift_right_logical k shift)
+
+let unfmix64 k =
+  let open Int64 in
+  let k = unxorshift k 33 in
+  let k = mul k inv2 in
+  let k = unxorshift k 33 in
+  let k = mul k inv1 in
+  unxorshift k 33
+
+let key_of_rank r = fmix64 (Int64.of_int r)

@@ -1,0 +1,15 @@
+(** Key scrambling.
+
+    §6: "Keys are scrambled by computing a hash of their values, so that
+    frequent keys do not (necessarily) appear in close proximity." This is
+    the 64-bit finalizer of MurmurHash3 (fmix64), an invertible mixing
+    function, so distinct logical keys map to distinct scrambled keys. *)
+
+val fmix64 : int64 -> int64
+(** Invertible 64-bit mix. *)
+
+val unfmix64 : int64 -> int64
+(** Inverse of {!fmix64} (used in tests to prove invertibility). *)
+
+val key_of_rank : int -> int64
+(** [key_of_rank r] is the scrambled 8-byte key for logical key [r]. *)

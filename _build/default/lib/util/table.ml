@@ -1,0 +1,77 @@
+type t = { columns : string list; mutable rows : string list list }
+
+let create ~columns = { columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- row :: t.rows
+
+let widths t =
+  let ncols = List.length t.columns in
+  let w = Array.make ncols 0 in
+  let account row =
+    List.iteri (fun i cell -> w.(i) <- max w.(i) (String.length cell)) row
+  in
+  account t.columns;
+  List.iter account t.rows;
+  w
+
+let render_row w row =
+  let cells =
+    List.mapi
+      (fun i cell ->
+        let pad = w.(i) - String.length cell in
+        (* Right-align everything but the first column. *)
+        if i = 0 then cell ^ String.make pad ' '
+        else String.make pad ' ' ^ cell)
+      row
+  in
+  String.concat "  " cells
+
+let print ?(out = stdout) ?title t =
+  let w = widths t in
+  (match title with
+  | Some s ->
+      Printf.fprintf out "%s\n%s\n" s (String.make (String.length s) '=')
+  | None -> ());
+  Printf.fprintf out "%s\n" (render_row w t.columns);
+  let total = Array.fold_left (fun a x -> a + x + 2) (-2) w in
+  Printf.fprintf out "%s\n" (String.make (max total 1) '-');
+  List.iter
+    (fun row -> Printf.fprintf out "%s\n" (render_row w row))
+    (List.rev t.rows);
+  Printf.fprintf out "%!"
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then begin
+    let buf = Buffer.create (String.length cell + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      cell;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else cell
+
+let to_csv t =
+  let line row = String.concat "," (List.map csv_escape row) in
+  String.concat "\n" (line t.columns :: List.rev_map line t.rows) ^ "\n"
+
+let cell_float ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+
+let cell_int v =
+  let s = string_of_int (abs v) in
+  let n = String.length s in
+  let buf = Buffer.create (n + (n / 3)) in
+  if v < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (n - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let cell_pct r = Printf.sprintf "%+.1f%%" (r *. 100.0)

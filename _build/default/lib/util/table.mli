@@ -1,0 +1,24 @@
+(** Column-aligned plain-text tables for benchmark reports. *)
+
+type t
+
+val create : columns:string list -> t
+(** [create ~columns] starts a table with the given header row. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; it must have as many cells as there are columns. *)
+
+val print : ?out:out_channel -> ?title:string -> t -> unit
+(** Render the table with aligned columns. *)
+
+val to_csv : t -> string
+(** RFC-4180-style CSV rendering (cells with commas/quotes are quoted). *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Format a float cell (default 2 decimals). *)
+
+val cell_int : int -> string
+(** Format an integer cell with thousands separators. *)
+
+val cell_pct : float -> string
+(** Format a ratio as a signed percentage, e.g. [cell_pct 0.103 = "+10.3%"]. *)

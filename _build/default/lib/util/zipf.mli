@@ -1,0 +1,20 @@
+(** Zipfian key-popularity distribution, YCSB-compatible.
+
+    The paper's skewed workloads draw keys "according to a zipfian
+    distribution with a skew parameter of 0.99" (§6). This is the standard
+    YCSB generator (Gray et al., "Quickly generating billion-record synthetic
+    databases"), which produces ranks in [\[0, n)] where rank 0 is the most
+    popular item. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** [create ~n ~theta] prepares a generator over [n] items with skew
+    [theta] (the paper uses 0.99). [n] must be positive and [theta] must be
+    in (0, 1). The zeta constant is computed eagerly in O(n). *)
+
+val n : t -> int
+(** Number of items. *)
+
+val next : t -> Rng.t -> int
+(** [next t rng] samples a rank in [\[0, n)]. *)

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Buffer Char Fun Incll List Printf String Ycsb

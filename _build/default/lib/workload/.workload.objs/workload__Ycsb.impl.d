@@ -1,0 +1,1 @@
+lib/workload/ycsb.ml: Array Int64 Masstree String Util

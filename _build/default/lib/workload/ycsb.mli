@@ -1,0 +1,41 @@
+(** YCSB workload generation as used in the paper's §6.
+
+    - YCSB_A: 50% puts / 50% reads ("write heavy")
+    - YCSB_B: 5% puts / 95% reads ("read heavy")
+    - YCSB_C: 100% reads
+    - YCSB_E: read-only scans of 10 keys
+
+    Keys are drawn from [\[0, nkeys)] either uniformly or from a Zipfian
+    distribution with skew 0.99, then scrambled by an invertible 64-bit
+    hash "so that frequent keys do not (necessarily) appear in close
+    proximity". Keys and values are 8 bytes. *)
+
+type mix = A | B | C | E
+
+val mix_of_string : string -> mix
+val mix_name : mix -> string
+
+type dist = Uniform | Zipfian
+
+val dist_name : dist -> string
+
+type op = Put of string * string | Get of string | Scan of string * int
+
+type spec = { mix : mix; dist : dist; nkeys : int }
+
+val key_of_rank : int -> string
+(** Scrambled 8-byte key of logical key [rank]. *)
+
+val value_for : string -> string
+(** Deterministic 8-byte value derived from a key (verifiable loads). *)
+
+val load_keys : nkeys:int -> string array
+(** The [nkeys] scrambled keys, in logical order (for initial population:
+    "the tree was initialized with 20 million entries"). *)
+
+val generate : spec -> Util.Rng.t -> n:int -> op array
+(** Pre-generate an operation stream so key-generation cost stays out of
+    the measured window. *)
+
+val scan_length : int
+(** 10, per YCSB_E's description. *)

@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Alloc Epoch List Nvm QCheck QCheck_alcotest Util

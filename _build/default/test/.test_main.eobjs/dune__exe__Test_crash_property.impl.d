@@ -1,0 +1,1 @@
+test/test_crash_property.ml: Epoch Incll Int64 List Map Masstree Nvm Printf QCheck QCheck_alcotest Seq String Util

@@ -1,0 +1,1 @@
+test/test_epoch.ml: Alcotest Epoch List Nvm

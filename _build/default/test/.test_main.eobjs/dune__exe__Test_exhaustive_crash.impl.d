@@ -1,0 +1,1 @@
+test/test_exhaustive_crash.ml: Alcotest Hashtbl Incll Int64 List Map Masstree Nvm Printf String Util

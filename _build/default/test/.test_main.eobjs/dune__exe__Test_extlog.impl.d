@@ -1,0 +1,1 @@
+test/test_extlog.ml: Alcotest Bytes Extlog Int64 List Nvm

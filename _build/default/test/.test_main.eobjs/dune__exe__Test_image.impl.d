@@ -1,0 +1,1 @@
+test/test_image.ml: Alcotest Bytes Filename Incll Int64 Masstree Nvm Printf Stdlib String Unix Util

@@ -1,0 +1,1 @@
+test/test_incll.ml: Alcotest Epoch Incll Int64 List Masstree Nvm Util

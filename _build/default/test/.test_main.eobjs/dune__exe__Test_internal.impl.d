@@ -1,0 +1,1 @@
+test/test_internal.ml: Alcotest Alloc Epoch Int64 List Masstree Nvm

@@ -1,0 +1,1 @@
+test/test_key.ml: Alcotest Gen Int64 Masstree QCheck QCheck_alcotest

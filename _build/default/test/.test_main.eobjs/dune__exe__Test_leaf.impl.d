@@ -1,0 +1,1 @@
+test/test_leaf.ml: Alcotest Alloc Epoch Int64 List Masstree Nvm QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_listing3.ml: Alcotest Alloc Epoch Extlog Incll Int64 Lazy List Masstree Nvm Option Printf Util

@@ -1,0 +1,1 @@
+test/test_nvm.ml: Alcotest Array Bytes Char Gen Int64 List Nvm QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_permutation.ml: Alcotest Array Gen List Masstree QCheck QCheck_alcotest Test

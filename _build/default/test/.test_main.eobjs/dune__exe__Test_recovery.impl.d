@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Alloc Epoch Incll Int64 List Masstree Nvm Printf QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Char Domain Incll Int64 List Masstree Nvm Printf Store String Util

@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Alloc Char Gen Hashtbl Int64 List Map Masstree Nvm Printf QCheck QCheck_alcotest Seq String Test Util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Hashtbl Int64 List Printf QCheck QCheck_alcotest Util

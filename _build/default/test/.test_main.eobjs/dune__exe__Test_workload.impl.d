@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Bench_harness Filename Hashtbl Incll List Option Stdlib String Util Workload

@@ -1,0 +1,152 @@
+(* The paper's §5.2 correctness methodology as a property test:
+   "intentionally crashing it at random points, launching a new process,
+   and checking that system's state matched the state at the beginning of
+   the failed epoch." Differential against a Map model, for both durable
+   variants. *)
+
+module SM = Map.Make (String)
+module Sys_ = Incll.System
+
+let key_of i = Masstree.Key.of_int64 (Util.Scramble.fmix64 (Int64.of_int i))
+
+let cfg =
+  {
+    Sys_.default_config with
+    Sys_.nvm =
+      {
+        Nvm.Config.default with
+        Nvm.Config.size_bytes = 16 * 1024 * 1024;
+        extlog_bytes = 1024 * 1024;
+      };
+    (* Short epochs: many checkpoints inside each run. *)
+    epoch_len_ns = 1.0e6;
+  }
+
+let epoch_of sys =
+  match Sys_.epoch_manager sys with
+  | Some em -> Epoch.Manager.current em
+  | None -> 0
+
+(* Run [nops] random operations with crashes at random points; verify after
+   every crash that the store equals the model at the last checkpoint. *)
+let run_one ~variant ~seed ~nops ~nkeys =
+  let rng = Util.Rng.create ~seed in
+  let sys = ref (Sys_.create ~config:cfg variant) in
+  let model = ref SM.empty in
+  let checkpoint = ref SM.empty in
+  let last_epoch = ref (epoch_of !sys) in
+  let sync_epoch () =
+    let e = epoch_of !sys in
+    if e <> !last_epoch then begin
+      checkpoint := !model;
+      last_epoch := e
+    end
+  in
+  let ok = ref true in
+  for step = 1 to nops do
+    sync_epoch ();
+    let k = key_of (Util.Rng.int rng nkeys) in
+    (match Util.Rng.int rng 100 with
+    | r when r < 45 ->
+        let v = Printf.sprintf "v%d" step in
+        Sys_.put !sys ~key:k ~value:v;
+        model := SM.add k v !model
+    | r when r < 65 ->
+        let removed = Sys_.remove !sys ~key:k in
+        if removed <> SM.mem k !model then ok := false;
+        model := SM.remove k !model
+    | r when r < 85 ->
+        if Sys_.get !sys ~key:k <> SM.find_opt k !model then ok := false
+    | _ ->
+        let n = 1 + Util.Rng.int rng 8 in
+        let got = Sys_.scan !sys ~start:k ~n in
+        let expect =
+          SM.to_seq !model
+          |> Seq.filter (fun (k', _) -> k' >= k)
+          |> Seq.take n |> List.of_seq
+        in
+        if got <> expect then ok := false);
+    (* The op itself may have crossed a checkpoint. *)
+    sync_epoch ();
+    if Util.Rng.int rng 400 = 0 then begin
+      Sys_.crash !sys rng;
+      sys := Sys_.recover !sys;
+      model := !checkpoint;
+      last_epoch := epoch_of !sys;
+      Masstree.Tree.validate (Sys_.tree !sys);
+      SM.iter
+        (fun k v -> if Sys_.get !sys ~key:k <> Some v then ok := false)
+        !model;
+      if Masstree.Tree.cardinal (Sys_.tree !sys) <> SM.cardinal !model then
+        ok := false;
+      checkpoint := !model
+    end
+  done;
+  !ok
+
+let property variant =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "crash at random points = checkpoint state (%s)"
+         (Sys_.variant_name variant))
+    ~count:6
+    QCheck.(int_bound 1_000_000)
+    (fun seed -> run_one ~variant ~seed ~nops:6_000 ~nkeys:250)
+
+let long_key_crash_property =
+  (* Same property over layered (long, shared-prefix) keys. *)
+  QCheck.Test.make ~name:"crash recovery with trie layers" ~count:4
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Util.Rng.create ~seed in
+      let sys = ref (Sys_.create ~config:cfg Sys_.Incll) in
+      let model = ref SM.empty in
+      let checkpoint = ref SM.empty in
+      let last_epoch = ref (epoch_of !sys) in
+      let key_of i =
+        (* Heavy 8-byte-prefix sharing -> multi-layer tries. *)
+        Printf.sprintf "prefix%02d/suffix-%04d" (i mod 4) (i / 4)
+      in
+      let sync_epoch () =
+        let e = epoch_of !sys in
+        if e <> !last_epoch then begin
+          checkpoint := !model;
+          last_epoch := e
+        end
+      in
+      let ok = ref true in
+      for step = 1 to 4000 do
+        sync_epoch ();
+        let k = key_of (Util.Rng.int rng 300) in
+        (match Util.Rng.int rng 10 with
+        | r when r < 5 ->
+            let v = Printf.sprintf "v%d" step in
+            Sys_.put !sys ~key:k ~value:v;
+            model := SM.add k v !model
+        | r when r < 7 ->
+            ignore (Sys_.remove !sys ~key:k);
+            model := SM.remove k !model
+        | _ ->
+            if Sys_.get !sys ~key:k <> SM.find_opt k !model then ok := false);
+        sync_epoch ();
+        if Util.Rng.int rng 500 = 0 then begin
+          Sys_.crash !sys rng;
+          sys := Sys_.recover !sys;
+          model := !checkpoint;
+          last_epoch := epoch_of !sys;
+          SM.iter
+            (fun k v -> if Sys_.get !sys ~key:k <> Some v then ok := false)
+            !model;
+          Masstree.Tree.validate (Sys_.tree !sys);
+          checkpoint := !model
+        end
+      done;
+      !ok)
+
+let tests =
+  ( "crash-property",
+    [
+      QCheck_alcotest.to_alcotest (property Sys_.Incll);
+      QCheck_alcotest.to_alcotest (property Sys_.Logging);
+      QCheck_alcotest.to_alcotest long_key_crash_property;
+    ] )

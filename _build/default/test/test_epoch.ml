@@ -1,0 +1,162 @@
+(* Tests for the fine-grained checkpointing epoch manager. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let mk_region () =
+  let cfg =
+    {
+      Nvm.Config.default with
+      Nvm.Config.size_bytes = 1024 * 1024;
+      extlog_bytes = 64 * 1024;
+    }
+  in
+  let r = Nvm.Region.create cfg in
+  Nvm.Superblock.format r;
+  r
+
+let fresh_starts_at_two () =
+  let em = Epoch.Manager.create (mk_region ()) in
+  check_int "current" 2 (Epoch.Manager.current em);
+  check_int "marker" 2 (Epoch.Manager.first_epoch_of_run em);
+  check "no crash" true (Epoch.Manager.crashed_epoch em = None);
+  check_int "no failed epochs" 0 (Epoch.Manager.failed_count em)
+
+let advance_increments_and_flushes () =
+  let r = mk_region () in
+  let em = Epoch.Manager.create r in
+  Nvm.Region.write_i64 r 8192 77L;
+  let w0 = (Nvm.Region.stats r).Nvm.Stats.wbinvd in
+  Epoch.Manager.advance em;
+  check_int "epoch moved" 3 (Epoch.Manager.current em);
+  check_int "wbinvd ran" (w0 + 1) (Nvm.Region.stats r).Nvm.Stats.wbinvd;
+  (* Data written before the checkpoint is now durable. *)
+  Nvm.Region.crash_persist_none r;
+  Alcotest.(check int64) "durable" 77L (Nvm.Region.read_i64 r 8192)
+
+let durable_epoch_bump_order () =
+  (* The durable epoch index may never exceed what wbinvd made durable:
+     after a crash the index must be readable and name the crashed epoch. *)
+  let r = mk_region () in
+  let em = Epoch.Manager.create r in
+  Epoch.Manager.advance em;
+  Epoch.Manager.advance em;
+  check_int "current" 4 (Epoch.Manager.current em);
+  Nvm.Region.crash_persist_none r;
+  let em2 = Epoch.Manager.open_after_crash r in
+  check "crashed epoch is 4" true (Epoch.Manager.crashed_epoch em2 = Some 4);
+  check_int "recovery marker" 5 (Epoch.Manager.first_epoch_of_run em2);
+  check "4 is failed" true (Epoch.Manager.is_failed em2 4);
+  check "3 is not failed" false (Epoch.Manager.is_failed em2 3)
+
+let failed_set_accumulates () =
+  let r = mk_region () in
+  let em = ref (Epoch.Manager.create r) in
+  for _ = 1 to 5 do
+    Nvm.Region.crash_persist_none r;
+    em := Epoch.Manager.open_after_crash r;
+    Epoch.Manager.advance !em
+  done;
+  (* Crashes at epochs 2,3(recovery of 2)+1... the exact set depends on the
+     bump protocol; what matters: monotone growth and durability. *)
+  check "several failed epochs" true (Epoch.Manager.failed_count !em >= 5);
+  let before = Epoch.Manager.failed_list !em in
+  Nvm.Region.crash_persist_none r;
+  let em2 = Epoch.Manager.open_after_crash r in
+  check "persisted across crash" true
+    (List.for_all (fun e -> Epoch.Manager.is_failed em2 e) before)
+
+let append_failed_is_idempotent () =
+  let r = mk_region () in
+  let em = Epoch.Manager.create r in
+  Epoch.Manager.advance em;
+  Nvm.Region.crash_persist_none r;
+  let em1 = Epoch.Manager.open_after_crash r in
+  let n1 = Epoch.Manager.failed_count em1 in
+  (* Crash again without completing recovery: epoch 3 (crashed) is already
+     in the set; the recovery epoch 4 joins it. *)
+  Nvm.Region.crash_persist_none r;
+  let em2 = Epoch.Manager.open_after_crash r in
+  check "old entry kept once" true (Epoch.Manager.failed_count em2 = n1 + 1);
+  check "recovery epoch failed" true
+    (Epoch.Manager.is_failed em2 (Epoch.Manager.first_epoch_of_run em1))
+
+let subscribers_run_in_new_epoch () =
+  let r = mk_region () in
+  let em = Epoch.Manager.create r in
+  let seen = ref [] in
+  Epoch.Manager.subscribe_post_advance em (fun () ->
+      seen := Epoch.Manager.current em :: !seen);
+  Epoch.Manager.subscribe_post_advance em (fun () -> seen := -1 :: !seen);
+  Epoch.Manager.advance em;
+  Epoch.Manager.advance em;
+  Alcotest.(check (list int)) "order preserved, new epochs" [ -1; 4; -1; 3 ]
+    !seen
+
+let maybe_advance_follows_clock () =
+  let r = mk_region () in
+  let em = Epoch.Manager.create ~epoch_len_ns:1000.0 r in
+  check "no advance yet" false (Epoch.Manager.maybe_advance em);
+  Nvm.Region.advance_clock r 999.0;
+  check "still not" false (Epoch.Manager.maybe_advance em);
+  Nvm.Region.advance_clock r 2.0;
+  check "advances" true (Epoch.Manager.maybe_advance em);
+  check "only once" false (Epoch.Manager.maybe_advance em)
+
+let clear_failed_durable () =
+  let r = mk_region () in
+  let em0 = Epoch.Manager.create r in
+  Epoch.Manager.advance em0;
+  Nvm.Region.crash_persist_none r;
+  let em = Epoch.Manager.open_after_crash r in
+  check "has failures" true (Epoch.Manager.failed_count em > 0);
+  Epoch.Manager.clear_failed em;
+  check_int "cleared" 0 (Epoch.Manager.failed_count em);
+  Nvm.Region.crash_persist_none r;
+  let em2 = Epoch.Manager.open_after_crash r in
+  (* Only the newly crashed epoch is failed now. *)
+  check_int "only new crash" 1 (Epoch.Manager.failed_count em2)
+
+let failed_set_overflow_raises () =
+  let r = mk_region () in
+  let em = ref (Epoch.Manager.create r) in
+  check "overflow raises" true
+    (try
+       for _ = 1 to Nvm.Layout.max_failed_epochs + 2 do
+         Nvm.Region.crash_persist_none r;
+         em := Epoch.Manager.open_after_crash r
+       done;
+       false
+     with Epoch.Manager.Failed_set_full -> true)
+
+let epoch_encoding_helpers () =
+  let e = 0x12345_6789 in
+  check_int "lower16" 0x6789 (Epoch.Manager.lower16 e);
+  check_int "higher" 0x12345 (Epoch.Manager.higher e);
+  check_int "combine"
+    e
+    (Epoch.Manager.combine ~higher:(Epoch.Manager.higher e)
+       ~lower16:(Epoch.Manager.lower16 e))
+
+let epochs_elapsed_counts () =
+  let em = Epoch.Manager.create (mk_region ()) in
+  check_int "zero" 0 (Epoch.Manager.epochs_elapsed em);
+  Epoch.Manager.advance em;
+  Epoch.Manager.advance em;
+  check_int "two" 2 (Epoch.Manager.epochs_elapsed em)
+
+let tests =
+  ( "epoch",
+    [
+      Alcotest.test_case "fresh starts at epoch 2" `Quick fresh_starts_at_two;
+      Alcotest.test_case "advance increments and flushes" `Quick advance_increments_and_flushes;
+      Alcotest.test_case "crash/open protocol" `Quick durable_epoch_bump_order;
+      Alcotest.test_case "failed set accumulates durably" `Quick failed_set_accumulates;
+      Alcotest.test_case "append idempotent" `Quick append_failed_is_idempotent;
+      Alcotest.test_case "subscribers run in new epoch" `Quick subscribers_run_in_new_epoch;
+      Alcotest.test_case "maybe_advance follows sim clock" `Quick maybe_advance_follows_clock;
+      Alcotest.test_case "clear_failed durable" `Quick clear_failed_durable;
+      Alcotest.test_case "failed-set overflow raises" `Quick failed_set_overflow_raises;
+      Alcotest.test_case "epoch encoding helpers" `Quick epoch_encoding_helpers;
+      Alcotest.test_case "epochs elapsed" `Quick epochs_elapsed_counts;
+    ] )

@@ -1,0 +1,122 @@
+(* Tests for NVM image save/load (restart-across-process durability). *)
+
+module Sys_ = Incll.System
+
+let check = Alcotest.(check bool)
+
+let key8 i = Masstree.Key.of_int64 (Util.Scramble.fmix64 (Int64.of_int i))
+
+let cfg =
+  {
+    Sys_.default_config with
+    Sys_.nvm =
+      {
+        Nvm.Config.default with
+        Nvm.Config.size_bytes = 4 * 1024 * 1024;
+        extlog_bytes = 256 * 1024;
+      };
+    epoch_len_ns = 1.0e15;
+  }
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let save_load_roundtrip () =
+  let s = Sys_.create ~config:cfg Sys_.Incll in
+  for i = 0 to 499 do
+    Sys_.put s ~key:(key8 i) ~value:(Printf.sprintf "v%03d" i)
+  done;
+  Sys_.advance_epoch s;
+  let path = tmp "incll_image_test.img" in
+  Nvm.Image.save (Sys_.region s) ~path;
+  check "size recorded" true
+    (Nvm.Image.image_size ~path = Nvm.Region.size (Sys_.region s));
+  (* "Reboot": load into a fresh region and recover the system. *)
+  let region = Nvm.Image.load cfg.Sys_.nvm ~path in
+  let s2 = Sys_.attach ~config:cfg Sys_.Incll region in
+  for i = 0 to 499 do
+    check "value survives restart" true
+      (Sys_.get s2 ~key:(key8 i) = Some (Printf.sprintf "v%03d" i))
+  done;
+  Masstree.Tree.validate (Sys_.tree s2);
+  Stdlib.Sys.remove path
+
+let uncheckpointed_work_lost_across_restart () =
+  let s = Sys_.create ~config:cfg Sys_.Incll in
+  for i = 0 to 99 do
+    Sys_.put s ~key:(key8 i) ~value:"durable!"
+  done;
+  Sys_.advance_epoch s;
+  (* Dirty work after the checkpoint never reaches the persisted image
+     unless a crash/flush moves it; a saved image is the persisted view. *)
+  Sys_.put s ~key:(key8 1000) ~value:"volatile";
+  let path = tmp "incll_image_test2.img" in
+  Nvm.Image.save (Sys_.region s) ~path;
+  let region = Nvm.Image.load cfg.Sys_.nvm ~path in
+  let s2 = Sys_.attach ~config:cfg Sys_.Incll region in
+  check "checkpointed survives" true (Sys_.get s2 ~key:(key8 0) = Some "durable!");
+  check "uncheckpointed lost" true (Sys_.get s2 ~key:(key8 1000) = None);
+  Stdlib.Sys.remove path
+
+let corrupt_image_rejected () =
+  let s = Sys_.create ~config:cfg Sys_.Incll in
+  Sys_.put s ~key:"k" ~value:"v";
+  Sys_.advance_epoch s;
+  let path = tmp "incll_image_test3.img" in
+  Nvm.Image.save (Sys_.region s) ~path;
+  (* Flip one byte in the payload. *)
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  ignore (Unix.lseek fd 100_000 Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.make 1 '\xff') 0 1);
+  Unix.close fd;
+  check "corruption detected" true
+    (try
+       ignore (Nvm.Image.load cfg.Sys_.nvm ~path);
+       false
+     with Failure _ -> true);
+  Stdlib.Sys.remove path
+
+let non_image_rejected () =
+  let path = tmp "incll_image_test4.img" in
+  let oc = open_out_bin path in
+  output_string oc (String.make 4096 'z');
+  close_out oc;
+  check "bad magic detected" true
+    (try
+       ignore (Nvm.Image.load cfg.Sys_.nvm ~path);
+       false
+     with Failure _ -> true);
+  Stdlib.Sys.remove path
+
+let mid_epoch_image_recovers () =
+  (* Saving mid-epoch is like crashing: the loaded system rolls back. *)
+  let s = Sys_.create ~config:cfg Sys_.Incll in
+  for i = 0 to 99 do
+    Sys_.put s ~key:(key8 i) ~value:"committed"
+  done;
+  Sys_.advance_epoch s;
+  for i = 0 to 49 do
+    Sys_.put s ~key:(key8 i) ~value:"dirty!!!!"
+  done;
+  (* Force some of the dirty epoch into the persisted image, like cache
+     pressure would. *)
+  Sys_.crash_with s ~choose:(fun ~line:_ ~nwrites -> nwrites / 2);
+  let s = Sys_.recover s in
+  let path = tmp "incll_image_test5.img" in
+  Nvm.Image.save (Sys_.region s) ~path;
+  let region = Nvm.Image.load cfg.Sys_.nvm ~path in
+  let s2 = Sys_.attach ~config:cfg Sys_.Incll region in
+  for i = 0 to 99 do
+    check "rolled back to checkpoint" true
+      (Sys_.get s2 ~key:(key8 i) = Some "committed")
+  done;
+  Stdlib.Sys.remove path
+
+let tests =
+  ( "image",
+    [
+      Alcotest.test_case "save/load roundtrip" `Quick save_load_roundtrip;
+      Alcotest.test_case "uncheckpointed work lost" `Quick uncheckpointed_work_lost_across_restart;
+      Alcotest.test_case "corrupt image rejected" `Quick corrupt_image_rejected;
+      Alcotest.test_case "non-image rejected" `Quick non_image_rejected;
+      Alcotest.test_case "mid-epoch image recovers" `Quick mid_epoch_image_recovers;
+    ] )

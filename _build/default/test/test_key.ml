@@ -1,0 +1,82 @@
+(* Tests for key slicing and ordering (the trie layering of §2.2). *)
+
+module K = Masstree.Key
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let slice_basic () =
+  let s = K.slice_at "AB" ~layer:0 in
+  check_int "len" 2 s.K.len;
+  Alcotest.(check int64) "big endian, left aligned" 0x4142_0000_0000_0000L s.K.bits
+
+let slice_full_and_suffix () =
+  let k = "abcdefghij" in
+  let s0 = K.slice_at k ~layer:0 in
+  check_int "first slice full" 8 s0.K.len;
+  check "has suffix" true (K.has_suffix k ~layer:0);
+  Alcotest.(check string) "suffix" "ij" (K.suffix k ~layer:0);
+  let s1 = K.slice_at k ~layer:1 in
+  check_int "second slice" 2 s1.K.len;
+  check "no more" false (K.has_suffix k ~layer:1)
+
+let empty_key () =
+  let s = K.slice_at "" ~layer:0 in
+  check_int "len 0" 0 s.K.len;
+  Alcotest.(check int64) "zero bits" 0L s.K.bits;
+  check "no suffix" false (K.has_suffix "" ~layer:0)
+
+let unsigned_comparison () =
+  (* Bytes >= 0x80 must sort above ASCII: requires unsigned compare. *)
+  let hi = (K.slice_at "\xff" ~layer:0).K.bits in
+  let lo = (K.slice_at "a" ~layer:0).K.bits in
+  check "0xff > 'a'" true (K.compare_slices hi lo > 0)
+
+let entry_ordering () =
+  let s = (K.slice_at "ab" ~layer:0).K.bits in
+  (* Shorter key sorts first; the layer-link marker sorts after the full
+     8-byte terminal. *)
+  check "len splits ties" true (K.compare_entry s 2 s 3 < 0);
+  check "link after terminal" true (K.compare_entry s K.layer_link_len s 8 > 0)
+
+let slice_order_is_lexicographic =
+  QCheck.Test.make ~name:"slice order = byte order" ~count:1000
+    QCheck.(pair (string_of_size Gen.(int_bound 8)) (string_of_size Gen.(int_bound 8)))
+    (fun (a, b) ->
+      let sa = K.slice_at a ~layer:0 and sb = K.slice_at b ~layer:0 in
+      let c = K.compare_entry sa.K.bits sa.K.len sb.K.bits sb.K.len in
+      let expected = compare a b in
+      (c < 0 && expected < 0) || (c > 0 && expected > 0)
+      || (c = 0 && expected = 0))
+
+let bytes_roundtrip =
+  QCheck.Test.make ~name:"slice bytes roundtrip" ~count:1000
+    QCheck.(string_of_size Gen.(int_bound 8))
+    (fun s ->
+      let sl = K.slice_at s ~layer:0 in
+      K.bytes_of_slice sl.K.bits ~len:sl.K.len = s)
+
+let int64_roundtrip =
+  QCheck.Test.make ~name:"of_int64/to_int64 roundtrip" ~count:1000 QCheck.int64
+    (fun v -> K.to_int64 (K.of_int64 v) = v)
+
+let int64_order_preserved =
+  QCheck.Test.make ~name:"of_int64 preserves unsigned order" ~count:1000
+    QCheck.(pair int64 int64)
+    (fun (a, b) ->
+      let ka = K.of_int64 a and kb = K.of_int64 b in
+      compare ka kb = Int64.unsigned_compare a b)
+
+let tests =
+  ( "key",
+    [
+      Alcotest.test_case "slice basic" `Quick slice_basic;
+      Alcotest.test_case "slice full + suffix" `Quick slice_full_and_suffix;
+      Alcotest.test_case "empty key" `Quick empty_key;
+      Alcotest.test_case "unsigned comparison" `Quick unsigned_comparison;
+      Alcotest.test_case "entry ordering" `Quick entry_ordering;
+      QCheck_alcotest.to_alcotest slice_order_is_lexicographic;
+      QCheck_alcotest.to_alcotest bytes_roundtrip;
+      QCheck_alcotest.to_alcotest int64_roundtrip;
+      QCheck_alcotest.to_alcotest int64_order_preserved;
+    ] )

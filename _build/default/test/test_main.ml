@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "incll"
+    [
+      Test_util.tests;
+      Test_nvm.tests;
+      Test_epoch.tests;
+      Test_alloc.tests;
+      Test_extlog.tests;
+      Test_permutation.tests;
+      Test_key.tests;
+      Test_leaf.tests;
+      Test_internal.tests;
+      Test_tree.tests;
+      Test_incll.tests;
+      Test_recovery.tests;
+      Test_crash_property.tests;
+      Test_system.tests;
+      Test_workload.tests;
+      Test_exhaustive_crash.tests;
+      Test_image.tests;
+      Test_listing3.tests;
+    ]

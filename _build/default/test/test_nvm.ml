@@ -1,0 +1,356 @@
+(* Tests for the simulated NVM substrate: PCSO semantics, persistence
+   instructions, crash injection, eviction and statistics. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_i64 = Alcotest.(check int64)
+
+let small_cfg ?(crash_support = Nvm.Config.Precise) ?max_dirty_lines () =
+  {
+    Nvm.Config.default with
+    Nvm.Config.size_bytes = 1024 * 1024;
+    extlog_bytes = 64 * 1024;
+    crash_support;
+    max_dirty_lines;
+  }
+
+let mk ?crash_support ?max_dirty_lines () =
+  Nvm.Region.create (small_cfg ?crash_support ?max_dirty_lines ())
+
+(* --- basic loads/stores ------------------------------------------------ *)
+
+let rw_roundtrip () =
+  let r = mk () in
+  Nvm.Region.write_i64 r 4096 0x1122334455667788L;
+  check_i64 "i64" 0x1122334455667788L (Nvm.Region.read_i64 r 4096);
+  Nvm.Region.write_u8 r 5000 0xab;
+  check_int "u8" 0xab (Nvm.Region.read_u8 r 5000);
+  let b = Bytes.of_string "hello, nvm world" in
+  Nvm.Region.write_bytes r 8000 b;
+  Alcotest.(check string) "bytes" "hello, nvm world"
+    (Bytes.to_string (Nvm.Region.read_bytes r 8000 ~len:16))
+
+let unaligned_i64_rejected () =
+  let r = mk () in
+  Alcotest.check_raises "unaligned write" (Invalid_argument "Region.write_i64: unaligned")
+    (fun () -> Nvm.Region.write_i64 r 4097 1L)
+
+let out_of_bounds_rejected () =
+  let r = mk () in
+  check "oob caught" true
+    (try
+       Nvm.Region.write_i64 r (1024 * 1024) 1L;
+       false
+     with Invalid_argument _ -> true)
+
+let blit_within_copies () =
+  let r = mk () in
+  Nvm.Region.write_bytes r 4096 (Bytes.of_string "abcdefgh12345678");
+  Nvm.Region.blit_within r ~src:4096 ~dst:8192 ~len:16;
+  Alcotest.(check string) "copied" "abcdefgh12345678"
+    (Bytes.to_string (Nvm.Region.read_bytes r 8192 ~len:16))
+
+(* --- persistence ------------------------------------------------------- *)
+
+let crash_without_flush_loses_data () =
+  let r = mk () in
+  Nvm.Region.write_i64 r 4096 42L;
+  Nvm.Region.crash_persist_none r;
+  check_i64 "lost" 0L (Nvm.Region.read_i64 r 4096)
+
+let clwb_sfence_persists () =
+  let r = mk () in
+  Nvm.Region.write_i64 r 4096 42L;
+  Nvm.Region.clwb r 4096;
+  Nvm.Region.sfence r;
+  Nvm.Region.crash_persist_none r;
+  check_i64 "kept" 42L (Nvm.Region.read_i64 r 4096)
+
+let clwb_without_sfence_not_guaranteed () =
+  (* clwb alone is asynchronous: with a worst-case crash nothing commits. *)
+  let r = mk () in
+  Nvm.Region.write_i64 r 4096 42L;
+  Nvm.Region.clwb r 4096;
+  Nvm.Region.crash_persist_none r;
+  check_i64 "not guaranteed" 0L (Nvm.Region.read_i64 r 4096)
+
+let wbinvd_persists_everything () =
+  let r = mk () in
+  for i = 0 to 99 do
+    Nvm.Region.write_i64 r (4096 + (i * 64)) (Int64.of_int i)
+  done;
+  Nvm.Region.wbinvd r;
+  check_int "all clean" 0 (Nvm.Region.dirty_line_count r);
+  Nvm.Region.crash_persist_none r;
+  for i = 0 to 99 do
+    check_i64 "survives" (Int64.of_int i) (Nvm.Region.read_i64 r (4096 + (i * 64)))
+  done
+
+let crash_all_equals_flush () =
+  let r = mk () in
+  Nvm.Region.write_i64 r 4096 7L;
+  Nvm.Region.write_i64 r 4160 8L;
+  Nvm.Region.crash_persist_all r;
+  check_i64 "kept 1" 7L (Nvm.Region.read_i64 r 4096);
+  check_i64 "kept 2" 8L (Nvm.Region.read_i64 r 4160)
+
+(* --- PCSO: same-line prefix semantics ---------------------------------- *)
+
+let pcso_same_line_prefix () =
+  (* Writes w1 w2 w3 to one line: the crash may keep any prefix, never a
+     subset that skips an earlier write. Enumerate all prefixes. *)
+  for k = 0 to 3 do
+    let r = mk () in
+    Nvm.Region.write_i64 r 4096 1L;
+    Nvm.Region.write_i64 r 4104 2L;
+    Nvm.Region.write_i64 r 4112 3L;
+    Nvm.Region.crash_with r ~choose:(fun ~line:_ ~nwrites ->
+        Alcotest.(check int) "three pending" 3 nwrites;
+        k);
+    let v1 = Nvm.Region.read_i64 r 4096 in
+    let v2 = Nvm.Region.read_i64 r 4104 in
+    let v3 = Nvm.Region.read_i64 r 4112 in
+    let expect = [| (0L, 0L, 0L); (1L, 0L, 0L); (1L, 2L, 0L); (1L, 2L, 3L) |] in
+    let e1, e2, e3 = expect.(k) in
+    check_i64 "w1" e1 v1;
+    check_i64 "w2" e2 v2;
+    check_i64 "w3" e3 v3
+  done
+
+let pcso_same_word_overwrites () =
+  (* Two writes to the SAME word: prefix 1 must expose the first value. *)
+  let r = mk () in
+  Nvm.Region.write_i64 r 4096 10L;
+  Nvm.Region.write_i64 r 4096 20L;
+  Nvm.Region.crash_with r ~choose:(fun ~line:_ ~nwrites:_ -> 1);
+  check_i64 "first value" 10L (Nvm.Region.read_i64 r 4096)
+
+let pcso_lines_independent () =
+  (* Different lines may persist different prefixes: the later line's write
+     can survive while the earlier line's is lost. *)
+  let r = mk () in
+  Nvm.Region.write_i64 r 4096 1L;
+  (* line A, first *)
+  Nvm.Region.write_i64 r 8192 2L;
+  (* line B, second *)
+  Nvm.Region.crash_with r ~choose:(fun ~line ~nwrites:_ ->
+      if line = 8192 / 64 then 1 else 0);
+  check_i64 "A lost" 0L (Nvm.Region.read_i64 r 4096);
+  check_i64 "B kept" 2L (Nvm.Region.read_i64 r 8192)
+
+let pcso_random_crash_is_prefix =
+  QCheck.Test.make ~name:"random crash keeps a per-line prefix" ~count:200
+    QCheck.(pair (int_bound 1000000) (list_of_size Gen.(int_range 1 20) (int_bound 7)))
+    (fun (seed, writes) ->
+      QCheck.assume (writes <> []);
+      let r = mk () in
+      (* Write an increasing stamp to word [w] of one line; record order. *)
+      List.iteri
+        (fun i w -> Nvm.Region.write_i64 r (4096 + (8 * w)) (Int64.of_int (i + 1)))
+        writes;
+      let rng = Util.Rng.create ~seed in
+      Nvm.Region.crash r rng;
+      (* Persisted state must equal replaying some prefix k. *)
+      let words () = List.init 8 (fun w -> Nvm.Region.read_i64 r (4096 + (8 * w))) in
+      let got = words () in
+      let model = Array.make 8 0L in
+      let matches_prefix k =
+        Array.fill model 0 8 0L;
+        List.iteri
+          (fun i w -> if i < k then model.(w) <- Int64.of_int (i + 1))
+          writes;
+        got = Array.to_list model
+      in
+      let n = List.length writes in
+      let rec any k = k <= n && (matches_prefix k || any (k + 1)) in
+      any 0)
+
+let multi_line_write_splits () =
+  (* A 16-byte store straddling a line boundary becomes two per-line
+     stores; the second may persist without the first. *)
+  let r = mk () in
+  let addr = 4096 + 56 in
+  Nvm.Region.write_bytes r addr (Bytes.make 16 'x');
+  Nvm.Region.crash_with r ~choose:(fun ~line ~nwrites:_ ->
+      if line = (4096 + 64) / 64 then 1 else 0);
+  check_int "first half lost" 0 (Nvm.Region.read_u8 r addr);
+  check_int "second half kept" (Char.code 'x') (Nvm.Region.read_u8 r (4096 + 64))
+
+(* --- eviction and capacity --------------------------------------------- *)
+
+let eviction_bounds_dirty_lines () =
+  let r = mk ~max_dirty_lines:64 () in
+  for i = 0 to 999 do
+    Nvm.Region.write_i64 r (4096 + (i * 64)) (Int64.of_int i)
+  done;
+  check "dirty bounded" true (Nvm.Region.dirty_line_count r <= 64 + 1);
+  check "evictions happened" true
+    ((Nvm.Region.stats r).Nvm.Stats.evictions > 0)
+
+let evicted_lines_survive_crash () =
+  (* Background write-backs persist data even without explicit flushes. *)
+  let r = mk ~max_dirty_lines:8 () in
+  for i = 0 to 99 do
+    Nvm.Region.write_i64 r (4096 + (i * 64)) (Int64.of_int (i + 1))
+  done;
+  Nvm.Region.crash_persist_none r;
+  let survived = ref 0 in
+  for i = 0 to 99 do
+    if Nvm.Region.read_i64 r (4096 + (i * 64)) = Int64.of_int (i + 1) then
+      incr survived
+  done;
+  check "most lines were evicted to NVM" true (!survived >= 80)
+
+let line_log_overflow_evicts () =
+  (* Hammering one line beyond the log bound behaves like an eviction:
+     bounded memory, still crash-consistent (prefix of the tail). *)
+  let r = mk () in
+  for i = 1 to 10_000 do
+    Nvm.Region.write_i64 r 4096 (Int64.of_int i)
+  done;
+  Nvm.Region.crash_with r ~choose:(fun ~line:_ ~nwrites:_ -> 0);
+  let v = Int64.to_int (Nvm.Region.read_i64 r 4096) in
+  check "value is some prior state" true (v >= 0 && v <= 10_000)
+
+(* --- statistics and clock ---------------------------------------------- *)
+
+let stats_count_events () =
+  let r = mk () in
+  let s0 = Nvm.Stats.snapshot (Nvm.Region.stats r) in
+  Nvm.Region.write_i64 r 4096 1L;
+  Nvm.Region.clwb r 4096;
+  Nvm.Region.sfence r;
+  Nvm.Region.release_fence r;
+  Nvm.Region.wbinvd r;
+  let d = Nvm.Stats.diff ~after:(Nvm.Region.stats r) ~before:s0 in
+  check_int "writes" 1 d.Nvm.Stats.writes;
+  check_int "clwb" 1 d.Nvm.Stats.clwb;
+  check_int "sfence" 1 d.Nvm.Stats.sfence;
+  check_int "release" 1 d.Nvm.Stats.release_fence;
+  check_int "wbinvd" 1 d.Nvm.Stats.wbinvd
+
+let clock_prices_events () =
+  let cfg = small_cfg () in
+  let r = Nvm.Region.create cfg in
+  let t0 = (Nvm.Region.stats r).Nvm.Stats.sim_ns in
+  Nvm.Region.write_i64 r 4096 1L;
+  Nvm.Region.clwb r 4096;
+  Nvm.Region.sfence r;
+  let c = cfg.Nvm.Config.cost in
+  (* The first touch of the line also pays one LLC miss. *)
+  let expect =
+    c.Nvm.Config.write_ns +. c.Nvm.Config.mem_miss_ns +. c.Nvm.Config.clwb_ns
+    +. c.Nvm.Config.sfence_ns
+  in
+  let d = (Nvm.Region.stats r).Nvm.Stats.sim_ns -. t0 in
+  Alcotest.(check (float 0.001)) "price" expect d
+
+let sfence_extra_latency_charged () =
+  let cfg = Nvm.Config.with_sfence_extra_ns (small_cfg ()) 1000.0 in
+  let r = Nvm.Region.create cfg in
+  let t0 = (Nvm.Region.stats r).Nvm.Stats.sim_ns in
+  Nvm.Region.sfence r;
+  let d = (Nvm.Region.stats r).Nvm.Stats.sim_ns -. t0 in
+  check "includes emulated latency" true (d >= 1000.0)
+
+let llc_misses_priced_once () =
+  let cfg = small_cfg () in
+  let r = Nvm.Region.create cfg in
+  let c = cfg.Nvm.Config.cost in
+  let t0 = (Nvm.Region.stats r).Nvm.Stats.sim_ns in
+  ignore (Nvm.Region.read_i64 r 4096);
+  let t1 = (Nvm.Region.stats r).Nvm.Stats.sim_ns in
+  Alcotest.(check (float 0.001)) "first access misses"
+    (c.Nvm.Config.read_ns +. c.Nvm.Config.mem_miss_ns)
+    (t1 -. t0);
+  ignore (Nvm.Region.read_i64 r 4104);
+  let t2 = (Nvm.Region.stats r).Nvm.Stats.sim_ns in
+  Alcotest.(check (float 0.001)) "same line hits" c.Nvm.Config.read_ns (t2 -. t1);
+  ignore (Nvm.Region.read_i64 r 8192);
+  let t3 = (Nvm.Region.stats r).Nvm.Stats.sim_ns in
+  Alcotest.(check (float 0.001)) "other line misses"
+    (c.Nvm.Config.read_ns +. c.Nvm.Config.mem_miss_ns)
+    (t3 -. t2)
+
+let llc_rewards_locality () =
+  (* A skewed access stream over a large footprint must be cheaper than a
+     uniform one (the paper's zipfian-beats-uniform effect). *)
+  let footprint = 512 * 1024 in
+  let run hot =
+    let r = Nvm.Region.create (small_cfg ()) in
+    let rng = Util.Rng.create ~seed:5 in
+    let t0 = (Nvm.Region.stats r).Nvm.Stats.sim_ns in
+    for _ = 1 to 20_000 do
+      let addr =
+        if hot && Util.Rng.int rng 10 < 9 then 8 * Util.Rng.int rng 64
+        else 8 * Util.Rng.int rng (footprint / 8)
+      in
+      ignore (Nvm.Region.read_i64 r (addr land lnot 7))
+    done;
+    (Nvm.Region.stats r).Nvm.Stats.sim_ns -. t0
+  in
+  check "locality is cheaper" true (run true < run false /. 2.0)
+
+let counting_mode_rejects_crash () =
+  let r = mk ~crash_support:Nvm.Config.Counting () in
+  Nvm.Region.write_i64 r 4096 1L;
+  check "crash rejected" true
+    (try
+       Nvm.Region.crash_persist_none r;
+       false
+     with Failure _ -> true)
+
+(* --- superblock --------------------------------------------------------- *)
+
+let superblock_format_check () =
+  let r = mk () in
+  check "unformatted" false (Nvm.Superblock.is_formatted r);
+  Nvm.Superblock.format r;
+  check "formatted" true (Nvm.Superblock.is_formatted r);
+  Nvm.Superblock.check r;
+  (* Formatting is immediately durable. *)
+  Nvm.Region.crash_persist_none r;
+  check "survives crash" true (Nvm.Superblock.is_formatted r)
+
+let layout_lines_disjoint () =
+  (* Allocator metadata lines must be distinct cache lines. *)
+  let lines = ref [] in
+  for i = 0 to Nvm.Layout.max_size_classes - 1 do
+    lines := Nvm.Layout.alloc_class_free_line i :: Nvm.Layout.alloc_class_limbo_line i :: !lines
+  done;
+  lines := Nvm.Layout.off_bump :: Nvm.Layout.off_durable_epoch :: !lines;
+  let ids = List.map (fun o -> o / 64) !lines in
+  let sorted = List.sort_uniq compare ids in
+  check_int "all distinct lines" (List.length ids) (List.length sorted);
+  check "inside superblock" true
+    (List.for_all (fun o -> o < Nvm.Layout.superblock_bytes) !lines)
+
+let tests =
+  ( "nvm",
+    [
+      Alcotest.test_case "read/write roundtrip" `Quick rw_roundtrip;
+      Alcotest.test_case "unaligned i64 rejected" `Quick unaligned_i64_rejected;
+      Alcotest.test_case "out of bounds rejected" `Quick out_of_bounds_rejected;
+      Alcotest.test_case "blit within" `Quick blit_within_copies;
+      Alcotest.test_case "crash loses unflushed data" `Quick crash_without_flush_loses_data;
+      Alcotest.test_case "clwb+sfence persists" `Quick clwb_sfence_persists;
+      Alcotest.test_case "clwb alone insufficient" `Quick clwb_without_sfence_not_guaranteed;
+      Alcotest.test_case "wbinvd persists everything" `Quick wbinvd_persists_everything;
+      Alcotest.test_case "crash_persist_all" `Quick crash_all_equals_flush;
+      Alcotest.test_case "PCSO same-line prefixes" `Quick pcso_same_line_prefix;
+      Alcotest.test_case "PCSO same-word overwrite" `Quick pcso_same_word_overwrites;
+      Alcotest.test_case "PCSO lines independent" `Quick pcso_lines_independent;
+      QCheck_alcotest.to_alcotest pcso_random_crash_is_prefix;
+      Alcotest.test_case "multi-line write splits" `Quick multi_line_write_splits;
+      Alcotest.test_case "eviction bounds dirty set" `Quick eviction_bounds_dirty_lines;
+      Alcotest.test_case "evicted lines survive" `Quick evicted_lines_survive_crash;
+      Alcotest.test_case "line-log overflow evicts" `Quick line_log_overflow_evicts;
+      Alcotest.test_case "stats count events" `Quick stats_count_events;
+      Alcotest.test_case "clock prices events" `Quick clock_prices_events;
+      Alcotest.test_case "sfence extra latency" `Quick sfence_extra_latency_charged;
+      Alcotest.test_case "LLC misses priced once" `Quick llc_misses_priced_once;
+      Alcotest.test_case "LLC rewards locality" `Quick llc_rewards_locality;
+      Alcotest.test_case "counting mode rejects crash" `Quick counting_mode_rejects_crash;
+      Alcotest.test_case "superblock format/check" `Quick superblock_format_check;
+      Alcotest.test_case "layout lines disjoint" `Quick layout_lines_disjoint;
+    ] )

@@ -1,0 +1,165 @@
+(* Tests for the YCSB workload generator and the benchmark runner. *)
+
+module Y = Workload.Ycsb
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let frac_puts ops =
+  let puts =
+    Array.fold_left
+      (fun a -> function Y.Put _ -> a + 1 | _ -> a)
+      0 ops
+  in
+  float_of_int puts /. float_of_int (Array.length ops)
+
+let mix_fractions () =
+  let gen mix =
+    let rng = Util.Rng.create ~seed:5 in
+    Y.generate { Y.mix; dist = Y.Uniform; nkeys = 10_000 } rng ~n:20_000
+  in
+  let a = frac_puts (gen Y.A) in
+  check "A ~50% puts" true (a > 0.47 && a < 0.53);
+  let b = frac_puts (gen Y.B) in
+  check "B ~5% puts" true (b > 0.03 && b < 0.07);
+  check "C read-only" true (frac_puts (gen Y.C) = 0.0);
+  let e = gen Y.E in
+  check "E all scans" true
+    (Array.for_all (function Y.Scan (_, n) -> n = Y.scan_length | _ -> false) e)
+
+let keys_are_scrambled_8_bytes () =
+  let ks = Y.load_keys ~nkeys:1000 in
+  check_int "count" 1000 (Array.length ks);
+  Array.iter (fun k -> check_int "8 bytes" 8 (String.length k)) ks;
+  (* Adjacent ranks are far apart after scrambling. *)
+  let sorted = Array.copy ks in
+  Array.sort compare sorted;
+  check "not in rank order" true (ks <> sorted)
+
+let zipfian_targets_hot_keys () =
+  let rng = Util.Rng.create ~seed:6 in
+  let ops =
+    Y.generate { Y.mix = Y.C; dist = Y.Zipfian; nkeys = 10_000 } rng ~n:50_000
+  in
+  let counts = Hashtbl.create 64 in
+  Array.iter
+    (function
+      | Y.Get k ->
+          Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+      | _ -> ())
+    ops;
+  let max_count = Hashtbl.fold (fun _ c a -> max c a) counts 0 in
+  check "hot key exists" true (max_count > 500);
+  check "but keys are spread (scrambled)" true (Hashtbl.length counts > 1000)
+
+let values_verifiable () =
+  let k = Y.key_of_rank 123 in
+  Alcotest.(check string) "deterministic" (Y.value_for k) (Y.value_for k);
+  check_int "8 bytes" 8 (String.length (Y.value_for k))
+
+let mix_parsing () =
+  check "A" true (Y.mix_of_string "a" = Y.A);
+  check "ycsb_e" true (Y.mix_of_string "YCSB_E" = Y.E);
+  Alcotest.(check string) "name" "YCSB_B" (Y.mix_name Y.B)
+
+(* --- runner end-to-end ------------------------------------------------- *)
+
+let runner_single_thread () =
+  let r =
+    Bench_harness.Runner.run ~threads:1 ~ops_per_thread:5_000
+      ~variant:Incll.System.Incll ~mix:Y.A ~dist:Y.Uniform ~nkeys:2_000 ()
+  in
+  check_int "op count" 5_000 r.Bench_harness.Runner.ops;
+  check "sim time advanced" true (r.Bench_harness.Runner.sim_s > 0.0);
+  check "positive throughput" true (r.Bench_harness.Runner.mops_sim > 0.0);
+  check "writes happened" true (r.Bench_harness.Runner.writes > 0)
+
+let runner_multi_domain () =
+  let r =
+    Bench_harness.Runner.run ~threads:4 ~ops_per_thread:5_000
+      ~variant:Incll.System.Mt_plus ~mix:Y.A ~dist:Y.Uniform ~nkeys:4_000 ()
+  in
+  check_int "total ops" 20_000 r.Bench_harness.Runner.ops;
+  (* Parallel view is at most the sequential view. *)
+  check "max <= sum" true
+    (r.Bench_harness.Runner.sim_s <= r.Bench_harness.Runner.sim_total_s +. 1e-9)
+
+let runner_epochs_advance () =
+  let config =
+    Bench_harness.Runner.config_for ~epoch_len_ns:100_000.0
+      ~nkeys_per_shard:2_000 ()
+  in
+  let r =
+    Bench_harness.Runner.run ~threads:1 ~ops_per_thread:10_000 ~config
+      ~variant:Incll.System.Incll ~mix:Y.A ~dist:Y.Uniform ~nkeys:2_000 ()
+  in
+  check "checkpoints happened" true (r.Bench_harness.Runner.epochs > 0);
+  check "wbinvd ran" true (r.Bench_harness.Runner.wbinvds > 0)
+
+let tests =
+  ( "workload",
+    [
+      Alcotest.test_case "mix fractions" `Quick mix_fractions;
+      Alcotest.test_case "keys scrambled" `Quick keys_are_scrambled_8_bytes;
+      Alcotest.test_case "zipfian hot keys" `Quick zipfian_targets_hot_keys;
+      Alcotest.test_case "values verifiable" `Quick values_verifiable;
+      Alcotest.test_case "mix parsing" `Quick mix_parsing;
+      Alcotest.test_case "runner single thread" `Quick runner_single_thread;
+      Alcotest.test_case "runner multi domain" `Quick runner_multi_domain;
+      Alcotest.test_case "runner epochs advance" `Quick runner_epochs_advance;
+    ] )
+
+(* --- trace files --------------------------------------------------------- *)
+
+let trace_roundtrip () =
+  let ops =
+    [
+      Workload.Trace.Put ("plain", "value");
+      Workload.Trace.Put ("key with spaces", "v%1");
+      Workload.Trace.Get "plain";
+      Workload.Trace.Del "key with spaces";
+      Workload.Trace.Scan ("a", 7);
+    ]
+  in
+  let path = Filename.temp_file "incll_trace" ".txt" in
+  Workload.Trace.save path ops;
+  let back = Workload.Trace.load path in
+  check "roundtrip" true (back = ops);
+  Stdlib.Sys.remove path
+
+let trace_parse_edge_cases () =
+  check "blank" true (Workload.Trace.parse_line "" = None);
+  check "comment" true (Workload.Trace.parse_line "# hi" = None);
+  check "put" true
+    (Workload.Trace.parse_line "PUT a b" = Some (Workload.Trace.Put ("a", "b")));
+  check "escape decode" true
+    (Workload.Trace.decode_field "a%20b" = "a b");
+  check "escape encode" true (Workload.Trace.encode_field "a b" = "a%20b");
+  check "malformed rejected" true
+    (try ignore (Workload.Trace.parse_line "PUT onlykey"); false
+     with Failure _ -> true);
+  check "bad scan count" true
+    (try ignore (Workload.Trace.parse_line "SCAN a zero"); false
+     with Failure _ -> true)
+
+let trace_apply_executes () =
+  let sys = Incll.System.create Incll.System.Incll in
+  List.iter (Workload.Trace.apply sys)
+    [
+      Workload.Trace.Put ("k1", "v1");
+      Workload.Trace.Put ("k2", "v2");
+      Workload.Trace.Del "k1";
+      Workload.Trace.Get "k2";
+      Workload.Trace.Scan ("", 5);
+    ];
+  check "applied" true (Incll.System.get sys ~key:"k2" = Some "v2");
+  check "deleted" true (Incll.System.get sys ~key:"k1" = None)
+
+let trace_tests =
+  [
+    Alcotest.test_case "trace roundtrip" `Quick trace_roundtrip;
+    Alcotest.test_case "trace parse edge cases" `Quick trace_parse_edge_cases;
+    Alcotest.test_case "trace apply" `Quick trace_apply_executes;
+  ]
+
+let tests = (fst tests, snd tests @ trace_tests)
