@@ -1,0 +1,20 @@
+# Convenience targets; `make check` is the gate a PR must pass.
+
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+check:
+	dune build && dune runtest
+
+bench:
+	dune exec bench/main.exe -- --scale 0.001 --threads 2 --ops 5000
+
+clean:
+	dune clean

@@ -21,6 +21,7 @@ type opts = {
   mutable seed : int;
   mutable repeats : int;
   mutable csv_dir : string option;
+  mutable json_file : string option;
 }
 
 let opts =
@@ -33,7 +34,19 @@ let opts =
     seed = 1;
     repeats = 1;
     csv_dir = None;
+    json_file = None;
   }
+
+(* Accumulated across the whole invocation for --json: every emitted
+   table, and the merged metric registry of every measured run (sfence /
+   wbinvd latency histograms, epoch distributions, incll_hit vs
+   incll_fallback, ...). *)
+let json_tables : (string * Util.Table.t) list ref = ref []
+let global_metrics = Obs.Registry.create ()
+
+let note_metrics (r : R.result) =
+  Obs.Registry.merge_into ~into:global_metrics r.R.metrics;
+  r
 
 let paper_keys = 20_000_000
 let nkeys () = max 2_000 (int_of_float (float_of_int paper_keys *. opts.scale))
@@ -53,8 +66,9 @@ let run ?threads ?keys ?sfence_extra_ns ?val_incll variant mix dist =
   let threads = Option.value ~default:opts.threads threads in
   let keys = Option.value ~default:(nkeys ()) keys in
   let cfg = config ?sfence_extra_ns ?val_incll ~keys ~threads () in
-  R.run ~seed:opts.seed ~threads ~ops_per_thread:opts.ops ~config:cfg ~variant
-    ~mix ~dist ~nkeys:keys ()
+  note_metrics
+    (R.run ~seed:opts.seed ~threads ~ops_per_thread:opts.ops ~config:cfg
+       ~variant ~mix ~dist ~nkeys:keys ())
 
 (* Repeated runs with distinct workload seeds; returns (mean Mops,
    relative stdev). The paper averages 10 runs and reports 0.03-0.08%
@@ -65,9 +79,10 @@ let run_repeated ?threads ?keys variant mix dist =
         let threads = Option.value ~default:opts.threads threads in
         let keys = Option.value ~default:(nkeys ()) keys in
         let cfg = config ~keys ~threads () in
-        (R.run ~seed:(opts.seed + (1000 * i)) ~threads
-           ~ops_per_thread:opts.ops ~config:cfg ~variant ~mix ~dist
-           ~nkeys:keys ())
+        (note_metrics
+           (R.run ~seed:(opts.seed + (1000 * i)) ~threads
+              ~ops_per_thread:opts.ops ~config:cfg ~variant ~mix ~dist
+              ~nkeys:keys ()))
           .R.mops_sim)
   in
   let n = float_of_int (List.length samples) in
@@ -79,9 +94,11 @@ let run_repeated ?threads ?keys variant mix dist =
 
 let overhead ~base ~sys = (base -. sys) /. base
 
-(* Print a table and, when --csv DIR is given, also write DIR/<name>.csv. *)
+(* Print a table; when --csv DIR is given also write DIR/<name>.csv, and
+   when --json FILE is given remember it for the final report. *)
 let emit name t =
   Util.Table.print t;
+  if opts.json_file <> None then json_tables := (name, t) :: !json_tables;
   match opts.csv_dir with
   | None -> ()
   | Some dir ->
@@ -614,7 +631,10 @@ let usage () =
      \  --epoch-ms F   simulated epoch length (default 8.0; paper: 64)\n\
      \  --seed N       workload seed\n\
      \  --repeats N    Figure-2 runs per cell, reported as mean±stdev (default 1)\n\
-     \  --csv DIR      also write each table as DIR/<name>.csv";
+     \  --csv DIR      also write each table as DIR/<name>.csv\n\
+     \  --json FILE    write a machine-readable report: every table plus the\n\
+     \                 merged metric registry (throughput, sfence/wbinvd latency\n\
+     \                 percentiles, incll_hit vs incll_fallback counters, ...)";
   exit 0
 
 let parse_args () =
@@ -644,12 +664,61 @@ let parse_args () =
     | "--csv" :: v :: rest ->
         opts.csv_dir <- Some v;
         go rest
+    | "--json" :: v :: rest ->
+        opts.json_file <- Some v;
+        go rest
     | ("--help" | "-h") :: _ -> usage ()
     | x :: _ ->
         prerr_endline ("unknown argument: " ^ x);
         exit 2
   in
   go (List.tl (Array.to_list Sys.argv))
+
+let table_json t =
+  Obs.Json.Obj
+    [
+      ("columns", Obs.Json.List (List.map (fun c -> Obs.Json.String c) (Util.Table.columns t)));
+      ( "rows",
+        Obs.Json.List
+          (List.map
+             (fun row -> Obs.Json.List (List.map (fun c -> Obs.Json.String c) row))
+             (Util.Table.rows t)) );
+    ]
+
+let write_json_report path =
+  let opts_json =
+    Obs.Json.Obj
+      [
+        ("scale", Obs.Json.Float opts.scale);
+        ("keys", Obs.Json.Int (nkeys ()));
+        ("threads", Obs.Json.Int opts.threads);
+        ("ops_per_thread", Obs.Json.Int opts.ops);
+        ("epoch_ms", Obs.Json.Float opts.epoch_ms);
+        ("seed", Obs.Json.Int opts.seed);
+        ("repeats", Obs.Json.Int opts.repeats);
+      ]
+  in
+  let report =
+    Obs.Json.Obj
+      [
+        ("opts", opts_json);
+        ( "tables",
+          Obs.Json.Obj
+            (List.rev_map (fun (name, t) -> (name, table_json t)) !json_tables) );
+        ("metrics", Obs.Registry.to_json global_metrics);
+      ]
+  in
+  match open_out path with
+  | oc ->
+      output_string oc (Obs.Json.to_string_pretty report);
+      output_char oc '\n';
+      close_out oc;
+      line "    [json: %s]" path
+  | exception Sys_error msg ->
+      (* Don't lose the whole run to a bad path: the tables were already
+         printed; report and fail the exit code only. *)
+      Printf.eprintf "cannot write --json report: %s\n" msg;
+      exit 1
 
 let () =
   parse_args ();
@@ -660,4 +729,5 @@ let () =
     opts.threads
     (Util.Table.cell_int opts.ops)
     opts.epoch_ms opts.seed;
-  List.iter (fun (name, f) -> if selected name then f ()) all_benches
+  List.iter (fun (name, f) -> if selected name then f ()) all_benches;
+  match opts.json_file with None -> () | Some path -> write_json_report path

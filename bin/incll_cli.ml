@@ -18,6 +18,9 @@ let usage =
   crash [seed]            power failure (PCSO per-line prefixes)
   recover                 rebuild from the persistent image
   stats                   persistence-event counters
+  stats --json            the same plus histograms/metrics, as JSON
+  trace on|off            enable/disable the persistence-event trace ring
+  trace dump              print buffered trace events (JSON) and clear
   validate                walk and check the whole structure
   save <file>             write the persisted NVM image to a file
   load <file>             reboot from a saved image (single shard)
@@ -100,7 +103,7 @@ let () =
                 "power failure: volatile state lost; `recover` to restart"
           | [ "recover" ] ->
               if !crashed then begin
-                store := S.recover !store;
+                S.recover !store;
                 crashed := false;
                 print_endline "recovered to the last completed checkpoint"
               end
@@ -145,6 +148,36 @@ let () =
                 Printf.printf "         externally logged nodes: %d\n"
                   (Sys_.nodes_logged sys)
               done
+          | [ "stats"; "--json" ] when not !crashed ->
+              let shards =
+                List.init (S.nshards !store) (fun i ->
+                    Nvm.Stats.to_json
+                      (Nvm.Region.stats (Sys_.region (S.shard !store i))))
+              in
+              print_endline
+                (Obs.Json.to_string_pretty
+                   (Obs.Json.Obj
+                      [
+                        ("shards", Obs.Json.List shards);
+                        ("metrics", Obs.Registry.to_json (S.metrics !store));
+                      ]))
+          | [ "trace"; ("on" | "off") as sw ] ->
+              for i = 0 to S.nshards !store - 1 do
+                Obs.Trace.set_enabled
+                  (Nvm.Region.trace (Sys_.region (S.shard !store i)))
+                  (sw = "on")
+              done;
+              Printf.printf "trace %s (%d shard(s))\n" sw (S.nshards !store)
+          | [ "trace"; "dump" ] ->
+              let dump =
+                Obs.Json.List
+                  (List.init (S.nshards !store) (fun i ->
+                       let tr = Nvm.Region.trace (Sys_.region (S.shard !store i)) in
+                       let j = Obs.Trace.to_json tr in
+                       Obs.Trace.clear tr;
+                       j))
+              in
+              print_endline (Obs.Json.to_string_pretty dump)
           | _ when !crashed ->
               print_endline "the system is crashed; only `recover` works"
           | _ -> print_endline "unknown command (try `help`)"

@@ -60,7 +60,7 @@ let () =
   for round = 1 to 2 do
     S.put !store ~key:"in-flight" ~value:"doomed";
     S.crash !store rng;
-    store := S.recover !store;
+    S.recover !store;
     Printf.printf "outage %d: recovered; in-flight write rolled back: %b\n%!"
       round
       (S.get !store ~key:"in-flight" = None

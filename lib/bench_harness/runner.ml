@@ -15,6 +15,7 @@ type result = {
   epochs : int;
   incll_first_touches : int;
   incll_val_uses : int;
+  metrics : Obs.Registry.t;
 }
 
 let config_for ?(sfence_extra_ns = 0.0) ?(epoch_len_ns = 64.0e6)
@@ -119,6 +120,7 @@ let prepare ?(seed = 1) ?(threads = 1) ?(ops_per_thread = 100_000) ?config
 let measure { store; threads; shard_ops } =
   (* Clean start: checkpoint, then snapshot. *)
   Store.Sharded.advance_epochs store;
+  let metrics_before = Obs.Registry.snapshot (Store.Sharded.metrics store) in
   let before = Array.init threads (snapshot_shard store) in
   let epochs_before = Array.init threads (epochs_of store) in
   let counters_before = Array.init threads (counters_of store) in
@@ -186,6 +188,10 @@ let measure { store; threads; shard_ops } =
     epochs;
     incll_first_touches = ft;
     incll_val_uses = vu;
+    metrics =
+      Obs.Registry.diff
+        ~after:(Store.Sharded.metrics store)
+        ~before:metrics_before;
   }
 
 let run ?seed ?threads ?ops_per_thread ?config ~variant ~mix ~dist ~nkeys () =

@@ -25,6 +25,11 @@ type result = {
   epochs : int;  (** Checkpoints taken during the measured phase. *)
   incll_first_touches : int;
   incll_val_uses : int;
+  metrics : Obs.Registry.t;
+      (** Merged-over-shards registry delta for the measured phase:
+          sfence/wbinvd latency histograms, epoch length and dirty-line
+          distributions, external-log counters, and the
+          [incll_hit]/[incll_fallback] split (Figure 7's quantity). *)
 }
 
 val config_for :

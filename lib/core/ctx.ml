@@ -14,6 +14,12 @@ type t = {
   em : Epoch.Manager.t;
   log : Extlog.Log.t;
   counters : counters;
+  (* Registry mirrors of the Figure-7 split: every modification the InCLL
+     machinery absorbs bumps [m_incll_hit]; every one that falls back on
+     the external log bumps [m_incll_fallback]. *)
+  m_incll_hit : int ref;
+  m_incll_fallback : int ref;
+  m_first_touch : int ref;
 }
 
 let fresh_counters () =
@@ -29,7 +35,28 @@ let fresh_counters () =
   }
 
 let make em log =
-  { region = Epoch.Manager.region em; em; log; counters = fresh_counters () }
+  let region = Epoch.Manager.region em in
+  let m = Nvm.Region.metrics region in
+  {
+    region;
+    em;
+    log;
+    counters = fresh_counters ();
+    m_incll_hit = Obs.Registry.counter m "incll_hit";
+    m_incll_fallback = Obs.Registry.counter m "incll_fallback";
+    m_first_touch = Obs.Registry.counter m "incll_first_touch";
+  }
+
+let note_incll_hit t = incr t.m_incll_hit
+
+let note_first_touch t ~leaf =
+  incr t.m_incll_hit;
+  incr t.m_first_touch;
+  Nvm.Region.trace_event t.region ~kind:"incll_first_touch" ~arg:leaf
+
+let note_fallback t ~leaf =
+  incr t.m_incll_fallback;
+  Nvm.Region.trace_event t.region ~kind:"incll_fallback" ~arg:leaf
 
 let current t = Epoch.Manager.current t.em
 let lower16 = Epoch.Manager.lower16

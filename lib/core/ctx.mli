@@ -29,10 +29,24 @@ type t = {
   em : Epoch.Manager.t;
   log : Extlog.Log.t;
   counters : counters;
+  m_incll_hit : int ref;
+      (** Registry counter ["incll_hit"]: modifications absorbed in-line
+          (first touches + value-InCLL uses and hits). *)
+  m_incll_fallback : int ref;
+      (** Registry counter ["incll_fallback"]: modifications that went to
+          the external log (Figure 7's logged-node count). *)
+  m_first_touch : int ref;  (** Registry counter ["incll_first_touch"]. *)
 }
 
 val make : Epoch.Manager.t -> Extlog.Log.t -> t
 val fresh_counters : unit -> counters
+
+(** Figure-7 accounting, mirrored into the region's metric registry (the
+    hooks call these next to their own [counters] increments). *)
+
+val note_incll_hit : t -> unit
+val note_first_touch : t -> leaf:int -> unit
+val note_fallback : t -> leaf:int -> unit
 
 val log_node : t -> addr:int -> size:int -> unit
 (** Append to the external log; on a full log, force a checkpoint (which

@@ -36,6 +36,7 @@ let first_touch ctx leaf ~vc =
        fall back on the external log (§4.1.3; ~once an hour). *)
     ctx.Ctx.counters.Ctx.ext_fallback_epoch <-
       ctx.Ctx.counters.Ctx.ext_fallback_epoch + 1;
+    Ctx.note_fallback ctx ~leaf;
     log_leaf ctx leaf
   end
   else begin
@@ -51,7 +52,8 @@ let first_touch ctx leaf ~vc =
     L.set_epoch_word region leaf
       { EW.epoch = g; ins_allowed = true; logged = false };
     ctx.Ctx.counters.Ctx.first_touches <-
-      ctx.Ctx.counters.Ctx.first_touches + 1
+      ctx.Ctx.counters.Ctx.first_touches + 1;
+    Ctx.note_first_touch ctx ~leaf
   end
 
 let invalid_pair ~low_epoch =
@@ -67,6 +69,7 @@ let pre_insert ctx ~leaf =
        destroying the key/value pair a rollback must restore (§4.1.1). *)
     ctx.Ctx.counters.Ctx.ext_fallback_mixed <-
       ctx.Ctx.counters.Ctx.ext_fallback_mixed + 1;
+    Ctx.note_fallback ctx ~leaf;
     log_leaf ctx leaf
   end
 
@@ -89,6 +92,7 @@ let pre_update ctx ~val_incll ~leaf ~slot =
     if not (ew.EW.logged && ew.EW.epoch = Ctx.current ctx) then begin
       ctx.Ctx.counters.Ctx.ext_fallback_update <-
         ctx.Ctx.counters.Ctx.ext_fallback_update + 1;
+      Ctx.note_fallback ctx ~leaf;
       log_leaf ctx leaf
     end
   end
@@ -108,9 +112,11 @@ let pre_update ctx ~val_incll ~leaf ~slot =
       first_touch ctx leaf ~vc;
       (* first_touch may have chosen the external log instead; only count
          an InCLL use when it did not. *)
-      if not (L.epoch_word region leaf).EW.logged then
+      if not (L.epoch_word region leaf).EW.logged then begin
         ctx.Ctx.counters.Ctx.val_incll_uses <-
-          ctx.Ctx.counters.Ctx.val_incll_uses + 1
+          ctx.Ctx.counters.Ctx.val_incll_uses + 1;
+        Ctx.note_incll_hit ctx
+      end
     end
     else if ew.EW.logged then ()
     else begin
@@ -119,8 +125,9 @@ let pre_update ctx ~val_incll ~leaf ~slot =
       if d.V.idx = slot then
         (* The epoch-start value of this slot is already logged; further
            overwrites need nothing (valuable under skew, §4.1.3). *)
-        ctx.Ctx.counters.Ctx.val_incll_hits <-
-          ctx.Ctx.counters.Ctx.val_incll_hits + 1
+        (ctx.Ctx.counters.Ctx.val_incll_hits <-
+           ctx.Ctx.counters.Ctx.val_incll_hits + 1;
+         Ctx.note_incll_hit ctx)
       else if d.V.idx = V.invalid_idx then begin
         (* This line's InCLL is still free this epoch: claim it. Same
            cache line as the value slot, so no fence is needed before the
@@ -133,12 +140,14 @@ let pre_update ctx ~val_incll ~leaf ~slot =
              ~low_epoch:(Ctx.lower16 g));
         Nvm.Region.release_fence region;
         ctx.Ctx.counters.Ctx.val_incll_uses <-
-          ctx.Ctx.counters.Ctx.val_incll_uses + 1
+          ctx.Ctx.counters.Ctx.val_incll_uses + 1;
+        Ctx.note_incll_hit ctx
       end
       else begin
         (* Two hot slots share the line: external log (§4.1.3). *)
         ctx.Ctx.counters.Ctx.ext_fallback_update <-
           ctx.Ctx.counters.Ctx.ext_fallback_update + 1;
+        Ctx.note_fallback ctx ~leaf;
         log_leaf ctx leaf
       end
     end
@@ -162,7 +171,8 @@ let pre_structural ctx nodes =
           Nvm.Region.write_i64 region Nvm.Layout.off_root_meta
             (Int64.of_int e0);
           ctx.Ctx.counters.Ctx.ext_structural <-
-            ctx.Ctx.counters.Ctx.ext_structural + 1
+            ctx.Ctx.counters.Ctx.ext_structural + 1;
+          Ctx.note_fallback ctx ~leaf:addr
         end
       end
       else if L.is_leaf_node region addr then begin
@@ -171,7 +181,8 @@ let pre_structural ctx nodes =
           Ctx.log_node ctx ~addr ~size:L.node_bytes;
           stamp_logged ctx addr;
           ctx.Ctx.counters.Ctx.ext_structural <-
-            ctx.Ctx.counters.Ctx.ext_structural + 1
+            ctx.Ctx.counters.Ctx.ext_structural + 1;
+          Ctx.note_fallback ctx ~leaf:addr
         end
       end
       else if I.logged_epoch region addr <> e0 then begin
@@ -180,7 +191,8 @@ let pre_structural ctx nodes =
         Ctx.log_node ctx ~addr ~size:I.node_bytes;
         I.set_logged_epoch region addr e0;
         ctx.Ctx.counters.Ctx.ext_structural <-
-          ctx.Ctx.counters.Ctx.ext_structural + 1
+          ctx.Ctx.counters.Ctx.ext_structural + 1;
+        Ctx.note_fallback ctx ~leaf:addr
       end
     in
     List.iter log_one nodes;

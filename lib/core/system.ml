@@ -42,6 +42,7 @@ type t = {
 
 let variant t = t.variant
 let region t = t.region
+let metrics t = Nvm.Region.metrics t.region
 let tree t = t.tree
 let epoch_manager t = t.em
 let ctx t = t.ctx
@@ -231,6 +232,7 @@ let recover_region ~variant ~config region =
   Epoch.Manager.advance em;
   let wall1 = Unix.gettimeofday () in
   let sim1 = (Nvm.Region.stats region).Nvm.Stats.sim_ns in
+  Nvm.Region.trace_event region ~kind:"recover" ~arg:replayed;
   {
     variant;
     config;

@@ -38,6 +38,11 @@ val create : ?config:config -> variant -> t
 
 val variant : t -> variant
 val region : t -> Nvm.Region.t
+
+val metrics : t -> Obs.Registry.t
+(** The region's metric registry: the NVM substrate's latency histograms
+    plus the epoch, external-log and InCLL counters layered onto it. *)
+
 val tree : t -> Masstree.Tree.t
 val epoch_manager : t -> Epoch.Manager.t option
 val ctx : t -> Ctx.t option

@@ -10,6 +10,9 @@ type t = {
   mutable advances : int;
   failed : (int, unit) Hashtbl.t;
   mutable subscribers : (unit -> unit) list;  (* reversed *)
+  h_epoch_len : Obs.Histogram.t;  (* completed epoch lengths, sim ns *)
+  h_epoch_dirty : Obs.Histogram.t;  (* dirty lines flushed per checkpoint *)
+  c_advances : int ref;  (* "epoch.advances" registry counter *)
 }
 
 let default_epoch_len_ns = 64.0e6 (* 64 ms, §4 *)
@@ -78,8 +81,15 @@ let clear_failed t =
   Nvm.Region.sfence t.region;
   Hashtbl.reset t.failed
 
+let observables region =
+  let m = Nvm.Region.metrics region in
+  ( Obs.Registry.histogram m "epoch.len_ns",
+    Obs.Registry.histogram m "epoch.dirty_lines",
+    Obs.Registry.counter m "epoch.advances" )
+
 let create ?(epoch_len_ns = default_epoch_len_ns) region =
   Nvm.Superblock.check region;
+  let h_epoch_len, h_epoch_dirty, c_advances = observables region in
   let t =
     {
       region;
@@ -91,6 +101,9 @@ let create ?(epoch_len_ns = default_epoch_len_ns) region =
       advances = 0;
       failed = Hashtbl.create 8;
       subscribers = [];
+      h_epoch_len;
+      h_epoch_dirty;
+      c_advances;
     }
   in
   write_durable_epoch t 2;
@@ -101,6 +114,7 @@ let open_after_crash ?(epoch_len_ns = default_epoch_len_ns) region =
   Nvm.Superblock.check region;
   let crashed = read_durable_epoch region in
   if crashed < 2 then failwith "Manager: corrupt durable epoch index";
+  let h_epoch_len, h_epoch_dirty, c_advances = observables region in
   let t =
     {
       region;
@@ -112,6 +126,9 @@ let open_after_crash ?(epoch_len_ns = default_epoch_len_ns) region =
       advances = 0;
       failed = Hashtbl.create 8;
       subscribers = [];
+      h_epoch_len;
+      h_epoch_dirty;
+      c_advances;
     }
   in
   load_failed_set t;
@@ -123,6 +140,12 @@ let open_after_crash ?(epoch_len_ns = default_epoch_len_ns) region =
   t
 
 let advance t =
+  let now = (Nvm.Region.stats t.region).Nvm.Stats.sim_ns in
+  Obs.Histogram.record t.h_epoch_len (now -. t.epoch_start_ns);
+  Obs.Histogram.record t.h_epoch_dirty
+    (float_of_int (Nvm.Region.dirty_line_count t.region));
+  incr t.c_advances;
+  Nvm.Region.trace_event t.region ~kind:"epoch_advance" ~arg:(t.current + 1);
   Nvm.Region.wbinvd t.region;
   write_durable_epoch t (t.current + 1);
   t.current <- t.current + 1;

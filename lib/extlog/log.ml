@@ -17,10 +17,14 @@ type t = {
   mutable tail : int;  (* transient append cursor, relative to [off] *)
   mutable nodes_logged : int;
   mutable bytes_logged : int;
+  c_appends : int ref;  (* "extlog.appends" registry counter *)
+  c_replayed : int ref;  (* "extlog.replayed" registry counter *)
+  h_append_bytes : Obs.Histogram.t;  (* payload size per append *)
 }
 
 let attach region =
   let cfg = Nvm.Region.config region in
+  let m = Nvm.Region.metrics region in
   {
     region;
     off = Nvm.Layout.extlog_off + log_header_bytes;
@@ -28,6 +32,9 @@ let attach region =
     tail = 0;
     nodes_logged = 0;
     bytes_logged = 0;
+    c_appends = Obs.Registry.counter m "extlog.appends";
+    c_replayed = Obs.Registry.counter m "extlog.replayed";
+    h_append_bytes = Obs.Registry.histogram m "extlog.append_bytes";
   }
 
 let capacity t = t.len
@@ -88,7 +95,10 @@ let append t ~epoch ~addr ~size =
   Nvm.Region.sfence t.region;
   t.tail <- t.tail + total;
   t.nodes_logged <- t.nodes_logged + 1;
-  t.bytes_logged <- t.bytes_logged + size
+  t.bytes_logged <- t.bytes_logged + size;
+  incr t.c_appends;
+  Obs.Histogram.record t.h_append_bytes (float_of_int size);
+  Nvm.Region.trace_event t.region ~kind:"extlog_append" ~arg:size
 
 (* Walk the intact-entry prefix, calling [f] on each entry. *)
 let fold_entries t f =
@@ -140,4 +150,6 @@ let replay t ~is_failed =
         incr applied
       end
       else stop := true);
+  t.c_replayed := !(t.c_replayed) + !applied;
+  Nvm.Region.trace_event t.region ~kind:"extlog_replay" ~arg:!applied;
   !applied

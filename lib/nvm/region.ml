@@ -10,8 +10,13 @@ type t = {
   dirty_pos : int array;  (* line -> index in dirty_list, -1 if clean *)
   logs : Line_log.t option array;  (* Precise mode: log per dirty line *)
   pending_wb : Util.Ivec.t;  (* lines clwb'd since the last sfence *)
+  wb_pending : Bytes.t;  (* one byte per line: 1 iff in pending_wb *)
   evict_rng : Util.Rng.t;
   stats : Stats.t;
+  metrics : Obs.Registry.t;
+  trace : Obs.Trace.t;
+  h_sfence : Obs.Histogram.t;  (* per-sfence latency, ns *)
+  h_wbinvd : Obs.Histogram.t;  (* per-wbinvd latency, ns *)
   scratch : Bytes.t;  (* 8-byte staging buffer for word stores *)
   mutable sfence_extra_ns : float;  (* runtime-adjustable emulated latency *)
   (* Direct-mapped LLC tag array: models capacity misses so locality has a
@@ -29,6 +34,7 @@ let create (cfg : Config.t) =
   if cfg.size_bytes <= 0 || cfg.size_bytes land (Config.line_size - 1) <> 0
   then invalid_arg "Region.create: size must be a positive multiple of 64";
   let nlines = cfg.size_bytes / Config.line_size in
+  let metrics = Obs.Registry.create () in
   {
     cfg;
     nlines;
@@ -42,8 +48,13 @@ let create (cfg : Config.t) =
     dirty_pos = Array.make nlines (-1);
     logs = Array.make (if cfg.crash_support = Config.Precise then nlines else 0) None;
     pending_wb = Util.Ivec.create ~capacity:64 ();
+    wb_pending = Bytes.make nlines '\000';
     evict_rng = Util.Rng.create ~seed:0x5eed_ca5e;
     stats = Stats.create ();
+    metrics;
+    trace = Obs.Trace.create ();
+    h_sfence = Obs.Registry.histogram metrics "nvm.sfence_ns";
+    h_wbinvd = Obs.Registry.histogram metrics "nvm.wbinvd_ns";
     scratch = Bytes.create 8;
     sfence_extra_ns = cfg.cost.Config.sfence_extra_ns;
     (* 2^18 slots x 64 B = a 16 MiB simulated LLC. *)
@@ -53,6 +64,11 @@ let create (cfg : Config.t) =
 
 let config t = t.cfg
 let stats t = t.stats
+let metrics t = t.metrics
+let trace t = t.trace
+
+let trace_event t ~kind ~arg =
+  Obs.Trace.record t.trace ~ts_ns:t.stats.Stats.sim_ns ~kind ~arg
 let size t = t.cfg.Config.size_bytes
 let dirty_line_count t = Util.Ivec.length t.dirty_list
 let is_dirty_line t line = Bytes.unsafe_get t.dirty line <> '\000'
@@ -208,19 +224,39 @@ let blit_within t ~src ~dst ~len =
 
 (* --- persistence instructions ---------------------------------------- *)
 
+let pending_wb_count t = Util.Ivec.length t.pending_wb
+
+(* Forget the pending write-back set without committing anything (the
+   lines were either just committed or just lost to a crash/flush). *)
+let clear_pending_wb t =
+  Util.Ivec.iter
+    (fun line -> Bytes.unsafe_set t.wb_pending line '\000')
+    t.pending_wb;
+  Util.Ivec.clear t.pending_wb
+
 let clwb t addr =
   check_range t addr 1;
   let line = line_of_addr addr in
-  Util.Ivec.push t.pending_wb line;
+  (* Re-flushing an already-pending line is a no-op at the next fence;
+     pushing it again would grow the vector and re-commit redundantly. *)
+  if Bytes.unsafe_get t.wb_pending line = '\000' then begin
+    Bytes.unsafe_set t.wb_pending line '\001';
+    Util.Ivec.push t.pending_wb line
+  end;
   t.stats.Stats.clwb <- t.stats.Stats.clwb + 1;
-  Stats.add_ns t.stats t.cfg.Config.cost.Config.clwb_ns
+  Stats.add_ns t.stats t.cfg.Config.cost.Config.clwb_ns;
+  trace_event t ~kind:"clwb" ~arg:line
 
 let sfence t =
+  let drained = Util.Ivec.length t.pending_wb in
   Util.Ivec.iter (fun line -> commit_line t line) t.pending_wb;
-  Util.Ivec.clear t.pending_wb;
+  clear_pending_wb t;
   t.stats.Stats.sfence <- t.stats.Stats.sfence + 1;
   let c = t.cfg.Config.cost in
-  Stats.add_ns t.stats (c.Config.sfence_ns +. t.sfence_extra_ns)
+  let cost = c.Config.sfence_ns +. t.sfence_extra_ns in
+  Stats.add_ns t.stats cost;
+  Obs.Histogram.record t.h_sfence cost;
+  trace_event t ~kind:"sfence" ~arg:drained
 
 let release_fence t =
   (* Same-line ordering is already program order in this simulator; the
@@ -234,7 +270,7 @@ let wbinvd t =
     let line = Util.Ivec.get t.dirty_list (dirty_line_count t - 1) in
     commit_line t line
   done;
-  Util.Ivec.clear t.pending_wb;
+  clear_pending_wb t;
   (* Real wbinvd also invalidates, but the post-flush refill of a 19 MB
      L3 over a 64 ms epoch costs the paper's machine ~1%; at this
      simulator's compressed epoch scale the same modelling would charge
@@ -243,9 +279,13 @@ let wbinvd t =
   t.stats.Stats.wbinvd <- t.stats.Stats.wbinvd + 1;
   t.stats.Stats.wbinvd_lines <- t.stats.Stats.wbinvd_lines + ndirty;
   let c = t.cfg.Config.cost in
-  Stats.add_ns t.stats
-    (c.Config.wbinvd_base_ns
-    +. (float_of_int ndirty *. c.Config.wbinvd_per_line_ns))
+  let cost =
+    c.Config.wbinvd_base_ns
+    +. (float_of_int ndirty *. c.Config.wbinvd_per_line_ns)
+  in
+  Stats.add_ns t.stats cost;
+  Obs.Histogram.record t.h_wbinvd cost;
+  trace_event t ~kind:"wbinvd" ~arg:ndirty
 
 let charge_op t = Stats.add_ns t.stats t.cfg.Config.cost.Config.op_base_ns
 
@@ -275,9 +315,13 @@ let crash_with t ~choose =
     if moved >= 0 then t.dirty_pos.(moved) <- idx;
     t.dirty_pos.(line) <- -1
   done;
-  Util.Ivec.clear t.pending_wb;
+  clear_pending_wb t;
+  (* Power is gone: the LLC is cold. Without this, post-crash recovery
+     reads of pre-crash-hot lines were never charged [mem_miss_ns]. *)
+  Array.fill t.llc_tags 0 (Array.length t.llc_tags) 0;
   Bytes.blit t.persisted 0 t.volatile 0 (Bytes.length t.persisted);
-  t.stats.Stats.crashes <- t.stats.Stats.crashes + 1
+  t.stats.Stats.crashes <- t.stats.Stats.crashes + 1;
+  trace_event t ~kind:"crash" ~arg:0
 
 let crash t rng =
   crash_with t ~choose:(fun ~line:_ ~nwrites -> Util.Rng.int rng (nwrites + 1))
@@ -292,7 +336,8 @@ let install_image t image =
   let n = Bytes.length image in
   if n > Bytes.length t.volatile then invalid_arg "Region.install_image";
   Bytes.blit image 0 t.volatile 0 n;
-  Bytes.blit image 0 t.persisted 0 n
+  Bytes.blit image 0 t.persisted 0 n;
+  Array.fill t.llc_tags 0 (Array.length t.llc_tags) 0
 
 let pending_writes t =
   if not (precise t) then failwith "Region.pending_writes: Counting mode";

@@ -28,6 +28,21 @@ val config : t -> Config.t
 val stats : t -> Stats.t
 val size : t -> int
 
+val metrics : t -> Obs.Registry.t
+(** The region's metric registry. The region itself feeds the
+    ["nvm.sfence_ns"] and ["nvm.wbinvd_ns"] latency histograms; upper
+    layers (epoch manager, external log, InCLL hooks) register their own
+    counters and histograms here, so one registry describes the shard. *)
+
+val trace : t -> Obs.Trace.t
+(** The region's bounded event ring (disabled by default). The region
+    records ["clwb"] (arg: line id), ["sfence"] (arg: lines drained),
+    ["wbinvd"] (arg: dirty lines flushed) and ["crash"]; upper layers add
+    their events via {!trace_event}. *)
+
+val trace_event : t -> kind:string -> arg:int -> unit
+(** Record an event stamped with the current simulated time. *)
+
 val line_of_addr : addr -> int
 val same_line : addr -> addr -> bool
 val dirty_line_count : t -> int
@@ -60,6 +75,10 @@ val sfence : t -> unit
 (** Drain: every line [clwb]'d since the previous fence is committed to the
     persisted image. Expensive — a full NVM round trip (plus the emulated
     extra latency of Figures 3/8). *)
+
+val pending_wb_count : t -> int
+(** Distinct lines awaiting the next {!sfence} (repeated [clwb] of one
+    line counts once — white-box testing of the write-back set). *)
 
 val release_fence : t -> unit
 (** C++11 release fence: restricts compiler reordering only; free at run

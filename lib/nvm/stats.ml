@@ -77,9 +77,29 @@ let diff ~after ~before =
     sim_ns = after.sim_ns -. before.sim_ns;
   }
 
+(* Every counter field as a labelled list: the single source for [pp] and
+   [to_json], so adding a field to the record and here keeps every output
+   in sync (a test checks the arity). *)
+let int_fields t =
+  [
+    ("writes", t.writes);
+    ("reads", t.reads);
+    ("bytes", t.bytes_written);
+    ("clwb", t.clwb);
+    ("sfence", t.sfence);
+    ("release", t.release_fence);
+    ("wbinvd", t.wbinvd);
+    ("wbinvd_lines", t.wbinvd_lines);
+    ("committed", t.lines_committed);
+    ("evictions", t.evictions);
+    ("crashes", t.crashes);
+  ]
+
 let pp ppf t =
-  Format.fprintf ppf
-    "writes=%d reads=%d bytes=%d clwb=%d sfence=%d release=%d wbinvd=%d committed=%d \
-     evictions=%d crashes=%d sim_ms=%.3f"
-    t.writes t.reads t.bytes_written t.clwb t.sfence t.release_fence t.wbinvd
-    t.lines_committed t.evictions t.crashes (t.sim_ns /. 1e6)
+  List.iter (fun (k, v) -> Format.fprintf ppf "%s=%d " k v) (int_fields t);
+  Format.fprintf ppf "sim_ms=%.3f" (t.sim_ns /. 1e6)
+
+let to_json t =
+  Obs.Json.Obj
+    (List.map (fun (k, v) -> (k, Obs.Json.Int v)) (int_fields t)
+    @ [ ("sim_ns", Obs.Json.Float t.sim_ns) ])

@@ -32,3 +32,12 @@ val diff : after:t -> before:t -> t
 
 val snapshot : t -> t
 val pp : Format.formatter -> t -> unit
+(** One-line rendering of {e every} field (kept exhaustive by a test). *)
+
+val int_fields : t -> (string * int) list
+(** Every integer counter with its display label, in declaration order
+    ([sim_ns] is the only non-member). Feeds [pp], [to_json] and the
+    exhaustiveness test. *)
+
+val to_json : t -> Obs.Json.t
+(** All fields, as an object. *)

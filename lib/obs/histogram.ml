@@ -1,0 +1,108 @@
+(* 8 geometric sub-buckets per power of two, octaves 0..63: bucket 0 holds
+   [0,1), bucket 1+8*o+s holds [2^o*(1+s/8), 2^o*(1+(s+1)/8)). *)
+
+let subs = 8
+let octaves = 64
+let nbuckets = 1 + (octaves * subs)
+
+type t = {
+  buckets : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () =
+  {
+    buckets = Array.make nbuckets 0;
+    count = 0;
+    sum = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity;
+  }
+
+let index_of v =
+  if v < 1.0 then 0
+  else begin
+    let m, e = Float.frexp v in
+    (* v = m * 2^e with m in [0.5,1), so v lies in octave e-1. *)
+    let octave = min (octaves - 1) (e - 1) in
+    let sub =
+      min (subs - 1) (int_of_float ((m *. 2.0 -. 1.0) *. float_of_int subs))
+    in
+    1 + (octave * subs) + sub
+  end
+
+(* Midpoint of bucket [i] — the value reported for ranks landing there. *)
+let midpoint i =
+  if i = 0 then 0.5
+  else begin
+    let octave = (i - 1) / subs and sub = (i - 1) mod subs in
+    let base = Float.ldexp 1.0 octave in
+    let width = base /. float_of_int subs in
+    base +. (float_of_int sub *. width) +. (width /. 2.0)
+  end
+
+let record t v =
+  let v = if v < 0.0 then 0.0 else v in
+  t.buckets.(index_of v) <- t.buckets.(index_of v) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.count
+let sum t = t.sum
+let min_value t = if t.count = 0 then 0.0 else t.min_v
+let max_value t = if t.count = 0 then 0.0 else t.max_v
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+
+let percentile t q =
+  if t.count = 0 then 0.0
+  else begin
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int t.count))) in
+    let i = ref 0 and seen = ref 0 in
+    while !seen < rank && !i < nbuckets do
+      seen := !seen + t.buckets.(!i);
+      if !seen < rank then incr i
+    done;
+    Float.min t.max_v (Float.max t.min_v (midpoint !i))
+  end
+
+let merge_into ~into src =
+  Array.iteri (fun i n -> into.buckets.(i) <- into.buckets.(i) + n) src.buckets;
+  into.count <- into.count + src.count;
+  into.sum <- into.sum +. src.sum;
+  if src.min_v < into.min_v then into.min_v <- src.min_v;
+  if src.max_v > into.max_v then into.max_v <- src.max_v
+
+let copy t =
+  {
+    buckets = Array.copy t.buckets;
+    count = t.count;
+    sum = t.sum;
+    min_v = t.min_v;
+    max_v = t.max_v;
+  }
+
+let diff ~after ~before =
+  let d = copy after in
+  Array.iteri (fun i n -> d.buckets.(i) <- d.buckets.(i) - n) before.buckets;
+  d.count <- after.count - before.count;
+  d.sum <- after.sum -. before.sum;
+  d
+
+let to_json t =
+  Json.Obj
+    [
+      ("count", Json.Int t.count);
+      ("sum", Json.Float t.sum);
+      ("mean", Json.Float (mean t));
+      ("min", Json.Float (min_value t));
+      ("max", Json.Float (max_value t));
+      ("p50", Json.Float (percentile t 0.50));
+      ("p90", Json.Float (percentile t 0.90));
+      ("p99", Json.Float (percentile t 0.99));
+    ]

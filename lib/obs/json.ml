@@ -1,0 +1,87 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* JSON has no NaN/Infinity literals; map them to null rather than emit an
+   unparseable file. *)
+let add_float buf f =
+  match Float.classify_float f with
+  | FP_nan | FP_infinite -> Buffer.add_string buf "null"
+  | _ ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string buf (Printf.sprintf "%.1f" f)
+      else Buffer.add_string buf (Printf.sprintf "%.12g" f)
+
+let rec write buf indent v =
+  let nl i =
+    match indent with
+    | None -> ()
+    | Some _ ->
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make (2 * i) ' ')
+  in
+  let level = match indent with None -> 0 | Some i -> i in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> add_float buf f
+  | String s -> add_escaped buf s
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          nl (level + 1);
+          write buf (Option.map (fun _ -> level + 1) indent) item)
+        items;
+      nl level;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_char buf ',';
+          nl (level + 1);
+          add_escaped buf k;
+          Buffer.add_char buf ':';
+          (match indent with Some _ -> Buffer.add_char buf ' ' | None -> ());
+          write buf (Option.map (fun _ -> level + 1) indent) item)
+        fields;
+      nl level;
+      Buffer.add_char buf '}'
+
+let to_buffer buf v = write buf None v
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  to_buffer buf v;
+  Buffer.contents buf
+
+let to_string_pretty v =
+  let buf = Buffer.create 256 in
+  write buf (Some 0) v;
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** A minimal JSON value type and serializer (hand-rolled — the repo takes
+    no external JSON dependency). Enough for emitting metrics and bench
+    tables; there is deliberately no parser. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented rendering, for files meant to be read by humans. *)

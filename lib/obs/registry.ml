@@ -1,0 +1,75 @@
+type t = {
+  cnt : (string, int ref) Hashtbl.t;
+  hist : (string, Histogram.t) Hashtbl.t;
+}
+
+let create () = { cnt = Hashtbl.create 16; hist = Hashtbl.create 16 }
+
+let counter t name =
+  match Hashtbl.find_opt t.cnt name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.cnt name r;
+      r
+
+let histogram t name =
+  match Hashtbl.find_opt t.hist name with
+  | Some h -> h
+  | None ->
+      let h = Histogram.create () in
+      Hashtbl.add t.hist name h;
+      h
+
+let counter_value t name =
+  match Hashtbl.find_opt t.cnt name with Some r -> !r | None -> 0
+
+let find_histogram t name = Hashtbl.find_opt t.hist name
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counters t = List.map (fun (k, r) -> (k, !r)) (sorted_bindings t.cnt)
+let histograms t = sorted_bindings t.hist
+
+let merge_into ~into src =
+  Hashtbl.iter (fun name r -> counter into name := !(counter into name) + !r)
+    src.cnt;
+  Hashtbl.iter
+    (fun name h -> Histogram.merge_into ~into:(histogram into name) h)
+    src.hist
+
+let merged ts =
+  let t = create () in
+  List.iter (fun src -> merge_into ~into:t src) ts;
+  t
+
+let snapshot t = merged [ t ]
+
+let diff ~after ~before =
+  let d = create () in
+  Hashtbl.iter
+    (fun name r -> counter d name := !r - counter_value before name)
+    after.cnt;
+  Hashtbl.iter
+    (fun name h ->
+      let h' =
+        match find_histogram before name with
+        | Some b -> Histogram.diff ~after:h ~before:b
+        | None -> Histogram.copy h
+      in
+      Hashtbl.add d.hist name h')
+    after.hist;
+  d
+
+let to_json t =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters t)) );
+      ( "histograms",
+        Json.Obj
+          (List.map (fun (k, h) -> (k, Histogram.to_json h)) (histograms t))
+      );
+    ]

@@ -1,0 +1,43 @@
+(** A named-metric registry: integer counters and log-scale histograms.
+
+    Handles returned by {!counter} / {!histogram} are get-or-create and
+    stable, so hot paths look a name up once and then pay only an int
+    increment or a bucket bump per event. One registry belongs to one
+    region (= one shard = one domain); cross-shard views are built with
+    {!merged}. *)
+
+type t
+
+val create : unit -> t
+
+val counter : t -> string -> int ref
+(** Get or create the named counter. *)
+
+val histogram : t -> string -> Histogram.t
+(** Get or create the named histogram. *)
+
+val counter_value : t -> string -> int
+(** 0 when the counter does not exist. *)
+
+val find_histogram : t -> string -> Histogram.t option
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val histograms : t -> (string * Histogram.t) list
+(** Sorted by name. *)
+
+val merge_into : into:t -> t -> unit
+(** Add every metric of [src] into [into], creating names as needed. *)
+
+val merged : t list -> t
+(** Fresh registry holding the sum of the inputs (shard merging). *)
+
+val snapshot : t -> t
+(** Deep copy, for before/after window measurements. *)
+
+val diff : after:t -> before:t -> t
+(** Per-name difference; names only in [after] pass through unchanged. *)
+
+val to_json : t -> Json.t
+(** [{"counters": {...}, "histograms": {name: {count,...,p99}}}]. *)

@@ -1,0 +1,58 @@
+type event = { ts_ns : float; kind : string; arg : int }
+
+let dummy = { ts_ns = 0.0; kind = ""; arg = 0 }
+
+type t = {
+  buf : event array;
+  mutable enabled : bool;
+  mutable len : int;  (* events held *)
+  mutable next : int;  (* write cursor *)
+  mutable total : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { buf = Array.make capacity dummy; enabled = false; len = 0; next = 0; total = 0 }
+
+let enabled t = t.enabled
+let set_enabled t b = t.enabled <- b
+
+let record t ~ts_ns ~kind ~arg =
+  if t.enabled then begin
+    t.buf.(t.next) <- { ts_ns; kind; arg };
+    t.next <- (t.next + 1) mod Array.length t.buf;
+    if t.len < Array.length t.buf then t.len <- t.len + 1;
+    t.total <- t.total + 1
+  end
+
+let length t = t.len
+let total t = t.total
+let dropped t = t.total - t.len
+
+let to_list t =
+  let cap = Array.length t.buf in
+  let first = (t.next - t.len + cap) mod cap in
+  List.init t.len (fun i -> t.buf.((first + i) mod cap))
+
+let clear t =
+  t.len <- 0;
+  t.next <- 0;
+  t.total <- 0
+
+let to_json t =
+  Json.Obj
+    [
+      ("total", Json.Int t.total);
+      ("dropped", Json.Int (dropped t));
+      ( "events",
+        Json.List
+          (List.map
+             (fun e ->
+               Json.Obj
+                 [
+                   ("ts_ns", Json.Float e.ts_ns);
+                   ("kind", Json.String e.kind);
+                   ("arg", Json.Int e.arg);
+                 ])
+             (to_list t)) );
+    ]

@@ -1,0 +1,40 @@
+(** Bounded ring of persistence-relevant events, stamped with the
+    simulated clock.
+
+    Disabled by default: a disabled ring costs one branch per call site,
+    so the hot paths (clwb, sfence) can record unconditionally. When the
+    ring is full the oldest event is overwritten and counted as dropped —
+    tracing never grows memory or perturbs a long run. *)
+
+type event = {
+  ts_ns : float;  (** Simulated time at which the event happened. *)
+  kind : string;  (** e.g. "clwb", "sfence", "wbinvd", "epoch_advance". *)
+  arg : int;  (** Event-specific: line id, dirty-line count, bytes, ... *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 4096 events. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val record : t -> ts_ns:float -> kind:string -> arg:int -> unit
+(** No-op while disabled. *)
+
+val length : t -> int
+(** Events currently held (≤ capacity). *)
+
+val total : t -> int
+(** Events recorded since creation/clear, including overwritten ones. *)
+
+val dropped : t -> int
+
+val to_list : t -> event list
+(** Oldest first. *)
+
+val clear : t -> unit
+
+val to_json : t -> Json.t
+(** [{"total","dropped","events":[{ts_ns,kind,arg}]}]. *)

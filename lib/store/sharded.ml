@@ -63,8 +63,13 @@ let scan_rev t ?bound ~n () =
 let advance_epochs t = Array.iter Incll.System.advance_epoch t.shards
 let crash t rng = Array.iter (fun s -> Incll.System.crash s rng) t.shards
 
-let recover t =
-  { t with shards = Array.map Incll.System.recover t.shards }
+(* In place: [shards] is mutable, so the old `{t with shards = ...}` copy
+   left any alias of [t] still pointing at the pre-recovery shard array. *)
+let recover t = t.shards <- Array.map Incll.System.recover t.shards
+
+let metrics t =
+  Obs.Registry.merged
+    (Array.to_list (Array.map Incll.System.metrics t.shards))
 
 let sim_ns s =
   (Nvm.Region.stats (Incll.System.region s)).Nvm.Stats.sim_ns

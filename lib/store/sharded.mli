@@ -41,7 +41,14 @@ val advance_epochs : t -> unit
 (** Checkpoint every shard (the MT+ "global barrier" analogue). *)
 
 val crash : t -> Util.Rng.t -> unit
-val recover : t -> t
+
+val recover : t -> unit
+(** Recover every shard, {e in place}: every alias of [t] observes the
+    post-recovery shards (the shard array is mutable state, not a
+    functional view). *)
+
+val metrics : t -> Obs.Registry.t
+(** Fresh merged copy of every shard's metric registry. *)
 
 val total_sim_ns : t -> float
 (** Sum of per-shard simulated clocks (sequential-work view). *)

@@ -7,6 +7,9 @@ let add_row t row =
     invalid_arg "Table.add_row: wrong number of cells";
   t.rows <- row :: t.rows
 
+let columns t = t.columns
+let rows t = List.rev t.rows
+
 let widths t =
   let ncols = List.length t.columns in
   let w = Array.make ncols 0 in

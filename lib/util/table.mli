@@ -8,6 +8,12 @@ val create : columns:string list -> t
 val add_row : t -> string list -> unit
 (** Append a row; it must have as many cells as there are columns. *)
 
+val columns : t -> string list
+(** The header row, as given to {!create}. *)
+
+val rows : t -> string list list
+(** All rows in insertion order. *)
+
 val print : ?out:out_channel -> ?title:string -> t -> unit
 (** Render the table with aligned columns. *)
 

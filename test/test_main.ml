@@ -2,6 +2,7 @@ let () =
   Alcotest.run "incll"
     [
       Test_util.tests;
+      Test_obs.tests;
       Test_nvm.tests;
       Test_epoch.tests;
       Test_alloc.tests;

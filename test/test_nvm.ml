@@ -300,6 +300,93 @@ let counting_mode_rejects_crash () =
        false
      with Failure _ -> true)
 
+let crash_leaves_llc_cold () =
+  (* Regression: crash_with used to leave the LLC tag array warm, so the
+     first post-crash read of a previously-hot line was priced as a hit.
+     Power loss empties the cache hierarchy; the read must pay a miss. *)
+  let cfg = small_cfg () in
+  let r = Nvm.Region.create cfg in
+  let c = cfg.Nvm.Config.cost in
+  Nvm.Region.write_i64 r 4096 42L;
+  Nvm.Region.clwb r 4096;
+  Nvm.Region.sfence r;
+  ignore (Nvm.Region.read_i64 r 4096);
+  (* line is now hot *)
+  Nvm.Region.crash_persist_all r;
+  let t0 = (Nvm.Region.stats r).Nvm.Stats.sim_ns in
+  ignore (Nvm.Region.read_i64 r 4096);
+  let d = (Nvm.Region.stats r).Nvm.Stats.sim_ns -. t0 in
+  Alcotest.(check (float 0.001)) "first post-crash read misses"
+    (c.Nvm.Config.read_ns +. c.Nvm.Config.mem_miss_ns)
+    d
+
+let clwb_dedups_pending_writebacks () =
+  (* Regression: clwb on an already-pending line used to push a duplicate
+     entry into the write-back queue. The instruction (and its stat) still
+     counts, but the queue holds each line once. *)
+  let r = mk () in
+  Nvm.Region.write_i64 r 4096 1L;
+  Nvm.Region.write_i64 r 8192 2L;
+  Nvm.Region.clwb r 4096;
+  Nvm.Region.clwb r 4096;
+  Nvm.Region.clwb r 8192;
+  Nvm.Region.clwb r 4096;
+  check_int "queue holds each line once" 2 (Nvm.Region.pending_wb_count r);
+  check_int "every clwb still counted" 4 (Nvm.Region.stats r).Nvm.Stats.clwb;
+  Nvm.Region.sfence r;
+  check_int "sfence drains the queue" 0 (Nvm.Region.pending_wb_count r);
+  (* The pending flag must be cleared by the drain, not stuck. *)
+  Nvm.Region.write_i64 r 4096 3L;
+  Nvm.Region.clwb r 4096;
+  check_int "line can be queued again" 1 (Nvm.Region.pending_wb_count r)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let stats_outputs_cover_every_field () =
+  (* Regression: pp used to omit wbinvd_lines. Give every counter a
+     distinct value and require each to appear in pp, snapshot and diff. *)
+  let r = mk () in
+  let s = Nvm.Region.stats r in
+  let before = Nvm.Stats.snapshot s in
+  s.Nvm.Stats.writes <- 2;
+  s.Nvm.Stats.reads <- 3;
+  s.Nvm.Stats.bytes_written <- 5;
+  s.Nvm.Stats.clwb <- 7;
+  s.Nvm.Stats.sfence <- 11;
+  s.Nvm.Stats.release_fence <- 13;
+  s.Nvm.Stats.wbinvd <- 17;
+  s.Nvm.Stats.wbinvd_lines <- 19;
+  s.Nvm.Stats.lines_committed <- 23;
+  s.Nvm.Stats.evictions <- 29;
+  s.Nvm.Stats.crashes <- 31;
+  check_int "int_fields is exhaustive" 11 (List.length (Nvm.Stats.int_fields s));
+  let distinct =
+    List.sort_uniq compare (List.map snd (Nvm.Stats.int_fields s))
+  in
+  check_int "test gave every field a distinct value" 11 (List.length distinct);
+  let printed = Format.asprintf "%a" Nvm.Stats.pp s in
+  List.iter
+    (fun (name, v) ->
+      let cell = Printf.sprintf "%s=%d" name v in
+      check (cell ^ " printed") true (contains ~sub:cell printed))
+    (Nvm.Stats.int_fields s);
+  check "sim time printed" true (contains ~sub:"sim_ms=" printed);
+  (* snapshot and diff carry every field through. *)
+  let snap = Nvm.Stats.int_fields (Nvm.Stats.snapshot s) in
+  List.iter2
+    (fun (n, a) (n', b) ->
+      Alcotest.(check string) "field order" n n';
+      check_int ("snapshot " ^ n) a b)
+    (Nvm.Stats.int_fields s) snap;
+  let d = Nvm.Stats.diff ~after:s ~before in
+  List.iter2
+    (fun (n, a) ((_, b), (_, b0)) -> check_int ("diff " ^ n) a (b - b0))
+    (Nvm.Stats.int_fields d)
+    (List.combine (Nvm.Stats.int_fields s) (Nvm.Stats.int_fields before))
+
 (* --- superblock --------------------------------------------------------- *)
 
 let superblock_format_check () =
@@ -351,6 +438,9 @@ let tests =
       Alcotest.test_case "LLC misses priced once" `Quick llc_misses_priced_once;
       Alcotest.test_case "LLC rewards locality" `Quick llc_rewards_locality;
       Alcotest.test_case "counting mode rejects crash" `Quick counting_mode_rejects_crash;
+      Alcotest.test_case "crash leaves LLC cold" `Quick crash_leaves_llc_cold;
+      Alcotest.test_case "clwb dedups pending write-backs" `Quick clwb_dedups_pending_writebacks;
+      Alcotest.test_case "stats outputs cover every field" `Quick stats_outputs_cover_every_field;
       Alcotest.test_case "superblock format/check" `Quick superblock_format_check;
       Alcotest.test_case "layout lines disjoint" `Quick layout_lines_disjoint;
     ] )

@@ -1,0 +1,223 @@
+(* Tests for the observability layer: JSON serializer, log-scale
+   histograms, metric registries and the bounded trace ring. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* --- JSON --------------------------------------------------------------- *)
+
+let json_renders_scalars () =
+  let open Obs.Json in
+  check_str "null" "null" (to_string Null);
+  check_str "true" "true" (to_string (Bool true));
+  check_str "int" "42" (to_string (Int 42));
+  check_str "neg" "-7" (to_string (Int (-7)));
+  check_str "string" "\"hi\"" (to_string (String "hi"));
+  check_str "empty list" "[]" (to_string (List []));
+  check_str "empty obj" "{}" (to_string (Obj []))
+
+let json_escapes_strings () =
+  let open Obs.Json in
+  check_str "quote/backslash" "\"a\\\"b\\\\c\"" (to_string (String "a\"b\\c"));
+  check_str "newline" "\"a\\nb\"" (to_string (String "a\nb"));
+  check_str "control" "\"\\u0001\"" (to_string (String "\x01"))
+
+let json_floats_are_valid () =
+  let open Obs.Json in
+  (* NaN / infinities are not JSON; they must degrade to null. *)
+  check_str "nan" "null" (to_string (Float Float.nan));
+  check_str "inf" "null" (to_string (Float Float.infinity));
+  check_str "-inf" "null" (to_string (Float Float.neg_infinity));
+  (* Integer-valued floats keep a decimal point (stay floats on re-read). *)
+  check_str "whole float" "2.0" (to_string (Float 2.0));
+  check_str "fraction" "2.5" (to_string (Float 2.5))
+
+let json_nests () =
+  let open Obs.Json in
+  let v = Obj [ ("a", List [ Int 1; Obj [ ("b", Bool false) ] ]) ] in
+  check_str "compact" "{\"a\":[1,{\"b\":false}]}" (to_string v);
+  (* Pretty rendering stays parseable-equivalent: same tokens, plus
+     whitespace. *)
+  let strip s =
+    String.concat ""
+      (String.split_on_char '\n' (String.concat "" (String.split_on_char ' ' s)))
+  in
+  check_str "pretty = compact modulo whitespace" (to_string v)
+    (strip (to_string_pretty v))
+
+(* --- histogram ---------------------------------------------------------- *)
+
+let histogram_exact_aggregates () =
+  let h = Obs.Histogram.create () in
+  List.iter (Obs.Histogram.record h) [ 10.0; 20.0; 30.0; 40.0 ];
+  check_int "count" 4 (Obs.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 100.0 (Obs.Histogram.sum h);
+  Alcotest.(check (float 1e-9)) "mean" 25.0 (Obs.Histogram.mean h);
+  Alcotest.(check (float 1e-9)) "min" 10.0 (Obs.Histogram.min_value h);
+  Alcotest.(check (float 1e-9)) "max" 40.0 (Obs.Histogram.max_value h)
+
+let histogram_percentiles_approximate () =
+  (* 1..1000: each log-bucket is at most ~12.5% wide, so every quantile
+     must land within ~13% of the true value. *)
+  let h = Obs.Histogram.create () in
+  for i = 1 to 1000 do
+    Obs.Histogram.record h (float_of_int i)
+  done;
+  List.iter
+    (fun (q, truth) ->
+      let got = Obs.Histogram.percentile h q in
+      check
+        (Printf.sprintf "p%.0f within bucket error (got %.1f, true %.1f)"
+           (q *. 100.0) got truth)
+        true
+        (Float.abs (got -. truth) /. truth < 0.13))
+    [ (0.5, 500.0); (0.9, 900.0); (0.99, 990.0) ];
+  (* Extremes stay inside the observed range and in order. *)
+  let p0 = Obs.Histogram.percentile h 0.0
+  and p50 = Obs.Histogram.percentile h 0.5
+  and p100 = Obs.Histogram.percentile h 1.0 in
+  check "p0 within range" true (p0 >= 1.0 && p0 <= 2.0);
+  check "p100 within range" true (p100 > 900.0 && p100 <= 1000.0);
+  check "quantiles ordered" true (p0 <= p50 && p50 <= p100)
+
+let histogram_empty_is_quiet () =
+  let h = Obs.Histogram.create () in
+  check_int "count" 0 (Obs.Histogram.count h);
+  Alcotest.(check (float 0.0)) "p50" 0.0 (Obs.Histogram.percentile h 0.5);
+  Alcotest.(check (float 0.0)) "mean" 0.0 (Obs.Histogram.mean h)
+
+let histogram_merge_and_diff () =
+  let a = Obs.Histogram.create () and b = Obs.Histogram.create () in
+  List.iter (Obs.Histogram.record a) [ 1.0; 2.0 ];
+  List.iter (Obs.Histogram.record b) [ 100.0; 200.0 ];
+  let m = Obs.Histogram.copy a in
+  Obs.Histogram.merge_into ~into:m b;
+  check_int "merged count" 4 (Obs.Histogram.count m);
+  Alcotest.(check (float 1e-9)) "merged sum" 303.0 (Obs.Histogram.sum m);
+  let d = Obs.Histogram.diff ~after:m ~before:a in
+  check_int "diff count" 2 (Obs.Histogram.count d);
+  Alcotest.(check (float 1e-9)) "diff sum" 300.0 (Obs.Histogram.sum d);
+  (* The window's quantiles come from the window's buckets only. *)
+  check "diff p50 in b's range" true (Obs.Histogram.percentile d 0.5 >= 90.0)
+
+(* --- registry ----------------------------------------------------------- *)
+
+let registry_handles_are_stable () =
+  let r = Obs.Registry.create () in
+  let c1 = Obs.Registry.counter r "x" in
+  let c2 = Obs.Registry.counter r "x" in
+  check "same ref" true (c1 == c2);
+  incr c1;
+  incr c2;
+  check_int "both bump one counter" 2 (Obs.Registry.counter_value r "x");
+  check_int "absent counter reads 0" 0 (Obs.Registry.counter_value r "y");
+  let h1 = Obs.Registry.histogram r "h" in
+  let h2 = Obs.Registry.histogram r "h" in
+  check "same histogram" true (h1 == h2)
+
+let registry_merge_sums_shards () =
+  let shard i =
+    let r = Obs.Registry.create () in
+    Obs.Registry.counter r "ops" := 10 * (i + 1);
+    Obs.Histogram.record (Obs.Registry.histogram r "lat") (float_of_int (i + 1));
+    r
+  in
+  let m = Obs.Registry.merged [ shard 0; shard 1; shard 2 ] in
+  check_int "counters summed" 60 (Obs.Registry.counter_value m "ops");
+  match Obs.Registry.find_histogram m "lat" with
+  | None -> Alcotest.fail "merged histogram missing"
+  | Some h -> check_int "histograms summed" 3 (Obs.Histogram.count h)
+
+let registry_snapshot_diff_windows () =
+  let r = Obs.Registry.create () in
+  let c = Obs.Registry.counter r "n" in
+  c := 5;
+  let before = Obs.Registry.snapshot r in
+  c := 12;
+  Obs.Histogram.record (Obs.Registry.histogram r "h") 3.0;
+  let d = Obs.Registry.diff ~after:r ~before in
+  check_int "window counter" 7 (Obs.Registry.counter_value d "n");
+  (* Snapshot is a deep copy: mutating the live registry never moves it. *)
+  check_int "snapshot frozen" 5 (Obs.Registry.counter_value before "n");
+  (* Name only in [after] passes through. *)
+  match Obs.Registry.find_histogram d "h" with
+  | None -> Alcotest.fail "after-only histogram missing from diff"
+  | Some h -> check_int "after-only histogram" 1 (Obs.Histogram.count h)
+
+let registry_json_shape () =
+  let r = Obs.Registry.create () in
+  Obs.Registry.counter r "a" := 1;
+  Obs.Histogram.record (Obs.Registry.histogram r "b") 4.0;
+  match Obs.Registry.to_json r with
+  | Obs.Json.Obj [ ("counters", Obs.Json.Obj cs); ("histograms", Obs.Json.Obj hs) ]
+    ->
+      check_int "one counter" 1 (List.length cs);
+      check_int "one histogram" 1 (List.length hs);
+      check "histogram has p99" true
+        (match List.assoc "b" hs with
+        | Obs.Json.Obj fields -> List.mem_assoc "p99" fields
+        | _ -> false)
+  | _ -> Alcotest.fail "unexpected registry JSON shape"
+
+(* --- trace ring --------------------------------------------------------- *)
+
+let trace_disabled_by_default () =
+  let tr = Obs.Trace.create () in
+  check "disabled" false (Obs.Trace.enabled tr);
+  Obs.Trace.record tr ~ts_ns:1.0 ~kind:"x" ~arg:0;
+  check_int "no-op while disabled" 0 (Obs.Trace.length tr)
+
+let trace_ring_bounds_memory () =
+  let tr = Obs.Trace.create ~capacity:4 () in
+  Obs.Trace.set_enabled tr true;
+  for i = 1 to 10 do
+    Obs.Trace.record tr ~ts_ns:(float_of_int i) ~kind:"e" ~arg:i
+  done;
+  check_int "bounded" 4 (Obs.Trace.length tr);
+  check_int "total counts all" 10 (Obs.Trace.total tr);
+  check_int "dropped = overflow" 6 (Obs.Trace.dropped tr);
+  (* Oldest-first, and the survivors are the newest events. *)
+  Alcotest.(check (list int)) "keeps the tail" [ 7; 8; 9; 10 ]
+    (List.map (fun e -> e.Obs.Trace.arg) (Obs.Trace.to_list tr));
+  Obs.Trace.clear tr;
+  check_int "clear empties" 0 (Obs.Trace.length tr)
+
+let trace_events_through_region () =
+  (* End-to-end: the NVM region stamps events with the simulated clock. *)
+  let cfg =
+    {
+      Nvm.Config.default with
+      Nvm.Config.size_bytes = 1024 * 1024;
+      extlog_bytes = 64 * 1024;
+    }
+  in
+  let r = Nvm.Region.create cfg in
+  Obs.Trace.set_enabled (Nvm.Region.trace r) true;
+  Nvm.Region.write_i64 r 4096 1L;
+  Nvm.Region.clwb r 4096;
+  Nvm.Region.sfence r;
+  let kinds = List.map (fun e -> e.Obs.Trace.kind) (Obs.Trace.to_list (Nvm.Region.trace r)) in
+  Alcotest.(check (list string)) "clwb then sfence" [ "clwb"; "sfence" ] kinds;
+  let ts = List.map (fun e -> e.Obs.Trace.ts_ns) (Obs.Trace.to_list (Nvm.Region.trace r)) in
+  check "timestamps monotone" true (List.sort compare ts = ts)
+
+let tests =
+  ( "obs",
+    [
+      Alcotest.test_case "json scalars" `Quick json_renders_scalars;
+      Alcotest.test_case "json escaping" `Quick json_escapes_strings;
+      Alcotest.test_case "json floats valid" `Quick json_floats_are_valid;
+      Alcotest.test_case "json nesting/pretty" `Quick json_nests;
+      Alcotest.test_case "histogram aggregates exact" `Quick histogram_exact_aggregates;
+      Alcotest.test_case "histogram percentiles" `Quick histogram_percentiles_approximate;
+      Alcotest.test_case "histogram empty" `Quick histogram_empty_is_quiet;
+      Alcotest.test_case "histogram merge/diff" `Quick histogram_merge_and_diff;
+      Alcotest.test_case "registry stable handles" `Quick registry_handles_are_stable;
+      Alcotest.test_case "registry merges shards" `Quick registry_merge_sums_shards;
+      Alcotest.test_case "registry snapshot/diff" `Quick registry_snapshot_diff_windows;
+      Alcotest.test_case "registry JSON shape" `Quick registry_json_shape;
+      Alcotest.test_case "trace disabled by default" `Quick trace_disabled_by_default;
+      Alcotest.test_case "trace ring bounds memory" `Quick trace_ring_bounds_memory;
+      Alcotest.test_case "trace via region" `Quick trace_events_through_region;
+    ] )

@@ -149,7 +149,7 @@ let store_crash_recover () =
     Store.Sharded.put st ~key:(key8 i) ~value:"dirty"
   done;
   Store.Sharded.crash st (Util.Rng.create ~seed:42);
-  let st = Store.Sharded.recover st in
+  Store.Sharded.recover st;
   for i = 0 to 299 do
     check "kept" true (Store.Sharded.get st ~key:(key8 i) = Some (string_of_int i))
   done;
@@ -256,13 +256,89 @@ let concurrent_domains_stress () =
   let before = Store.Sharded.cardinal st in
   Store.Sharded.advance_epochs st;
   Store.Sharded.crash st (Util.Rng.create ~seed:55);
-  let st = Store.Sharded.recover st in
+  Store.Sharded.recover st;
   check_int "checkpointed state survives" before (Store.Sharded.cardinal st);
   for d = 0 to 3 do
     Masstree.Tree.validate (Sys_.tree (Store.Sharded.shard st d))
   done
 
+let recover_mutates_store_in_place () =
+  (* Regression: recover used to build and RETURN a fresh store while the
+     caller's binding kept the crashed shards — every alias had to be
+     rebound or it kept talking to dead systems. recover now swaps the
+     recovered shards into the existing store (unit return), so every
+     alias observes the recovery. *)
+  let cfg =
+    {
+      small_cfg with
+      Sys_.nvm = { small_cfg.Sys_.nvm with Nvm.Config.crash_support = Nvm.Config.Precise };
+    }
+  in
+  let st = Store.Sharded.create ~config:cfg Sys_.Incll ~shards:2 in
+  let alias = st in
+  for i = 0 to 99 do
+    Store.Sharded.put st ~key:(key8 i) ~value:(string_of_int i)
+  done;
+  Store.Sharded.advance_epochs st;
+  Store.Sharded.crash st (Util.Rng.create ~seed:7);
+  Store.Sharded.recover st;
+  (* The untouched alias serves reads from the recovered shards. *)
+  for i = 0 to 99 do
+    check "alias sees recovery" true
+      (Store.Sharded.get alias ~key:(key8 i) = Some (string_of_int i))
+  done;
+  check "alias accepts writes" true
+    (Store.Sharded.put alias ~key:(key8 1000) ~value:"post";
+     Store.Sharded.get st ~key:(key8 1000) = Some "post")
+
+(* Cross-shard scans: starts and bounds that land mid-shard, with windows
+   long enough to cross one or more shard boundaries. *)
+let scan_windows_cross_shard_boundaries () =
+  List.iter
+    (fun shards ->
+      let st = Store.Sharded.create ~config:small_cfg Sys_.Incll ~shards in
+      (* Keys cover the full first-byte range so every shard owns some. *)
+      let keys =
+        List.concat_map
+          (fun b -> List.init 4 (fun i -> Printf.sprintf "%02x-%d" b i))
+          (List.init 64 (fun i -> i * 4))
+      in
+      List.iter (fun k -> Store.Sharded.put st ~key:k ~value:k) keys;
+      let sorted = List.sort compare keys in
+      let expect_from start n =
+        List.filteri (fun i _ -> i < n)
+          (List.filter (fun k -> k >= start) sorted)
+      in
+      List.iter
+        (fun (start, n) ->
+          let got = List.map fst (Store.Sharded.scan st ~start ~n) in
+          check_int
+            (Printf.sprintf "scan %s n=%d (%d shards) length" start n shards)
+            (List.length (expect_from start n))
+            (List.length got);
+          Alcotest.(check (list string))
+            (Printf.sprintf "scan %s n=%d (%d shards) sorted" start n shards)
+            (expect_from start n) got)
+        [ ("", List.length keys); ("3e-2", 80); ("7a-0", 120); ("f8-3", 10) ];
+      let rev_sorted = List.rev sorted in
+      let expect_rev bound n =
+        List.filteri (fun i _ -> i < n)
+          (List.filter (fun k -> k <= bound) rev_sorted)
+      in
+      List.iter
+        (fun (bound, n) ->
+          let got = List.map fst (Store.Sharded.scan_rev st ~bound ~n ()) in
+          Alcotest.(check (list string))
+            (Printf.sprintf "scan_rev %s n=%d (%d shards)" bound n shards)
+            (expect_rev bound n) got)
+        [ ("zz", 90); ("80-9", 130); ("04-1", 3) ])
+    [ 2; 3; 4 ]
+
 let tests =
   (fst tests,
    snd tests
-   @ [ Alcotest.test_case "concurrent domains stress" `Slow concurrent_domains_stress ])
+   @ [
+       Alcotest.test_case "recover mutates store in place" `Quick recover_mutates_store_in_place;
+       Alcotest.test_case "scans cross shard boundaries" `Quick scan_windows_cross_shard_boundaries;
+       Alcotest.test_case "concurrent domains stress" `Slow concurrent_domains_stress;
+     ])
