@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the gate a PR must pass.
 
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench bench-gate clean
 
 all: build
 
@@ -10,8 +10,16 @@ build:
 test:
 	dune runtest
 
-check:
-	dune build && dune runtest
+# Build + unit tests + a smoke benchmark run whose JSON report must diff
+# cleanly against itself through bin/bench_compare (exercises the --json
+# schema, the parser and the regression gate end to end).
+check: build test bench-gate
+
+bench-gate:
+	dune exec bench/main.exe -- --only ablation_valincll --scale 0.001 \
+	  --threads 2 --ops 2000 --json _build/bench_check.json --date check
+	dune exec bin/bench_compare.exe -- \
+	  _build/bench_check.json _build/bench_check.json
 
 bench:
 	dune exec bench/main.exe -- --scale 0.001 --threads 2 --ops 5000

@@ -22,6 +22,8 @@ type opts = {
   mutable repeats : int;
   mutable csv_dir : string option;
   mutable json_file : string option;
+  mutable trace_file : string option;
+  mutable date : string option;  (* stamped into --json meta *)
 }
 
 let opts =
@@ -35,7 +37,11 @@ let opts =
     repeats = 1;
     csv_dir = None;
     json_file = None;
+    trace_file = None;
+    date = None;
   }
+
+let tracing () = opts.trace_file <> None
 
 (* Accumulated across the whole invocation for --json: every emitted
    table, and the merged metric registry of every measured run (sfence /
@@ -44,23 +50,54 @@ let opts =
 let json_tables : (string * Util.Table.t) list ref = ref []
 let global_metrics = Obs.Registry.create ()
 
+(* With --trace, every measured run rewrites the timeline file, so the
+   file that remains describes the last run of the invocation (narrow the
+   selection with --only to profile one run). *)
+let maybe_write_trace (r : R.result) =
+  match opts.trace_file with
+  | None -> ()
+  | Some path ->
+      let json = Obs.Perfetto.export ~series:r.R.series ~tracks:r.R.traces () in
+      let oc = open_out path in
+      output_string oc (Obs.Json.to_string_pretty json);
+      output_char oc '\n';
+      close_out oc
+
 let note_metrics (r : R.result) =
   Obs.Registry.merge_into ~into:global_metrics r.R.metrics;
+  maybe_write_trace r;
   r
 
 let paper_keys = 20_000_000
 let nkeys () = max 2_000 (int_of_float (float_of_int paper_keys *. opts.scale))
 
-let selected name = opts.only = [] || List.mem name opts.only
+(* Accept "figureN" as an alias for "figN" in --only. *)
+let canonical_name n =
+  let pre = "figure" in
+  let lp = String.length pre in
+  if String.length n > lp && String.sub n 0 lp = pre then
+    "fig" ^ String.sub n lp (String.length n - lp)
+  else n
+
+let selected name =
+  opts.only = [] || List.mem name (List.map canonical_name opts.only)
 
 let line fmt = Printf.printf (fmt ^^ "\n%!")
 
 let config ?(sfence_extra_ns = 0.0) ?(val_incll = true) ~keys ~threads () =
-  R.config_for ~sfence_extra_ns
-    ~epoch_len_ns:(opts.epoch_ms *. 1e6)
-    ~val_incll
-    ~nkeys_per_shard:((keys / threads) + 1)
-    ()
+  let cfg =
+    R.config_for ~sfence_extra_ns
+      ~epoch_len_ns:(opts.epoch_ms *. 1e6)
+      ~val_incll
+      ~nkeys_per_shard:((keys / threads) + 1)
+      ()
+  in
+  if tracing () then
+    {
+      cfg with
+      Sys_.nvm = { cfg.Sys_.nvm with Nvm.Config.trace_capacity = 1 lsl 16 };
+    }
+  else cfg
 
 let run ?threads ?keys ?sfence_extra_ns ?val_incll variant mix dist =
   let threads = Option.value ~default:opts.threads threads in
@@ -68,7 +105,7 @@ let run ?threads ?keys ?sfence_extra_ns ?val_incll variant mix dist =
   let cfg = config ?sfence_extra_ns ?val_incll ~keys ~threads () in
   note_metrics
     (R.run ~seed:opts.seed ~threads ~ops_per_thread:opts.ops ~config:cfg
-       ~variant ~mix ~dist ~nkeys:keys ())
+       ~trace:(tracing ()) ~variant ~mix ~dist ~nkeys:keys ())
 
 (* Repeated runs with distinct workload seeds; returns (mean Mops,
    relative stdev). The paper averages 10 runs and reports 0.03-0.08%
@@ -81,8 +118,8 @@ let run_repeated ?threads ?keys variant mix dist =
         let cfg = config ~keys ~threads () in
         (note_metrics
            (R.run ~seed:(opts.seed + (1000 * i)) ~threads
-              ~ops_per_thread:opts.ops ~config:cfg ~variant ~mix ~dist
-              ~nkeys:keys ()))
+              ~ops_per_thread:opts.ops ~config:cfg ~trace:(tracing ())
+              ~variant ~mix ~dist ~nkeys:keys ()))
           .R.mops_sim)
   in
   let n = float_of_int (List.length samples) in
@@ -184,10 +221,15 @@ let fig3 () =
         [ "latency ns"; "uniform Mops"; "uniform rel"; "zipfian Mops"; "zipfian rel" ]
   in
   let sweep dist =
-    R.run_latency_sweep ~seed:opts.seed ~threads:opts.threads
-      ~ops_per_thread:opts.ops
-      ~config:(config ~keys ~threads:opts.threads ())
-      ~variant:Sys_.Incll ~mix:Y.A ~dist ~nkeys:keys ~latencies ()
+    let pts =
+      R.run_latency_sweep ~seed:opts.seed ~threads:opts.threads
+        ~ops_per_thread:opts.ops
+        ~config:(config ~keys ~threads:opts.threads ())
+        ~trace:(tracing ()) ~variant:Sys_.Incll ~mix:Y.A ~dist ~nkeys:keys
+        ~latencies ()
+    in
+    List.iter (fun (_, r) -> maybe_write_trace r) pts;
+    pts
   in
   let u = sweep Y.Uniform and z = sweep Y.Zipfian in
   let base l = (snd (List.hd l)).R.mops_sim in
@@ -342,10 +384,14 @@ let fig8 () =
         [ "latency ns"; "dist"; "LOGGING Mops"; "LOGGING rel"; "INCLL Mops"; "INCLL rel" ]
   in
   let sweep variant dist =
-    R.run_latency_sweep ~seed:opts.seed ~threads:opts.threads
-      ~ops_per_thread:opts.ops
-      ~config:(config ~keys ~threads:opts.threads ())
-      ~variant ~mix:Y.A ~dist ~nkeys:keys ~latencies ()
+    let pts =
+      R.run_latency_sweep ~seed:opts.seed ~threads:opts.threads
+        ~ops_per_thread:opts.ops
+        ~config:(config ~keys ~threads:opts.threads ())
+        ~trace:(tracing ()) ~variant ~mix:Y.A ~dist ~nkeys:keys ~latencies ()
+    in
+    List.iter (fun (_, r) -> maybe_write_trace r) pts;
+    pts
   in
   List.iter
     (fun dist ->
@@ -632,9 +678,16 @@ let usage () =
      \  --seed N       workload seed\n\
      \  --repeats N    Figure-2 runs per cell, reported as mean±stdev (default 1)\n\
      \  --csv DIR      also write each table as DIR/<name>.csv\n\
-     \  --json FILE    write a machine-readable report: every table plus the\n\
-     \                 merged metric registry (throughput, sfence/wbinvd latency\n\
-     \                 percentiles, incll_hit vs incll_fallback counters, ...)";
+     \  --json FILE    write a machine-readable report: run metadata (schema,\n\
+     \                 seed, scale, ...), every table, and the merged metric\n\
+     \                 registry (throughput, sfence/wbinvd latency percentiles,\n\
+     \                 incll_hit vs incll_fallback counters, ...). Compare two\n\
+     \                 reports with bin/bench_compare.exe.\n\
+     \  --trace FILE   write a Chrome trace_event timeline (open in Perfetto or\n\
+     \                 chrome://tracing) of the last measured run: span slices,\n\
+     \                 sfence/wbinvd durations, epoch intervals, counter tracks\n\
+     \  --date STR     date string recorded in the --json metadata (defaults to\n\
+     \                 today; pass explicitly for reproducible reports)";
   exit 0
 
 let parse_args () =
@@ -667,6 +720,12 @@ let parse_args () =
     | "--json" :: v :: rest ->
         opts.json_file <- Some v;
         go rest
+    | "--trace" :: v :: rest ->
+        opts.trace_file <- Some v;
+        go rest
+    | "--date" :: v :: rest ->
+        opts.date <- Some v;
+        go rest
     | ("--help" | "-h") :: _ -> usage ()
     | x :: _ ->
         prerr_endline ("unknown argument: " ^ x);
@@ -685,10 +744,24 @@ let table_json t =
              (Util.Table.rows t)) );
     ]
 
+(* Bumped whenever the report layout changes incompatibly;
+   bench_compare refuses to diff reports with different versions. *)
+let json_schema_version = 2
+
+let date_string () =
+  match opts.date with
+  | Some d -> d
+  | None ->
+      let tm = Unix.localtime (Unix.time ()) in
+      Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
+        (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+
 let write_json_report path =
-  let opts_json =
+  let meta_json =
     Obs.Json.Obj
       [
+        ("schema_version", Obs.Json.Int json_schema_version);
+        ("date", Obs.Json.String (date_string ()));
         ("scale", Obs.Json.Float opts.scale);
         ("keys", Obs.Json.Int (nkeys ()));
         ("threads", Obs.Json.Int opts.threads);
@@ -696,12 +769,17 @@ let write_json_report path =
         ("epoch_ms", Obs.Json.Float opts.epoch_ms);
         ("seed", Obs.Json.Int opts.seed);
         ("repeats", Obs.Json.Int opts.repeats);
+        ( "variants",
+          Obs.Json.List
+            (List.map
+               (fun v -> Obs.Json.String (Sys_.variant_name v))
+               [ Sys_.Mt; Sys_.Mt_plus; Sys_.Logging; Sys_.Incll ]) );
       ]
   in
   let report =
     Obs.Json.Obj
       [
-        ("opts", opts_json);
+        ("meta", meta_json);
         ( "tables",
           Obs.Json.Obj
             (List.rev_map (fun (name, t) -> (name, table_json t)) !json_tables) );

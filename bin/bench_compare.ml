@@ -1,0 +1,238 @@
+(* Diff two `bench --json` reports and gate on throughput regressions.
+
+   Usage: bench_compare [--threshold F] [--force] BASELINE.json NEW.json
+
+   Rows are matched within each table by their non-numeric cells (the
+   workload / dist / size labels); numeric cells are compared column by
+   column. Only throughput columns (header containing "Mops" or naming a
+   variant) gate the exit code: lower-is-worse, and a drop beyond the
+   threshold (default 10%) is a regression.
+
+   Exit codes: 0 no regression, 1 regression(s) found, 2 usage error,
+   3 unreadable/incompatible reports. *)
+
+module J = Obs.Json
+
+let threshold = ref 0.10
+let force = ref false
+
+let usage_exit () =
+  prerr_endline
+    "usage: bench_compare [--threshold F] [--force] BASELINE.json NEW.json\n\
+     \  --threshold F  relative throughput drop that fails the gate\n\
+     \                 (default 0.10 = 10%)\n\
+     \  --force        compare even when the run metadata is incompatible";
+  exit 2
+
+let fail_input fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("bench_compare: " ^ msg);
+      exit 3)
+    fmt
+
+let read_report path =
+  let contents =
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error msg -> fail_input "%s" msg
+  in
+  match J.of_string contents with
+  | j -> j
+  | exception J.Parse_error msg -> fail_input "%s: %s" path msg
+
+(* ------------------------------------------------------------- numbers *)
+
+(* Numeric cells come in several shapes: "3.14", "1,234", "+10.3%",
+   "2.41±0.12%". Strip separators, take the value before any "±", drop a
+   trailing "%". Returns None for labels ("YCSB_A", "uniform", "n/a"). *)
+let cell_number s =
+  let s = String.trim s in
+  let s =
+    (* "±" is two bytes in UTF-8 (0xC2 0xB1). *)
+    let rec find_pm i =
+      if i + 1 >= String.length s then None
+      else if Char.code s.[i] = 0xC2 && Char.code s.[i + 1] = 0xB1 then Some i
+      else find_pm (i + 1)
+    in
+    match find_pm 0 with Some i -> String.sub s 0 i | None -> s
+  in
+  let s =
+    let n = String.length s in
+    if n > 0 && s.[n - 1] = '%' then String.sub s 0 (n - 1) else s
+  in
+  let buf = Buffer.create (String.length s) in
+  String.iter (fun c -> if c <> ',' then Buffer.add_char buf c) s;
+  let s = Buffer.contents buf in
+  if s = "" then None else float_of_string_opt s
+
+(* ---------------------------------------------------------------- meta *)
+
+let meta_field report name =
+  match J.find_path report [ "meta"; name ] with
+  | Some v -> v
+  | None -> (
+      (* Schema-1 reports kept the run parameters under "opts" and had
+         no version field; surface that as version 1. *)
+      match J.find_path report [ "opts"; name ] with
+      | Some v -> v
+      | None -> if name = "schema_version" then J.Int 1 else J.Null)
+
+let check_meta a b =
+  let mismatches =
+    List.filter_map
+      (fun name ->
+        let va = meta_field a name and vb = meta_field b name in
+        if va <> vb then
+          Some (Printf.sprintf "%s: %s vs %s" name (J.to_string va) (J.to_string vb))
+        else None)
+      [
+        "schema_version"; "scale"; "keys"; "threads"; "ops_per_thread";
+        "epoch_ms";
+      ]
+  in
+  if mismatches <> [] then begin
+    let msg = String.concat ", " mismatches in
+    if !force then
+      Printf.eprintf "bench_compare: metadata mismatch (continuing, --force): %s\n" msg
+    else
+      fail_input "incompatible reports (%s); re-run with matching options or pass --force"
+        msg
+  end;
+  (* A different seed is a different workload stream: comparable, but
+     noisier — worth a note, not a refusal. *)
+  if meta_field a "seed" <> meta_field b "seed" then
+    prerr_endline "bench_compare: note: seeds differ (different workload streams)"
+
+(* -------------------------------------------------------------- tables *)
+
+let strings_of = function
+  | J.List l ->
+      List.map (function J.String s -> s | v -> J.to_string v) l
+  | _ -> []
+
+let table_rows tbl =
+  match J.find tbl "rows" with
+  | Some (J.List rows) -> List.map strings_of rows
+  | _ -> []
+
+let tables_of report =
+  match J.find report "tables" with
+  | Some (J.Obj kvs) -> kvs
+  | _ -> fail_input "report has no \"tables\" object"
+
+(* A row's identity is its label cells — everything that does not parse
+   as a number — plus the axis columns ("threads", "keys", ...), which
+   are numeric but positional. *)
+let axis_headers = [ "threads"; "keys"; "latency ns"; "epoch ms"; "workload"; "dist" ]
+
+let row_key_with_axes headers row =
+  let parts =
+    List.map2
+      (fun h c ->
+        if List.mem h axis_headers || cell_number c = None then c else "")
+      headers row
+  in
+  String.concat "|" (List.filter (fun c -> c <> "") parts)
+
+let contains_substring ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let gated_header h =
+  contains_substring ~sub:"Mops" h
+  || List.mem h [ "MT"; "MT+"; "INCLL"; "LOGGING" ]
+
+let compare_tables a b =
+  let ta = tables_of a and tb = tables_of b in
+  let regressions = ref [] in
+  let compared = ref 0 in
+  List.iter
+    (fun (name, tbl_a) ->
+      match List.assoc_opt name tb with
+      | None -> Printf.printf "table %-20s only in baseline — skipped\n" name
+      | Some tbl_b ->
+          let headers = strings_of (Option.value ~default:J.Null (J.find tbl_a "columns")) in
+          let rows_b = table_rows tbl_b in
+          let index_b =
+            List.map (fun r -> (row_key_with_axes headers r, r)) rows_b
+          in
+          List.iter
+            (fun row_a ->
+              let key = row_key_with_axes headers row_a in
+              match List.assoc_opt key index_b with
+              | None ->
+                  Printf.printf "%s | %s: row missing in new report\n" name key
+              | Some row_b ->
+                  List.iteri
+                    (fun i h ->
+                      let ca = List.nth_opt row_a i and cb = List.nth_opt row_b i in
+                      match (ca, cb) with
+                      | Some ca, Some cb -> (
+                          match (cell_number ca, cell_number cb) with
+                          | Some va, Some vb when gated_header h ->
+                              incr compared;
+                              let delta =
+                                if va = 0.0 then 0.0 else (vb -. va) /. va
+                              in
+                              let flag =
+                                if delta < -. !threshold then begin
+                                  regressions :=
+                                    Printf.sprintf "%s | %s | %s: %.3f -> %.3f (%+.1f%%)"
+                                      name key h va vb (delta *. 100.0)
+                                    :: !regressions;
+                                  "  << REGRESSION"
+                                end
+                                else ""
+                              in
+                              Printf.printf "%s | %-28s | %-14s %10.3f -> %10.3f  %+6.1f%%%s\n"
+                                name key h va vb (delta *. 100.0) flag
+                          | _ -> ())
+                      | _ -> ())
+                    headers)
+            (table_rows tbl_a))
+    ta;
+  (!compared, List.rev !regressions)
+
+let () =
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f >= 0.0 -> threshold := f
+        | _ -> usage_exit ());
+        parse rest
+    | "--force" :: rest ->
+        force := true;
+        parse rest
+    | ("--help" | "-h") :: _ -> usage_exit ()
+    | x :: _ when String.length x > 1 && x.[0] = '-' ->
+        prerr_endline ("bench_compare: unknown option " ^ x);
+        usage_exit ()
+    | f :: rest ->
+        files := f :: !files;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match List.rev !files with
+  | [ base; next ] ->
+      let a = read_report base and b = read_report next in
+      check_meta a b;
+      let compared, regressions = compare_tables a b in
+      if compared = 0 then
+        fail_input "no comparable throughput cells found (wrong files?)";
+      Printf.printf "%d throughput cell(s) compared, threshold %.0f%%\n"
+        compared (!threshold *. 100.0);
+      if regressions = [] then print_endline "no regressions"
+      else begin
+        Printf.printf "%d regression(s):\n" (List.length regressions);
+        List.iter (fun r -> print_endline ("  " ^ r)) regressions;
+        exit 1
+      end
+  | _ -> usage_exit ()

@@ -16,11 +16,13 @@ let usage =
   count                   number of entries
   checkpoint              force an epoch boundary (durability point)
   crash [seed]            power failure (PCSO per-line prefixes)
-  recover                 rebuild from the persistent image
+  recover                 rebuild from the persistent image (prints the
+                          per-phase time breakdown)
   stats                   persistence-event counters
   stats --json            the same plus histograms/metrics, as JSON
   trace on|off            enable/disable the persistence-event trace ring
-  trace dump              print buffered trace events (JSON) and clear
+  trace dump              print buffered trace events (JSON; non-destructive)
+  trace clear             empty the trace ring(s)
   validate                walk and check the whole structure
   save <file>             write the persisted NVM image to a file
   load <file>             reboot from a saved image (single shard)
@@ -103,9 +105,19 @@ let () =
                 "power failure: volatile state lost; `recover` to restart"
           | [ "recover" ] ->
               if !crashed then begin
-                S.recover !store;
+                let phases = S.recover !store in
                 crashed := false;
-                print_endline "recovered to the last completed checkpoint"
+                print_endline "recovered to the last completed checkpoint";
+                let total =
+                  List.fold_left (fun a (_, d) -> a +. d) 0.0 phases
+                in
+                List.iter
+                  (fun (name, d) ->
+                    Printf.printf "  %-24s %10.3f ms  %5.1f%%\n" name (d /. 1e6)
+                      (if total > 0.0 then 100.0 *. d /. total else 0.0))
+                  phases;
+                Printf.printf "  %-24s %10.3f ms\n" "total (simulated)"
+                  (total /. 1e6)
               end
               else print_endline "nothing to recover from (try `crash` first)"
           | [ "replay"; path ] when not !crashed ->
@@ -169,15 +181,20 @@ let () =
               done;
               Printf.printf "trace %s (%d shard(s))\n" sw (S.nshards !store)
           | [ "trace"; "dump" ] ->
+              (* Non-destructive: dump again and you get the same window;
+                 use `trace clear` to start a fresh one. *)
               let dump =
                 Obs.Json.List
                   (List.init (S.nshards !store) (fun i ->
-                       let tr = Nvm.Region.trace (Sys_.region (S.shard !store i)) in
-                       let j = Obs.Trace.to_json tr in
-                       Obs.Trace.clear tr;
-                       j))
+                       Obs.Trace.to_json
+                         (Nvm.Region.trace (Sys_.region (S.shard !store i)))))
               in
               print_endline (Obs.Json.to_string_pretty dump)
+          | [ "trace"; "clear" ] ->
+              for i = 0 to S.nshards !store - 1 do
+                Obs.Trace.clear (Nvm.Region.trace (Sys_.region (S.shard !store i)))
+              done;
+              Printf.printf "trace cleared (%d shard(s))\n" (S.nshards !store)
           | _ when !crashed ->
               print_endline "the system is crashed; only `recover` works"
           | _ -> print_endline "unknown command (try `help`)"

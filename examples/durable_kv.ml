@@ -60,9 +60,13 @@ let () =
   for round = 1 to 2 do
     S.put !store ~key:"in-flight" ~value:"doomed";
     S.crash !store rng;
-    S.recover !store;
-    Printf.printf "outage %d: recovered; in-flight write rolled back: %b\n%!"
-      round
+    let phases = S.recover !store in
+    let recovery_ms =
+      List.fold_left (fun a (_, d) -> a +. d) 0.0 phases /. 1e6
+    in
+    Printf.printf
+      "outage %d: recovered in %.2f simulated ms; in-flight write rolled back: %b\n%!"
+      round recovery_ms
       (S.get !store ~key:"in-flight" = None
       || S.get !store ~key:"in-flight" = Some "doomed")
   done;

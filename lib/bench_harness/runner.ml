@@ -16,6 +16,8 @@ type result = {
   incll_first_touches : int;
   incll_val_uses : int;
   metrics : Obs.Registry.t;
+  traces : (string * Obs.Trace.t) list;
+  series : (string * Obs.Series.t) list;
 }
 
 let config_for ?(sfence_extra_ns = 0.0) ?(epoch_len_ns = 64.0e6)
@@ -72,13 +74,19 @@ type prepared = {
 }
 
 let prepare ?(seed = 1) ?(threads = 1) ?(ops_per_thread = 100_000) ?config
-    ~variant ~mix ~dist ~nkeys () =
+    ?(trace = false) ~variant ~mix ~dist ~nkeys () =
   let config =
     match config with
     | Some c -> c
     | None -> config_for ~nkeys_per_shard:((nkeys / threads) + 1) ()
   in
   let store = Store.Sharded.create ~config variant ~shards:threads in
+  if trace then
+    for i = 0 to threads - 1 do
+      Obs.Trace.set_enabled
+        (Nvm.Region.trace (Incll.System.region (Store.Sharded.shard store i)))
+        true
+    done;
   (* Populate in parallel: logical keys are scrambled, so striping them by
      shard keeps per-shard insertion order random. *)
   let keys = Workload.Ycsb.load_keys ~nkeys in
@@ -192,14 +200,34 @@ let measure { store; threads; shard_ops } =
       Obs.Registry.diff
         ~after:(Store.Sharded.metrics store)
         ~before:metrics_before;
+    traces =
+      List.init threads (fun i ->
+          ( Printf.sprintf "shard%d" i,
+            Nvm.Region.trace (Incll.System.region (Store.Sharded.shard store i))
+          ));
+    series =
+      List.concat
+        (List.init threads (fun i ->
+             let region =
+               Incll.System.region (Store.Sharded.shard store i)
+             in
+             List.map
+               (fun (name, s) -> (Printf.sprintf "shard%d/%s" i name, s))
+               (Nvm.Region.all_series region)));
   }
 
-let run ?seed ?threads ?ops_per_thread ?config ~variant ~mix ~dist ~nkeys () =
-  measure (prepare ?seed ?threads ?ops_per_thread ?config ~variant ~mix ~dist ~nkeys ())
+let run ?seed ?threads ?ops_per_thread ?config ?trace ~variant ~mix ~dist
+    ~nkeys () =
+  measure
+    (prepare ?seed ?threads ?ops_per_thread ?config ?trace ~variant ~mix ~dist
+       ~nkeys ())
 
-let run_latency_sweep ?seed ?threads ?ops_per_thread ?config ~variant ~mix
-    ~dist ~nkeys ~latencies () =
-  let p = prepare ?seed ?threads ?ops_per_thread ?config ~variant ~mix ~dist ~nkeys () in
+let run_latency_sweep ?seed ?threads ?ops_per_thread ?config ?trace ~variant
+    ~mix ~dist ~nkeys ~latencies () =
+  let p =
+    prepare ?seed ?threads ?ops_per_thread ?config ?trace ~variant ~mix ~dist
+      ~nkeys ()
+  in
   List.map
     (fun lat ->
       for i = 0 to p.threads - 1 do

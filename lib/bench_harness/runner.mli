@@ -30,6 +30,13 @@ type result = {
           sfence/wbinvd latency histograms, epoch length and dirty-line
           distributions, external-log counters, and the
           [incll_hit]/[incll_fallback] split (Figure 7's quantity). *)
+  traces : (string * Obs.Trace.t) list;
+      (** Each shard's live event ring, labelled ["shard<i>"]. Empty
+          rings unless the run was prepared with [~trace:true]. Feed to
+          {!Obs.Perfetto.export} as the [tracks]. *)
+  series : (string * Obs.Series.t) list;
+      (** Each shard's time-series samplers, labelled
+          ["shard<i>/<name>"] (e.g. ["shard0/epoch.dirty_lines"]). *)
 }
 
 val config_for :
@@ -47,6 +54,7 @@ val run :
   ?threads:int ->
   ?ops_per_thread:int ->
   ?config:Incll.System.config ->
+  ?trace:bool ->
   variant:Incll.System.variant ->
   mix:Workload.Ycsb.mix ->
   dist:Workload.Ycsb.dist ->
@@ -64,6 +72,7 @@ val run_latency_sweep :
   ?threads:int ->
   ?ops_per_thread:int ->
   ?config:Incll.System.config ->
+  ?trace:bool ->
   variant:Incll.System.variant ->
   mix:Workload.Ycsb.mix ->
   dist:Workload.Ycsb.dist ->

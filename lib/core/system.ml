@@ -27,6 +27,8 @@ type recover_stats = {
   replayed_entries : int;
   recovery_sim_ns : float;
   recovery_wall_ns : float;
+  phases : (string * float) list;
+      (* ordered (phase, sim ns) breakdown; sums to recovery_sim_ns *)
 }
 
 type t = {
@@ -201,38 +203,68 @@ let recover_region ~variant ~config region =
       failwith "System.recover: transient variants are not recoverable");
   Nvm.Superblock.check region;
   let wall0 = Unix.gettimeofday () in
-  let sim0 = (Nvm.Region.stats region).Nvm.Stats.sim_ns in
+  let sim_now () = (Nvm.Region.stats region).Nvm.Stats.sim_ns in
+  let sim0 = sim_now () in
+  (* Per-phase profiling: each [phase] is a named span on the region's
+     simulated clock. Phase durations are measured mark-to-mark (the time
+     since the previous phase ended), so they telescope: their sum is
+     exactly the whole recovery's simulated time, glue work included. *)
+  let spans = Nvm.Region.spans region in
+  Obs.Span.begin_ spans "recover";
+  let phases = ref [] in
+  let last_mark = ref sim0 in
+  let phase name f =
+    Obs.Span.begin_ spans name;
+    let r = f () in
+    ignore (Obs.Span.end_ spans name : float);
+    let now = sim_now () in
+    phases := (name, now -. !last_mark) :: !phases;
+    last_mark := now;
+    r
+  in
+  (* Re-enter epoch machinery: load + extend the durable failed set and
+     durably enter the recovery-marker epoch. *)
   let em =
-    Epoch.Manager.open_after_crash ~epoch_len_ns:config.epoch_len_ns region
+    phase "recover.epoch_open" (fun () ->
+        Epoch.Manager.open_after_crash ~epoch_len_ns:config.epoch_len_ns region)
   in
   let log = Extlog.Log.attach region in
+  (* Replay the external log (order-independent entries, §4.3). *)
   let replayed =
-    Extlog.Log.replay log ~is_failed:(Epoch.Manager.is_failed em)
+    phase "recover.extlog_replay" (fun () ->
+        Extlog.Log.replay log ~is_failed:(Epoch.Manager.is_failed em))
   in
-  let dalloc = Alloc.Durable.open_after_crash em in
+  (* Restore the allocator metadata lines (bump/free/limbo chains). *)
+  let dalloc =
+    phase "recover.alloc_chains" (fun () -> Alloc.Durable.open_after_crash em)
+  in
   subscribe_log_truncation em log;
   let ctx = Ctx.make em log in
   let hooks = hooks_for variant config ctx in
+  (* Scan the persisted image for the tree root and reattach; leaves are
+     repaired lazily from their InCLLs on first access afterwards. *)
   let tree =
-    Masstree.Tree.open_existing region
-      (Alloc.Api.of_durable dalloc)
-      hooks
-      ~current_epoch:(fun () -> Epoch.Manager.current em)
+    phase "recover.image_scan" (fun () ->
+        Masstree.Tree.open_existing region
+          (Alloc.Api.of_durable dalloc)
+          hooks
+          ~current_epoch:(fun () -> Epoch.Manager.current em))
   in
   (* Compact the failed-epoch set before it can overflow: recover every
      node eagerly, persist that, then durably empty the set. *)
   if Epoch.Manager.failed_count em >= Nvm.Layout.max_failed_epochs - 2
-  then begin
-    Recovery.eager_sweep ctx tree dalloc;
-    Nvm.Region.wbinvd region;
-    Epoch.Manager.clear_failed em
-  end;
+  then
+    phase "recover.eager_sweep" (fun () ->
+        Recovery.eager_sweep ctx tree dalloc;
+        Nvm.Region.wbinvd region;
+        Epoch.Manager.clear_failed em);
   (* Execution resumes in a fresh epoch; the checkpoint persists all
      recovery writes and truncates the log. *)
-  Epoch.Manager.advance em;
+  phase "recover.checkpoint" (fun () -> Epoch.Manager.advance em);
+  ignore (Obs.Span.end_ spans "recover" : float);
   let wall1 = Unix.gettimeofday () in
-  let sim1 = (Nvm.Region.stats region).Nvm.Stats.sim_ns in
-  Nvm.Region.trace_event region ~kind:"recover" ~arg:replayed;
+  let sim1 = sim_now () in
+  Nvm.Region.trace_event region (Obs.Trace.Recover { replayed });
   {
     variant;
     config;
@@ -247,6 +279,7 @@ let recover_region ~variant ~config region =
           replayed_entries = replayed;
           recovery_sim_ns = sim1 -. sim0;
           recovery_wall_ns = (wall1 -. wall0) *. 1e9;
+          phases = List.rev !phases;
         };
   }
 

@@ -97,6 +97,16 @@ type recover_stats = {
   replayed_entries : int;
   recovery_sim_ns : float;
   recovery_wall_ns : float;
+  phases : (string * float) list;
+      (** Ordered per-phase breakdown of the recovery, in simulated ns:
+          [recover.epoch_open] (failed-set load + marker epoch),
+          [recover.extlog_replay], [recover.alloc_chains],
+          [recover.image_scan] (tree reattach; leaves repair lazily),
+          [recover.eager_sweep] (only when the failed set was compacted)
+          and [recover.checkpoint]. Durations are mark-to-mark, so they
+          sum exactly to [recovery_sim_ns]. Each phase is also a
+          {!Obs.Span} — its latency histogram lands in {!metrics} and its
+          begin/end events in the region's trace ring. *)
 }
 
 val last_recover_stats : t -> recover_stats option

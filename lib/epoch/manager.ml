@@ -13,6 +13,8 @@ type t = {
   h_epoch_len : Obs.Histogram.t;  (* completed epoch lengths, sim ns *)
   h_epoch_dirty : Obs.Histogram.t;  (* dirty lines flushed per checkpoint *)
   c_advances : int ref;  (* "epoch.advances" registry counter *)
+  s_dirty : Obs.Series.t;  (* dirty-line occupancy at each boundary *)
+  s_pending : Obs.Series.t;  (* pending write-back depth at each boundary *)
 }
 
 let default_epoch_len_ns = 64.0e6 (* 64 ms, §4 *)
@@ -85,11 +87,15 @@ let observables region =
   let m = Nvm.Region.metrics region in
   ( Obs.Registry.histogram m "epoch.len_ns",
     Obs.Registry.histogram m "epoch.dirty_lines",
-    Obs.Registry.counter m "epoch.advances" )
+    Obs.Registry.counter m "epoch.advances",
+    Nvm.Region.series region "epoch.dirty_lines",
+    Nvm.Region.series region "epoch.pending_wb" )
 
 let create ?(epoch_len_ns = default_epoch_len_ns) region =
   Nvm.Superblock.check region;
-  let h_epoch_len, h_epoch_dirty, c_advances = observables region in
+  let h_epoch_len, h_epoch_dirty, c_advances, s_dirty, s_pending =
+    observables region
+  in
   let t =
     {
       region;
@@ -104,6 +110,8 @@ let create ?(epoch_len_ns = default_epoch_len_ns) region =
       h_epoch_len;
       h_epoch_dirty;
       c_advances;
+      s_dirty;
+      s_pending;
     }
   in
   write_durable_epoch t 2;
@@ -114,7 +122,9 @@ let open_after_crash ?(epoch_len_ns = default_epoch_len_ns) region =
   Nvm.Superblock.check region;
   let crashed = read_durable_epoch region in
   if crashed < 2 then failwith "Manager: corrupt durable epoch index";
-  let h_epoch_len, h_epoch_dirty, c_advances = observables region in
+  let h_epoch_len, h_epoch_dirty, c_advances, s_dirty, s_pending =
+    observables region
+  in
   let t =
     {
       region;
@@ -129,6 +139,8 @@ let open_after_crash ?(epoch_len_ns = default_epoch_len_ns) region =
       h_epoch_len;
       h_epoch_dirty;
       c_advances;
+      s_dirty;
+      s_pending;
     }
   in
   load_failed_set t;
@@ -142,12 +154,21 @@ let open_after_crash ?(epoch_len_ns = default_epoch_len_ns) region =
 let advance t =
   let now = (Nvm.Region.stats t.region).Nvm.Stats.sim_ns in
   Obs.Histogram.record t.h_epoch_len (now -. t.epoch_start_ns);
-  Obs.Histogram.record t.h_epoch_dirty
-    (float_of_int (Nvm.Region.dirty_line_count t.region));
+  let dirty = Nvm.Region.dirty_line_count t.region in
+  Obs.Histogram.record t.h_epoch_dirty (float_of_int dirty);
+  (* The Figure-6-shaped boundary samples: occupancy just before the
+     flush, one point per checkpoint. *)
+  Obs.Series.sample t.s_dirty ~ts_ns:now ~value:(float_of_int dirty);
+  Obs.Series.sample t.s_pending ~ts_ns:now
+    ~value:(float_of_int (Nvm.Region.pending_wb_count t.region));
   incr t.c_advances;
-  Nvm.Region.trace_event t.region ~kind:"epoch_advance" ~arg:(t.current + 1);
+  Nvm.Region.trace_event t.region
+    (Obs.Trace.Epoch_advance { epoch = t.current + 1 });
+  let spans = Nvm.Region.spans t.region in
+  Obs.Span.begin_ spans "checkpoint";
   Nvm.Region.wbinvd t.region;
   write_durable_epoch t (t.current + 1);
+  ignore (Obs.Span.end_ spans "checkpoint" : float);
   t.current <- t.current + 1;
   t.advances <- t.advances + 1;
   t.epoch_start_ns <- (Nvm.Region.stats t.region).Nvm.Stats.sim_ns;

@@ -20,6 +20,7 @@ type t = {
   c_appends : int ref;  (* "extlog.appends" registry counter *)
   c_replayed : int ref;  (* "extlog.replayed" registry counter *)
   h_append_bytes : Obs.Histogram.t;  (* payload size per append *)
+  s_used : Obs.Series.t;  (* log bytes at each truncation (epoch boundary) *)
 }
 
 let attach region =
@@ -35,6 +36,7 @@ let attach region =
     c_appends = Obs.Registry.counter m "extlog.appends";
     c_replayed = Obs.Registry.counter m "extlog.replayed";
     h_append_bytes = Obs.Registry.histogram m "extlog.append_bytes";
+    s_used = Nvm.Region.series region "extlog.used_bytes";
   }
 
 let capacity t = t.len
@@ -48,6 +50,11 @@ let truncation_epoch t =
 (* Durable: the truncation epoch must be persisted before this epoch's
    entries are appended (one extra fence per checkpoint). *)
 let truncate t ~epoch =
+  (* Log growth over the ending epoch — sampled before the reset, one
+     point per checkpoint (the §6.3 worst-case-recovery quantity). *)
+  Obs.Series.sample t.s_used
+    ~ts_ns:(Nvm.Region.stats t.region).Nvm.Stats.sim_ns
+    ~value:(float_of_int t.tail);
   t.tail <- 0;
   Nvm.Region.write_i64 t.region Nvm.Layout.extlog_off (Int64.of_int epoch);
   Nvm.Region.clwb t.region Nvm.Layout.extlog_off;
@@ -98,7 +105,7 @@ let append t ~epoch ~addr ~size =
   t.bytes_logged <- t.bytes_logged + size;
   incr t.c_appends;
   Obs.Histogram.record t.h_append_bytes (float_of_int size);
-  Nvm.Region.trace_event t.region ~kind:"extlog_append" ~arg:size
+  Nvm.Region.trace_event t.region (Obs.Trace.Extlog_append { bytes = size })
 
 (* Walk the intact-entry prefix, calling [f] on each entry. *)
 let fold_entries t f =
@@ -151,5 +158,6 @@ let replay t ~is_failed =
       end
       else stop := true);
   t.c_replayed := !(t.c_replayed) + !applied;
-  Nvm.Region.trace_event t.region ~kind:"extlog_replay" ~arg:!applied;
+  Nvm.Region.trace_event t.region
+    (Obs.Trace.Extlog_replay { entries = !applied });
   !applied

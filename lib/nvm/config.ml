@@ -41,6 +41,7 @@ type t = {
   max_dirty_lines : int option;
   evict_batch : int;
   max_line_log_bytes : int;
+  trace_capacity : int;
   cost : cost_model;
 }
 
@@ -52,6 +53,7 @@ let default =
     max_dirty_lines = Some 300_000;
     evict_batch = 64;
     max_line_log_bytes = 8192;
+    trace_capacity = 4096;
     cost = default_cost_model;
   }
 

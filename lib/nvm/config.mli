@@ -65,6 +65,10 @@ type t = {
   max_line_log_bytes : int;
       (** In [Precise] mode, a line whose pending-write log outgrows this
           bound is evicted (a legal cache behaviour) to bound memory. *)
+  trace_capacity : int;
+      (** Capacity (events) of the region's trace ring. The default 4096
+          suffices for interactive poking; timeline exports
+          ([bench --trace]) raise it so whole epochs survive the ring. *)
   cost : cost_model;
 }
 

@@ -15,6 +15,8 @@ type t = {
   stats : Stats.t;
   metrics : Obs.Registry.t;
   trace : Obs.Trace.t;
+  spans : Obs.Span.t;
+  series_tbl : (string, Obs.Series.t) Hashtbl.t;
   h_sfence : Obs.Histogram.t;  (* per-sfence latency, ns *)
   h_wbinvd : Obs.Histogram.t;  (* per-wbinvd latency, ns *)
   scratch : Bytes.t;  (* 8-byte staging buffer for word stores *)
@@ -35,6 +37,14 @@ let create (cfg : Config.t) =
   then invalid_arg "Region.create: size must be a positive multiple of 64";
   let nlines = cfg.size_bytes / Config.line_size in
   let metrics = Obs.Registry.create () in
+  let stats = Stats.create () in
+  let trace = Obs.Trace.create ~capacity:cfg.trace_capacity () in
+  let spans =
+    Obs.Span.create ~registry:metrics ~trace
+      ~wall_clock:(fun () -> Unix.gettimeofday () *. 1e9)
+      ~clock:(fun () -> stats.Stats.sim_ns)
+      ()
+  in
   {
     cfg;
     nlines;
@@ -50,9 +60,11 @@ let create (cfg : Config.t) =
     pending_wb = Util.Ivec.create ~capacity:64 ();
     wb_pending = Bytes.make nlines '\000';
     evict_rng = Util.Rng.create ~seed:0x5eed_ca5e;
-    stats = Stats.create ();
+    stats;
     metrics;
-    trace = Obs.Trace.create ();
+    trace;
+    spans;
+    series_tbl = Hashtbl.create 8;
     h_sfence = Obs.Registry.histogram metrics "nvm.sfence_ns";
     h_wbinvd = Obs.Registry.histogram metrics "nvm.wbinvd_ns";
     scratch = Bytes.create 8;
@@ -66,9 +78,22 @@ let config t = t.cfg
 let stats t = t.stats
 let metrics t = t.metrics
 let trace t = t.trace
+let spans t = t.spans
 
-let trace_event t ~kind ~arg =
-  Obs.Trace.record t.trace ~ts_ns:t.stats.Stats.sim_ns ~kind ~arg
+let trace_event t payload =
+  Obs.Trace.record t.trace ~ts_ns:t.stats.Stats.sim_ns payload
+
+let series t name =
+  match Hashtbl.find_opt t.series_tbl name with
+  | Some s -> s
+  | None ->
+      let s = Obs.Series.create ~name () in
+      Hashtbl.add t.series_tbl name s;
+      s
+
+let all_series t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.series_tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 let size t = t.cfg.Config.size_bytes
 let dirty_line_count t = Util.Ivec.length t.dirty_list
 let is_dirty_line t line = Bytes.unsafe_get t.dirty line <> '\000'
@@ -245,7 +270,7 @@ let clwb t addr =
   end;
   t.stats.Stats.clwb <- t.stats.Stats.clwb + 1;
   Stats.add_ns t.stats t.cfg.Config.cost.Config.clwb_ns;
-  trace_event t ~kind:"clwb" ~arg:line
+  trace_event t (Obs.Trace.Clwb { line })
 
 let sfence t =
   let drained = Util.Ivec.length t.pending_wb in
@@ -256,7 +281,7 @@ let sfence t =
   let cost = c.Config.sfence_ns +. t.sfence_extra_ns in
   Stats.add_ns t.stats cost;
   Obs.Histogram.record t.h_sfence cost;
-  trace_event t ~kind:"sfence" ~arg:drained
+  trace_event t (Obs.Trace.Sfence { drained; dur_ns = cost })
 
 let release_fence t =
   (* Same-line ordering is already program order in this simulator; the
@@ -285,7 +310,7 @@ let wbinvd t =
   in
   Stats.add_ns t.stats cost;
   Obs.Histogram.record t.h_wbinvd cost;
-  trace_event t ~kind:"wbinvd" ~arg:ndirty
+  trace_event t (Obs.Trace.Wbinvd { lines = ndirty; dur_ns = cost })
 
 let charge_op t = Stats.add_ns t.stats t.cfg.Config.cost.Config.op_base_ns
 
@@ -321,7 +346,7 @@ let crash_with t ~choose =
   Array.fill t.llc_tags 0 (Array.length t.llc_tags) 0;
   Bytes.blit t.persisted 0 t.volatile 0 (Bytes.length t.persisted);
   t.stats.Stats.crashes <- t.stats.Stats.crashes + 1;
-  trace_event t ~kind:"crash" ~arg:0
+  trace_event t Obs.Trace.Crash
 
 let crash t rng =
   crash_with t ~choose:(fun ~line:_ ~nwrites -> Util.Rng.int rng (nwrites + 1))

@@ -35,13 +35,29 @@ val metrics : t -> Obs.Registry.t
     counters and histograms here, so one registry describes the shard. *)
 
 val trace : t -> Obs.Trace.t
-(** The region's bounded event ring (disabled by default). The region
-    records ["clwb"] (arg: line id), ["sfence"] (arg: lines drained),
-    ["wbinvd"] (arg: dirty lines flushed) and ["crash"]; upper layers add
-    their events via {!trace_event}. *)
+(** The region's bounded event ring (disabled by default; capacity from
+    [Config.trace_capacity]). The region records {!Obs.Trace.Clwb},
+    {!Obs.Trace.Sfence}, {!Obs.Trace.Wbinvd} (both with their charged
+    cost, so the Perfetto exporter can draw them as duration slices) and
+    {!Obs.Trace.Crash}; upper layers add their events via
+    {!trace_event}. *)
 
-val trace_event : t -> kind:string -> arg:int -> unit
+val trace_event : t -> Obs.Trace.payload -> unit
 (** Record an event stamped with the current simulated time. *)
+
+val spans : t -> Obs.Span.t
+(** The region's span profiler, clocked by the simulated clock (wall
+    clock secondary). Ended spans feed ["span.<name>_ns"] histograms in
+    {!metrics} and begin/end events into {!trace}. *)
+
+val series : t -> string -> Obs.Series.t
+(** Get or create the named bounded time-series sampler. The epoch
+    manager feeds ["epoch.dirty_lines"] / ["epoch.pending_wb"] and the
+    external log ["extlog.used_bytes"] here, one point per epoch
+    boundary. *)
+
+val all_series : t -> (string * Obs.Series.t) list
+(** Sorted by name. *)
 
 val line_of_addr : addr -> int
 val same_line : addr -> addr -> bool

@@ -85,3 +85,202 @@ let to_string_pretty v =
   let buf = Buffer.create 256 in
   write buf (Some 0) v;
   Buffer.contents buf
+
+(* --- parsing ----------------------------------------------------------- *)
+
+exception Parse_error of string
+
+type parser_state = { s : string; mutable pos : int }
+
+let fail p msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg p.pos))
+
+let peek p = if p.pos < String.length p.s then Some p.s.[p.pos] else None
+
+let skip_ws p =
+  while
+    p.pos < String.length p.s
+    && match p.s.[p.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    p.pos <- p.pos + 1
+  done
+
+let expect p c =
+  match peek p with
+  | Some c' when c' = c -> p.pos <- p.pos + 1
+  | _ -> fail p (Printf.sprintf "expected '%c'" c)
+
+let literal p word v =
+  let n = String.length word in
+  if p.pos + n <= String.length p.s && String.sub p.s p.pos n = word then begin
+    p.pos <- p.pos + n;
+    v
+  end
+  else fail p ("expected " ^ word)
+
+(* Encode a Unicode scalar value as UTF-8 (for \uXXXX escapes). *)
+let add_utf8 buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let parse_string p =
+  expect p '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if p.pos >= String.length p.s then fail p "unterminated string";
+    let c = p.s.[p.pos] in
+    p.pos <- p.pos + 1;
+    if c = '"' then Buffer.contents buf
+    else if c = '\\' then begin
+      (if p.pos >= String.length p.s then fail p "unterminated escape";
+       let e = p.s.[p.pos] in
+       p.pos <- p.pos + 1;
+       match e with
+       | '"' -> Buffer.add_char buf '"'
+       | '\\' -> Buffer.add_char buf '\\'
+       | '/' -> Buffer.add_char buf '/'
+       | 'b' -> Buffer.add_char buf '\b'
+       | 'f' -> Buffer.add_char buf '\012'
+       | 'n' -> Buffer.add_char buf '\n'
+       | 'r' -> Buffer.add_char buf '\r'
+       | 't' -> Buffer.add_char buf '\t'
+       | 'u' ->
+           if p.pos + 4 > String.length p.s then fail p "truncated \\u escape";
+           let hex = String.sub p.s p.pos 4 in
+           p.pos <- p.pos + 4;
+           let code =
+             try int_of_string ("0x" ^ hex)
+             with Failure _ -> fail p "bad \\u escape"
+           in
+           add_utf8 buf code
+       | _ -> fail p "bad escape");
+      loop ()
+    end
+    else begin
+      Buffer.add_char buf c;
+      loop ()
+    end
+  in
+  loop ()
+
+let parse_number p =
+  let start = p.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    p.pos < String.length p.s && is_num_char p.s.[p.pos]
+  do
+    p.pos <- p.pos + 1
+  done;
+  let tok = String.sub p.s start (p.pos - start) in
+  let is_float =
+    String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok
+  in
+  if is_float then
+    match float_of_string_opt tok with
+    | Some f -> Float f
+    | None -> fail p ("bad number " ^ tok)
+  else
+    match int_of_string_opt tok with
+    | Some i -> Int i
+    | None -> (
+        (* Integer literal too wide for OCaml's int: keep the magnitude. *)
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> fail p ("bad number " ^ tok))
+
+let rec parse_value p =
+  skip_ws p;
+  match peek p with
+  | None -> fail p "unexpected end of input"
+  | Some 'n' -> literal p "null" Null
+  | Some 't' -> literal p "true" (Bool true)
+  | Some 'f' -> literal p "false" (Bool false)
+  | Some '"' -> String (parse_string p)
+  | Some '[' ->
+      expect p '[';
+      skip_ws p;
+      if peek p = Some ']' then begin
+        p.pos <- p.pos + 1;
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value p in
+          skip_ws p;
+          match peek p with
+          | Some ',' ->
+              p.pos <- p.pos + 1;
+              items (v :: acc)
+          | Some ']' ->
+              p.pos <- p.pos + 1;
+              List.rev (v :: acc)
+          | _ -> fail p "expected ',' or ']'"
+        in
+        List (items [])
+      end
+  | Some '{' ->
+      expect p '{';
+      skip_ws p;
+      if peek p = Some '}' then begin
+        p.pos <- p.pos + 1;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws p;
+          let k = parse_string p in
+          skip_ws p;
+          expect p ':';
+          let v = parse_value p in
+          (k, v)
+        in
+        let rec fields acc =
+          let kv = field () in
+          skip_ws p;
+          match peek p with
+          | Some ',' ->
+              p.pos <- p.pos + 1;
+              fields (kv :: acc)
+          | Some '}' ->
+              p.pos <- p.pos + 1;
+              List.rev (kv :: acc)
+          | _ -> fail p "expected ',' or '}'"
+        in
+        Obj (fields [])
+      end
+  | Some ('-' | '0' .. '9') -> parse_number p
+  | Some c -> fail p (Printf.sprintf "unexpected character '%c'" c)
+
+let of_string s =
+  let p = { s; pos = 0 } in
+  let v = parse_value p in
+  skip_ws p;
+  if p.pos <> String.length s then fail p "trailing garbage";
+  v
+
+let of_string_opt s = try Some (of_string s) with Parse_error _ -> None
+
+let find v key =
+  match v with Obj fields -> List.assoc_opt key fields | _ -> None
+
+let rec find_path v = function
+  | [] -> Some v
+  | k :: rest -> (
+      match find v k with None -> None | Some v' -> find_path v' rest)
+
+let to_float_opt = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | _ -> None

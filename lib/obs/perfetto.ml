@@ -1,0 +1,143 @@
+(* Chrome trace_event JSON ("JSON Array Format" with the traceEvents
+   wrapper), loadable by Perfetto (ui.perfetto.dev) and chrome://tracing.
+   Timestamps are microseconds; the simulator's ns stamps divide by 1e3. *)
+
+let us ns = ns /. 1000.0
+
+let ev ~name ~cat ~ph ~ts ~pid ~tid extra =
+  Json.Obj
+    ([
+       ("name", Json.String name);
+       ("cat", Json.String cat);
+       ("ph", Json.String ph);
+       ("ts", Json.Float (us ts));
+       ("pid", Json.Int pid);
+       ("tid", Json.Int tid);
+     ]
+    @ extra)
+
+let instant ~name ~cat ~ts ~pid ~tid args =
+  ev ~name ~cat ~ph:"i" ~ts ~pid ~tid
+    (("s", Json.String "t") :: if args = [] then [] else [ ("args", Json.Obj args) ])
+
+let complete ~name ~cat ~ts ~dur_ns ~pid ~tid args =
+  (* ts is the event's END stamp (costs are charged before recording);
+     shift back by the duration so the slice covers the paid interval. *)
+  ev ~name ~cat ~ph:"X" ~ts:(ts -. dur_ns) ~pid ~tid
+    (("dur", Json.Float (us dur_ns))
+    :: (if args = [] then [] else [ ("args", Json.Obj args) ]))
+
+let thread_name ~pid ~tid name =
+  Json.Obj
+    [
+      ("name", Json.String "thread_name");
+      ("ph", Json.String "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.String name) ]);
+    ]
+
+(* One trace ring -> events on one tid. Epoch_advance markers are folded
+   into synthesized "epoch N" slices spanning consecutive boundaries, so
+   an epoch's life (dirty buildup, flush burst, extlog appends) reads as
+   one box in the timeline. *)
+let events_of_trace ~pid ~tid trace =
+  let out = ref [] in
+  let push j = out := j :: !out in
+  let open_epoch = ref None in
+  let last_ts = ref 0.0 in
+  List.iter
+    (fun { Trace.ts_ns = ts; payload } ->
+      last_ts := ts;
+      match payload with
+      | Trace.Span_begin { name } ->
+          push (ev ~name ~cat:"span" ~ph:"B" ~ts ~pid ~tid [])
+      | Trace.Span_end { name; _ } ->
+          push (ev ~name ~cat:"span" ~ph:"E" ~ts ~pid ~tid [])
+      | Trace.Sfence { drained; dur_ns } ->
+          push
+            (complete ~name:"sfence" ~cat:"persist" ~ts ~dur_ns ~pid ~tid
+               [ ("drained", Json.Int drained) ])
+      | Trace.Wbinvd { lines; dur_ns } ->
+          push
+            (complete ~name:"wbinvd" ~cat:"persist" ~ts ~dur_ns ~pid ~tid
+               [ ("lines", Json.Int lines) ])
+      | Trace.Epoch_advance { epoch } ->
+          (match !open_epoch with
+          | Some (e0, t0) when ts > t0 ->
+              push
+                (complete ~name:(Printf.sprintf "epoch %d" e0) ~cat:"epoch"
+                   ~ts ~dur_ns:(ts -. t0) ~pid ~tid
+                   [ ("epoch", Json.Int e0) ])
+          | _ -> ());
+          open_epoch := Some (epoch, ts);
+          push
+            (instant ~name:"epoch_advance" ~cat:"epoch" ~ts ~pid ~tid
+               [ ("epoch", Json.Int epoch) ])
+      | Trace.Clwb { line } ->
+          push (instant ~name:"clwb" ~cat:"persist" ~ts ~pid ~tid
+                  [ ("line", Json.Int line) ])
+      | Trace.Crash -> push (instant ~name:"crash" ~cat:"crash" ~ts ~pid ~tid [])
+      | Trace.Recover { replayed } ->
+          push
+            (instant ~name:"recover" ~cat:"crash" ~ts ~pid ~tid
+               [ ("replayed", Json.Int replayed) ])
+      | Trace.Extlog_append { bytes } ->
+          push
+            (instant ~name:"extlog_append" ~cat:"extlog" ~ts ~pid ~tid
+               [ ("bytes", Json.Int bytes) ])
+      | Trace.Extlog_replay { entries } ->
+          push
+            (instant ~name:"extlog_replay" ~cat:"extlog" ~ts ~pid ~tid
+               [ ("entries", Json.Int entries) ])
+      | Trace.Incll_first_touch { leaf } ->
+          push
+            (instant ~name:"incll_first_touch" ~cat:"incll" ~ts ~pid ~tid
+               [ ("leaf", Json.Int leaf) ])
+      | Trace.Incll_fallback { leaf } ->
+          push
+            (instant ~name:"incll_fallback" ~cat:"incll" ~ts ~pid ~tid
+               [ ("leaf", Json.Int leaf) ])
+      | Trace.Custom { kind; arg } ->
+          push (instant ~name:kind ~cat:"custom" ~ts ~pid ~tid
+                  [ ("arg", Json.Int arg) ]))
+    (Trace.to_list trace);
+  (* Close the trailing epoch at the last seen stamp. *)
+  (match !open_epoch with
+  | Some (e0, t0) when !last_ts > t0 ->
+      push
+        (complete ~name:(Printf.sprintf "epoch %d" e0) ~cat:"epoch" ~ts:!last_ts
+           ~dur_ns:(!last_ts -. t0) ~pid ~tid [ ("epoch", Json.Int e0) ])
+  | _ -> ());
+  List.rev !out
+
+let counter_events ~pid ~name series =
+  List.map
+    (fun (ts, v) ->
+      Json.Obj
+        [
+          ("name", Json.String name);
+          ("cat", Json.String "series");
+          ("ph", Json.String "C");
+          ("ts", Json.Float (us ts));
+          ("pid", Json.Int pid);
+          ("args", Json.Obj [ ("value", Json.Float v) ]);
+        ])
+    (Series.points series)
+
+let export ?(pid = 1) ?(series = []) ~tracks () =
+  let track_events =
+    List.concat
+      (List.mapi
+         (fun tid (label, trace) ->
+           thread_name ~pid ~tid label :: events_of_trace ~pid ~tid trace)
+         tracks)
+  in
+  let series_events =
+    List.concat_map (fun (name, s) -> counter_events ~pid ~name s) series
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (track_events @ series_events));
+      ("displayTimeUnit", Json.String "ns");
+    ]

@@ -1,0 +1,32 @@
+(** Chrome/Perfetto [trace_event] JSON exporter.
+
+    Renders {!Trace} rings (and optional {!Series}) as a
+    [{"traceEvents": [...]}] document that loads directly in
+    {{:https://ui.perfetto.dev}Perfetto} or [chrome://tracing]:
+
+    - {!Trace.Span_begin}/{!Trace.Span_end} become ["B"]/["E"] nesting
+      slices;
+    - {!Trace.Sfence}/{!Trace.Wbinvd} become complete (["X"]) slices whose
+      width is the simulated cost that was charged for them;
+    - consecutive {!Trace.Epoch_advance} markers are folded into
+      synthesized ["epoch N"] slices, so each epoch's dirty-line buildup
+      and boundary flush burst reads as one box;
+    - everything else becomes an instant event with its payload in
+      [args];
+    - each series becomes a Perfetto counter track (["C"] events).
+
+    Timestamps convert from simulated ns to the format's microseconds. *)
+
+val export :
+  ?pid:int ->
+  ?series:(string * Series.t) list ->
+  tracks:(string * Trace.t) list ->
+  unit ->
+  Json.t
+(** One track (tid) per named trace ring — shards pass one ring each.
+    Track names appear via [thread_name] metadata events. *)
+
+val events_of_trace : pid:int -> tid:int -> Trace.t -> Json.t list
+(** The raw event list for one ring (no wrapper object). *)
+
+val counter_events : pid:int -> name:string -> Series.t -> Json.t list

@@ -52,6 +52,12 @@ let diff ~after ~before =
   Hashtbl.iter
     (fun name r -> counter d name := !r - counter_value before name)
     after.cnt;
+  (* Names only in [before] must not vanish from the delta: emit them
+     negated so a run report is exhaustive over both registries. *)
+  Hashtbl.iter
+    (fun name r ->
+      if not (Hashtbl.mem after.cnt name) then counter d name := - !r)
+    before.cnt;
   Hashtbl.iter
     (fun name h ->
       let h' =
@@ -61,6 +67,12 @@ let diff ~after ~before =
       in
       Hashtbl.add d.hist name h')
     after.hist;
+  Hashtbl.iter
+    (fun name h ->
+      if not (Hashtbl.mem after.hist name) then
+        Hashtbl.add d.hist name
+          (Histogram.diff ~after:(Histogram.create ()) ~before:h))
+    before.hist;
   d
 
 let to_json t =

@@ -37,7 +37,10 @@ val snapshot : t -> t
 (** Deep copy, for before/after window measurements. *)
 
 val diff : after:t -> before:t -> t
-(** Per-name difference; names only in [after] pass through unchanged. *)
+(** Per-name difference, exhaustive over both registries: names only in
+    [after] pass through unchanged; names only in [before] appear with
+    negated counters / negated histogram counts (a metric that
+    disappeared is itself a delta worth seeing). *)
 
 val to_json : t -> Json.t
 (** [{"counters": {...}, "histograms": {name: {count,...,p99}}}]. *)

@@ -1,0 +1,73 @@
+type t = {
+  name : string;
+  cap : int;
+  ts : float array;
+  vs : float array;
+  mutable len : int;
+  mutable stride : int;  (* accept every stride-th offered sample *)
+  mutable seen : int;  (* samples offered since creation *)
+}
+
+let create ?(capacity = 512) ~name () =
+  if capacity < 2 then invalid_arg "Series.create: capacity must be >= 2";
+  {
+    name;
+    cap = capacity;
+    ts = Array.make capacity 0.0;
+    vs = Array.make capacity 0.0;
+    len = 0;
+    stride = 1;
+    seen = 0;
+  }
+
+let name t = t.name
+let length t = t.len
+let capacity t = t.cap
+let stride t = t.stride
+let seen t = t.seen
+
+(* Halve the resolution: keep every second stored point. Kept points sit
+   at offered-positions 0, 2*stride, 4*stride, ... — consistent with the
+   doubled stride, so future accepted samples stay uniformly spaced. *)
+let compact t =
+  let kept = ref 0 in
+  let i = ref 0 in
+  while !i < t.len do
+    t.ts.(!kept) <- t.ts.(!i);
+    t.vs.(!kept) <- t.vs.(!i);
+    incr kept;
+    i := !i + 2
+  done;
+  t.len <- !kept;
+  t.stride <- t.stride * 2
+
+let sample t ~ts_ns ~value =
+  let pos = t.seen in
+  t.seen <- t.seen + 1;
+  if pos mod t.stride = 0 then begin
+    if t.len = t.cap then compact t;
+    (* After compaction [pos] may no longer be stride-aligned; drop it
+       then (the next aligned sample lands in the freed space). *)
+    if pos mod t.stride = 0 then begin
+      t.ts.(t.len) <- ts_ns;
+      t.vs.(t.len) <- value;
+      t.len <- t.len + 1
+    end
+  end
+
+let points t = List.init t.len (fun i -> (t.ts.(i), t.vs.(i)))
+
+let last t = if t.len = 0 then None else Some (t.ts.(t.len - 1), t.vs.(t.len - 1))
+
+let to_json t =
+  Json.Obj
+    [
+      ("name", Json.String t.name);
+      ("stride", Json.Int t.stride);
+      ("seen", Json.Int t.seen);
+      ( "points",
+        Json.List
+          (List.map
+             (fun (ts, v) -> Json.List [ Json.Float ts; Json.Float v ])
+             (points t)) );
+    ]

@@ -1,0 +1,42 @@
+(** Bounded time-series sampler: (timestamp, value) points with automatic
+    uniform downsampling.
+
+    A series holds at most [capacity] points. When it fills, resolution is
+    halved — every second stored point is dropped and the acceptance
+    stride doubles, so an arbitrarily long run is always represented by a
+    bounded, uniformly spaced subsequence of its samples (the first sample
+    is always retained). Memory and per-sample cost are O(1) amortised.
+
+    Used for the Figure-6-shaped quantities: dirty-line occupancy, pending
+    write-back depth and external-log bytes at each epoch boundary. *)
+
+type t
+
+val create : ?capacity:int -> name:string -> unit -> t
+(** Default capacity 512 points; capacity must be at least 2. *)
+
+val name : t -> string
+
+val sample : t -> ts_ns:float -> value:float -> unit
+(** Offer a sample; it is stored iff its index is a multiple of the
+    current stride. *)
+
+val length : t -> int
+(** Stored points (≤ capacity). *)
+
+val capacity : t -> int
+
+val stride : t -> int
+(** Current acceptance stride (a power of two; 1 until the first
+    compaction). *)
+
+val seen : t -> int
+(** Samples offered since creation, stored or not. *)
+
+val points : t -> (float * float) list
+(** Stored (ts_ns, value) pairs, oldest first. *)
+
+val last : t -> (float * float) option
+
+val to_json : t -> Json.t
+(** [{"name","stride","seen","points":[[ts,v],...]}]. *)

@@ -1,0 +1,59 @@
+type frame = { name : string; t0_ns : float; wall0_ns : float }
+
+type t = {
+  clock : unit -> float;
+  wall_clock : unit -> float;
+  registry : Registry.t option;
+  trace : Trace.t option;
+  mutable stack : frame list;
+}
+
+let no_wall () = 0.0
+
+let create ?registry ?trace ?(wall_clock = no_wall) ~clock () =
+  { clock; wall_clock; registry; trace; stack = [] }
+
+let depth t = List.length t.stack
+let current t = match t.stack with [] -> None | f :: _ -> Some f.name
+
+let begin_ t name =
+  let now = t.clock () in
+  t.stack <- { name; t0_ns = now; wall0_ns = t.wall_clock () } :: t.stack;
+  match t.trace with
+  | Some tr -> Trace.record tr ~ts_ns:now (Trace.Span_begin { name })
+  | None -> ()
+
+let end_ t name =
+  match t.stack with
+  | [] -> invalid_arg (Printf.sprintf "Span.end_: no open span (ending %S)" name)
+  | f :: rest ->
+      if f.name <> name then
+        invalid_arg
+          (Printf.sprintf "Span.end_: unbalanced end (%S open, ending %S)"
+             f.name name);
+      t.stack <- rest;
+      let now = t.clock () in
+      let dur = now -. f.t0_ns in
+      (match t.registry with
+      | Some r ->
+          Histogram.record (Registry.histogram r ("span." ^ name ^ "_ns")) dur;
+          if t.wall_clock != no_wall then
+            Histogram.record
+              (Registry.histogram r ("span." ^ name ^ "_wall_ns"))
+              (t.wall_clock () -. f.wall0_ns)
+      | None -> ());
+      (match t.trace with
+      | Some tr -> Trace.record tr ~ts_ns:now (Trace.Span_end { name; dur_ns = dur })
+      | None -> ());
+      dur
+
+let with_ t name f =
+  begin_ t name;
+  match f () with
+  | v ->
+      ignore (end_ t name : float);
+      v
+  | exception e ->
+      (* Unwind so the profiler stays balanced past the exception. *)
+      ignore (end_ t name : float);
+      raise e

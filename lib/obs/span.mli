@@ -1,0 +1,41 @@
+(** Nested begin/end profiling scopes over an arbitrary clock.
+
+    A span profiler owns a stack of open scopes. Ending a span feeds its
+    duration into the per-name ["span.<name>_ns"] histogram of the
+    attached {!Registry} (and ["span.<name>_wall_ns"] when a wall clock
+    was supplied), and mirrors begin/end events into the attached
+    {!Trace} ring so a timeline viewer can reconstruct the nesting
+    ({!Perfetto}).
+
+    The clock is a closure, not wall time: the NVM region wires its
+    simulated-ns clock in, so span durations are measured in the same
+    unit as every other cost in the system. *)
+
+type t
+
+val create :
+  ?registry:Registry.t ->
+  ?trace:Trace.t ->
+  ?wall_clock:(unit -> float) ->
+  clock:(unit -> float) ->
+  unit ->
+  t
+(** [clock] is read at every begin/end; [wall_clock] (ns) additionally
+    feeds the ["span.<name>_wall_ns"] histograms when provided. *)
+
+val begin_ : t -> string -> unit
+
+val end_ : t -> string -> float
+(** Close the innermost span, which must be named [name] — raises
+    [Invalid_argument] on an empty stack or a name mismatch (unbalanced
+    instrumentation is a bug worth failing loudly on). Returns the span's
+    duration on the profiling clock. *)
+
+val with_ : t -> string -> (unit -> 'a) -> 'a
+(** Scoped form; the span is closed (and recorded) even if [f] raises. *)
+
+val depth : t -> int
+(** Open spans. *)
+
+val current : t -> string option
+(** Innermost open span. *)

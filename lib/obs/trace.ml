@@ -1,6 +1,51 @@
-type event = { ts_ns : float; kind : string; arg : int }
+type payload =
+  | Clwb of { line : int }
+  | Sfence of { drained : int; dur_ns : float }
+  | Wbinvd of { lines : int; dur_ns : float }
+  | Epoch_advance of { epoch : int }
+  | Crash
+  | Recover of { replayed : int }
+  | Extlog_append of { bytes : int }
+  | Extlog_replay of { entries : int }
+  | Incll_first_touch of { leaf : int }
+  | Incll_fallback of { leaf : int }
+  | Span_begin of { name : string }
+  | Span_end of { name : string; dur_ns : float }
+  | Custom of { kind : string; arg : int }
 
-let dummy = { ts_ns = 0.0; kind = ""; arg = 0 }
+type event = { ts_ns : float; payload : payload }
+
+let kind = function
+  | Clwb _ -> "clwb"
+  | Sfence _ -> "sfence"
+  | Wbinvd _ -> "wbinvd"
+  | Epoch_advance _ -> "epoch_advance"
+  | Crash -> "crash"
+  | Recover _ -> "recover"
+  | Extlog_append _ -> "extlog_append"
+  | Extlog_replay _ -> "extlog_replay"
+  | Incll_first_touch _ -> "incll_first_touch"
+  | Incll_fallback _ -> "incll_fallback"
+  | Span_begin _ -> "span_begin"
+  | Span_end _ -> "span_end"
+  | Custom { kind; _ } -> kind
+
+let arg = function
+  | Clwb { line } -> line
+  | Sfence { drained; _ } -> drained
+  | Wbinvd { lines; _ } -> lines
+  | Epoch_advance { epoch } -> epoch
+  | Crash -> 0
+  | Recover { replayed } -> replayed
+  | Extlog_append { bytes } -> bytes
+  | Extlog_replay { entries } -> entries
+  | Incll_first_touch { leaf } -> leaf
+  | Incll_fallback { leaf } -> leaf
+  | Span_begin _ -> 0
+  | Span_end { dur_ns; _ } -> int_of_float dur_ns
+  | Custom { arg; _ } -> arg
+
+let dummy = { ts_ns = 0.0; payload = Crash }
 
 type t = {
   buf : event array;
@@ -14,12 +59,13 @@ let create ?(capacity = 4096) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
   { buf = Array.make capacity dummy; enabled = false; len = 0; next = 0; total = 0 }
 
+let capacity t = Array.length t.buf
 let enabled t = t.enabled
 let set_enabled t b = t.enabled <- b
 
-let record t ~ts_ns ~kind ~arg =
+let record t ~ts_ns payload =
   if t.enabled then begin
-    t.buf.(t.next) <- { ts_ns; kind; arg };
+    t.buf.(t.next) <- { ts_ns; payload };
     t.next <- (t.next + 1) mod Array.length t.buf;
     if t.len < Array.length t.buf then t.len <- t.len + 1;
     t.total <- t.total + 1
@@ -51,8 +97,8 @@ let to_json t =
                Json.Obj
                  [
                    ("ts_ns", Json.Float e.ts_ns);
-                   ("kind", Json.String e.kind);
-                   ("arg", Json.Int e.arg);
+                   ("kind", Json.String (kind e.payload));
+                   ("arg", Json.Int (arg e.payload));
                  ])
              (to_list t)) );
     ]

@@ -1,26 +1,54 @@
 (** Bounded ring of persistence-relevant events, stamped with the
     simulated clock.
 
+    Events carry typed payloads (not [string * int]): the persistence
+    instructions record their cost alongside their argument, so the
+    Perfetto exporter ({!Perfetto}) can render [sfence] / [wbinvd] as
+    duration slices and the span profiler ({!Span}) can round-trip
+    nested scopes through the ring.
+
     Disabled by default: a disabled ring costs one branch per call site,
     so the hot paths (clwb, sfence) can record unconditionally. When the
     ring is full the oldest event is overwritten and counted as dropped —
     tracing never grows memory or perturbs a long run. *)
 
-type event = {
-  ts_ns : float;  (** Simulated time at which the event happened. *)
-  kind : string;  (** e.g. "clwb", "sfence", "wbinvd", "epoch_advance". *)
-  arg : int;  (** Event-specific: line id, dirty-line count, bytes, ... *)
-}
+type payload =
+  | Clwb of { line : int }  (** Asynchronous write-back initiation. *)
+  | Sfence of { drained : int; dur_ns : float }
+      (** [drained]: lines committed by this fence; [dur_ns]: its cost. *)
+  | Wbinvd of { lines : int; dur_ns : float }
+      (** [lines]: dirty lines flushed; [dur_ns]: total flush cost. *)
+  | Epoch_advance of { epoch : int }  (** The epoch being entered. *)
+  | Crash
+  | Recover of { replayed : int }  (** External-log entries re-applied. *)
+  | Extlog_append of { bytes : int }
+  | Extlog_replay of { entries : int }
+  | Incll_first_touch of { leaf : int }
+  | Incll_fallback of { leaf : int }
+  | Span_begin of { name : string }
+  | Span_end of { name : string; dur_ns : float }
+  | Custom of { kind : string; arg : int }
+      (** Escape hatch for one-off events; prefer a typed constructor. *)
+
+type event = { ts_ns : float; payload : payload }
+
+val kind : payload -> string
+(** Stable display name, e.g. ["clwb"], ["sfence"], ["epoch_advance"]. *)
+
+val arg : payload -> int
+(** The payload's primary integer (line id, lines drained, epoch, ...) —
+    the legacy [string * int] view, used by the JSON dump. *)
 
 type t
 
 val create : ?capacity:int -> unit -> t
 (** Default capacity 4096 events. *)
 
+val capacity : t -> int
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
 
-val record : t -> ts_ns:float -> kind:string -> arg:int -> unit
+val record : t -> ts_ns:float -> payload -> unit
 (** No-op while disabled. *)
 
 val length : t -> int
@@ -37,4 +65,6 @@ val to_list : t -> event list
 val clear : t -> unit
 
 val to_json : t -> Json.t
-(** [{"total","dropped","events":[{ts_ns,kind,arg}]}]. *)
+(** [{"total","dropped","events":[{ts_ns,kind,arg}]}]. Reading the ring
+    is non-destructive; callers that want a fresh window call {!clear}
+    explicitly. *)

@@ -65,7 +65,26 @@ let crash t rng = Array.iter (fun s -> Incll.System.crash s rng) t.shards
 
 (* In place: [shards] is mutable, so the old `{t with shards = ...}` copy
    left any alias of [t] still pointing at the pre-recovery shard array. *)
-let recover t = t.shards <- Array.map Incll.System.recover t.shards
+let recover t =
+  t.shards <- Array.map Incll.System.recover t.shards;
+  (* Merge the shards' per-phase breakdowns: sum durations per phase,
+     phase order taken from first appearance (shards recover through the
+     same procedure, so that is the procedure order). *)
+  let totals = Hashtbl.create 8 in
+  let order = ref [] in
+  Array.iter
+    (fun s ->
+      match Incll.System.last_recover_stats s with
+      | Some st ->
+          List.iter
+            (fun (name, d) ->
+              if not (Hashtbl.mem totals name) then order := name :: !order;
+              Hashtbl.replace totals name
+                (d +. try Hashtbl.find totals name with Not_found -> 0.0))
+            st.Incll.System.phases
+      | None -> ())
+    t.shards;
+  List.rev_map (fun name -> (name, Hashtbl.find totals name)) !order
 
 let metrics t =
   Obs.Registry.merged

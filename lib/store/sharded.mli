@@ -42,10 +42,13 @@ val advance_epochs : t -> unit
 
 val crash : t -> Util.Rng.t -> unit
 
-val recover : t -> unit
+val recover : t -> (string * float) list
 (** Recover every shard, {e in place}: every alias of [t] observes the
     post-recovery shards (the shard array is mutable state, not a
-    functional view). *)
+    functional view). Returns the per-phase time breakdown of the
+    recovery — [Incll.System.recover_stats.phases] summed over shards, in
+    simulated ns, in procedure order; the sum of the durations is the
+    total simulated recovery time across shards. *)
 
 val metrics : t -> Obs.Registry.t
 (** Fresh merged copy of every shard's metric registry. *)

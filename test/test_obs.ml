@@ -46,6 +46,45 @@ let json_nests () =
   check_str "pretty = compact modulo whitespace" (to_string v)
     (strip (to_string_pretty v))
 
+(* --- JSON parser -------------------------------------------------------- *)
+
+let json_parses_back () =
+  let open Obs.Json in
+  let v =
+    Obj
+      [
+        ("a", List [ Int 1; Float 2.5; Null; Bool true ]);
+        ("s", String "he said \"hi\"\n\ttab");
+        ("nested", Obj [ ("neg", Int (-3)); ("empty", List []) ]);
+      ]
+  in
+  check "compact roundtrip" true (of_string (to_string v) = v);
+  check "pretty roundtrip" true (of_string (to_string_pretty v) = v)
+
+let json_parses_numbers () =
+  let open Obs.Json in
+  check "int stays int" true (of_string "42" = Int 42);
+  check "negative" true (of_string "-7" = Int (-7));
+  check "decimal is float" true (of_string "2.0" = Float 2.0);
+  check "exponent is float" true (of_string "1e3" = Float 1000.0);
+  check "unicode escape" true (of_string "\"\\u0041\"" = String "A")
+
+let json_rejects_garbage () =
+  let open Obs.Json in
+  List.iter
+    (fun s ->
+      check (Printf.sprintf "rejects %S" s) true (of_string_opt s = None))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated"; "{'a':1}" ]
+
+let json_accessors () =
+  let open Obs.Json in
+  let v = of_string "{\"a\":{\"b\":[1,2]},\"n\":3.5}" in
+  check "find" true (find v "n" = Some (Float 3.5));
+  check "find missing" true (find v "zzz" = None);
+  check "find_path" true (find_path v [ "a"; "b" ] = Some (List [ Int 1; Int 2 ]));
+  check "to_float int" true (to_float_opt (Int 2) = Some 2.0);
+  check "to_float string" true (to_float_opt (String "2") = None)
+
 (* --- histogram ---------------------------------------------------------- *)
 
 let histogram_exact_aggregates () =
@@ -145,6 +184,22 @@ let registry_snapshot_diff_windows () =
   | None -> Alcotest.fail "after-only histogram missing from diff"
   | Some h -> check_int "after-only histogram" 1 (Obs.Histogram.count h)
 
+let registry_diff_is_exhaustive () =
+  (* Regression: diff used to walk only [after]'s names, so anything
+     present in [before] alone silently vanished from the window. *)
+  let before = Obs.Registry.create () in
+  Obs.Registry.counter before "gone" := 9;
+  Obs.Histogram.record (Obs.Registry.histogram before "gone_h") 5.0;
+  let after = Obs.Registry.create () in
+  Obs.Registry.counter after "kept" := 3;
+  let d = Obs.Registry.diff ~after ~before in
+  check_int "after-only counter" 3 (Obs.Registry.counter_value d "kept");
+  check_int "before-only counter negated" (-9)
+    (Obs.Registry.counter_value d "gone");
+  match Obs.Registry.find_histogram d "gone_h" with
+  | None -> Alcotest.fail "before-only histogram missing from diff"
+  | Some h -> check_int "before-only histogram negated" (-1) (Obs.Histogram.count h)
+
 let registry_json_shape () =
   let r = Obs.Registry.create () in
   Obs.Registry.counter r "a" := 1;
@@ -162,26 +217,50 @@ let registry_json_shape () =
 
 (* --- trace ring --------------------------------------------------------- *)
 
+let custom kind arg = Obs.Trace.Custom { kind; arg }
+let event_arg e = Obs.Trace.arg e.Obs.Trace.payload
+let event_kind e = Obs.Trace.kind e.Obs.Trace.payload
+
 let trace_disabled_by_default () =
   let tr = Obs.Trace.create () in
   check "disabled" false (Obs.Trace.enabled tr);
-  Obs.Trace.record tr ~ts_ns:1.0 ~kind:"x" ~arg:0;
+  Obs.Trace.record tr ~ts_ns:1.0 (custom "x" 0);
   check_int "no-op while disabled" 0 (Obs.Trace.length tr)
 
 let trace_ring_bounds_memory () =
   let tr = Obs.Trace.create ~capacity:4 () in
   Obs.Trace.set_enabled tr true;
   for i = 1 to 10 do
-    Obs.Trace.record tr ~ts_ns:(float_of_int i) ~kind:"e" ~arg:i
+    Obs.Trace.record tr ~ts_ns:(float_of_int i) (custom "e" i)
   done;
   check_int "bounded" 4 (Obs.Trace.length tr);
   check_int "total counts all" 10 (Obs.Trace.total tr);
   check_int "dropped = overflow" 6 (Obs.Trace.dropped tr);
   (* Oldest-first, and the survivors are the newest events. *)
   Alcotest.(check (list int)) "keeps the tail" [ 7; 8; 9; 10 ]
-    (List.map (fun e -> e.Obs.Trace.arg) (Obs.Trace.to_list tr));
+    (List.map event_arg (Obs.Trace.to_list tr));
   Obs.Trace.clear tr;
   check_int "clear empties" 0 (Obs.Trace.length tr)
+
+let trace_wraparound_ordering () =
+  (* Ordering must hold in the wrapped regime, where the ring's write
+     cursor sits mid-array: to_list must stitch [cursor..end] before
+     [0..cursor-1], oldest first, for any overflow amount. *)
+  List.iter
+    (fun n ->
+      let tr = Obs.Trace.create ~capacity:5 () in
+      Obs.Trace.set_enabled tr true;
+      for i = 1 to n do
+        Obs.Trace.record tr ~ts_ns:(float_of_int i) (custom "e" i)
+      done;
+      let got = List.map event_arg (Obs.Trace.to_list tr) in
+      let expect = List.init (min n 5) (fun i -> max 0 (n - 5) + i + 1) in
+      Alcotest.(check (list int))
+        (Printf.sprintf "order after %d records" n)
+        expect got;
+      let ts = List.map (fun e -> e.Obs.Trace.ts_ns) (Obs.Trace.to_list tr) in
+      check "timestamps sorted" true (List.sort compare ts = ts))
+    [ 3; 5; 6; 7; 11; 23 ]
 
 let trace_events_through_region () =
   (* End-to-end: the NVM region stamps events with the simulated clock. *)
@@ -197,10 +276,189 @@ let trace_events_through_region () =
   Nvm.Region.write_i64 r 4096 1L;
   Nvm.Region.clwb r 4096;
   Nvm.Region.sfence r;
-  let kinds = List.map (fun e -> e.Obs.Trace.kind) (Obs.Trace.to_list (Nvm.Region.trace r)) in
-  Alcotest.(check (list string)) "clwb then sfence" [ "clwb"; "sfence" ] kinds;
-  let ts = List.map (fun e -> e.Obs.Trace.ts_ns) (Obs.Trace.to_list (Nvm.Region.trace r)) in
+  let events = Obs.Trace.to_list (Nvm.Region.trace r) in
+  Alcotest.(check (list string)) "clwb then sfence" [ "clwb"; "sfence" ]
+    (List.map event_kind events);
+  (match events with
+  | [ { Obs.Trace.payload = Obs.Trace.Clwb { line }; _ };
+      { Obs.Trace.payload = Obs.Trace.Sfence { drained; dur_ns }; _ } ] ->
+      check_int "clwb line" (4096 / 64) line;
+      check_int "sfence drained the line" 1 drained;
+      check "sfence cost recorded" true (dur_ns > 0.0)
+  | _ -> Alcotest.fail "unexpected payloads");
+  let ts = List.map (fun e -> e.Obs.Trace.ts_ns) events in
   check "timestamps monotone" true (List.sort compare ts = ts)
+
+(* --- spans -------------------------------------------------------------- *)
+
+let span_env () =
+  let now = ref 0.0 in
+  let reg = Obs.Registry.create () in
+  let tr = Obs.Trace.create () in
+  Obs.Trace.set_enabled tr true;
+  let sp = Obs.Span.create ~registry:reg ~trace:tr ~clock:(fun () -> !now) () in
+  (now, reg, tr, sp)
+
+let span_nesting_and_histograms () =
+  let now, reg, tr, sp = span_env () in
+  Obs.Span.begin_ sp "outer";
+  now := 10.0;
+  check_int "depth" 1 (Obs.Span.depth sp);
+  check "current" true (Obs.Span.current sp = Some "outer");
+  Obs.Span.begin_ sp "inner";
+  now := 30.0;
+  let d_inner = Obs.Span.end_ sp "inner" in
+  now := 100.0;
+  let d_outer = Obs.Span.end_ sp "outer" in
+  Alcotest.(check (float 1e-9)) "inner duration" 20.0 d_inner;
+  Alcotest.(check (float 1e-9)) "outer spans the inner one" 100.0 d_outer;
+  check_int "stack empty" 0 (Obs.Span.depth sp);
+  (* Durations fold into per-name histograms in the registry. *)
+  (match Obs.Registry.find_histogram reg "span.inner_ns" with
+  | Some h ->
+      check_int "inner count" 1 (Obs.Histogram.count h);
+      Alcotest.(check (float 1e-9)) "inner sum" 20.0 (Obs.Histogram.sum h)
+  | None -> Alcotest.fail "span.inner_ns histogram missing");
+  (* And begin/end round-trip through the trace ring, properly nested. *)
+  Alcotest.(check (list string)) "trace nesting"
+    [ "span_begin"; "span_begin"; "span_end"; "span_end" ]
+    (List.map event_kind (Obs.Trace.to_list tr))
+
+let span_unbalanced_end_raises () =
+  let _, _, _, sp = span_env () in
+  (match Obs.Span.end_ sp "never_opened" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "end on empty stack must raise");
+  Obs.Span.begin_ sp "a";
+  (match Obs.Span.end_ sp "b" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "mismatched name must raise");
+  (* The mismatch must not have popped the real frame. *)
+  check "frame intact" true (Obs.Span.current sp = Some "a")
+
+let span_with_closes_on_exception () =
+  let now, reg, _, sp = span_env () in
+  (try
+     Obs.Span.with_ sp "risky" (fun () ->
+         now := 7.0;
+         failwith "boom")
+   with Failure _ -> ());
+  check_int "stack unwound" 0 (Obs.Span.depth sp);
+  match Obs.Registry.find_histogram reg "span.risky_ns" with
+  | Some h -> check_int "span still recorded" 1 (Obs.Histogram.count h)
+  | None -> Alcotest.fail "span.risky_ns histogram missing"
+
+(* --- series ------------------------------------------------------------- *)
+
+let series_bounded_downsampling () =
+  let s = Obs.Series.create ~capacity:8 ~name:"x" () in
+  for i = 0 to 999 do
+    Obs.Series.sample s ~ts_ns:(float_of_int i) ~value:(float_of_int (i * 2))
+  done;
+  check "bounded" true (Obs.Series.length s <= 8);
+  check_int "every offer counted" 1000 (Obs.Series.seen s);
+  let stride = Obs.Series.stride s in
+  check "stride is a power of two" true (stride land (stride - 1) = 0);
+  let pts = Obs.Series.points s in
+  (* The first sample survives every compaction, spacing stays uniform,
+     and timestamps stay sorted. *)
+  (match pts with
+  | (ts0, v0) :: _ ->
+      Alcotest.(check (float 0.0)) "first point kept" 0.0 ts0;
+      Alcotest.(check (float 0.0)) "first value kept" 0.0 v0
+  | [] -> Alcotest.fail "empty series");
+  let ts = List.map fst pts in
+  check "sorted" true (List.sort compare ts = ts);
+  (match ts with
+  | t0 :: t1 :: _ ->
+      Alcotest.(check (float 1e-9)) "uniform spacing = stride"
+        (float_of_int stride) (t1 -. t0)
+  | _ -> Alcotest.fail "expected >= 2 points");
+  (* The newest stored point can lag the newest offer by at most two
+     strides (offers between acceptance points are dropped). *)
+  check "last stored point is recent" true
+    (match Obs.Series.last s with
+    | Some (t, _) -> t >= float_of_int (1000 - (2 * stride))
+    | None -> false)
+
+let series_small_keeps_everything () =
+  let s = Obs.Series.create ~capacity:16 ~name:"y" () in
+  for i = 1 to 10 do
+    Obs.Series.sample s ~ts_ns:(float_of_int i) ~value:(float_of_int i)
+  done;
+  check_int "no downsampling below capacity" 10 (Obs.Series.length s);
+  check_int "stride 1" 1 (Obs.Series.stride s);
+  match Obs.Series.to_json s with
+  | Obs.Json.Obj fields ->
+      check "json has points" true (List.mem_assoc "points" fields);
+      check "json has stride" true (List.mem_assoc "stride" fields)
+  | _ -> Alcotest.fail "unexpected series JSON shape"
+
+(* --- Perfetto export ---------------------------------------------------- *)
+
+let perfetto_export_well_formed () =
+  let tr = Obs.Trace.create () in
+  Obs.Trace.set_enabled tr true;
+  let ev ts p = Obs.Trace.record tr ~ts_ns:ts p in
+  ev 0.0 (Obs.Trace.Span_begin { name = "checkpoint" });
+  ev 10.0 (Obs.Trace.Clwb { line = 3 });
+  ev 60.0 (Obs.Trace.Sfence { drained = 1; dur_ns = 50.0 });
+  ev 200.0 (Obs.Trace.Wbinvd { lines = 4; dur_ns = 120.0 });
+  ev 200.0 (Obs.Trace.Epoch_advance { epoch = 3 });
+  ev 210.0 (Obs.Trace.Span_end { name = "checkpoint"; dur_ns = 210.0 });
+  ev 400.0 (Obs.Trace.Epoch_advance { epoch = 4 });
+  let series = Obs.Series.create ~capacity:8 ~name:"epoch.dirty_lines" () in
+  Obs.Series.sample series ~ts_ns:200.0 ~value:4.0;
+  let json =
+    Obs.Perfetto.export
+      ~series:[ ("shard0/epoch.dirty_lines", series) ]
+      ~tracks:[ ("shard0", tr) ] ()
+  in
+  (* The export must be parseable by our own reader (and hence valid
+     JSON for Perfetto / chrome://tracing). *)
+  let parsed = Obs.Json.of_string (Obs.Json.to_string_pretty json) in
+  check "roundtrips" true (parsed = json);
+  let events =
+    match Obs.Json.find parsed "traceEvents" with
+    | Some (Obs.Json.List l) -> l
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  let field e name =
+    match Obs.Json.find e name with Some v -> v | None -> Obs.Json.Null
+  in
+  let phases =
+    List.filter_map
+      (fun e -> match field e "ph" with Obs.Json.String p -> Some p | _ -> None)
+      events
+  in
+  List.iter
+    (fun p ->
+      check (Printf.sprintf "has a %S event" p) true (List.mem p phases))
+    [ "B"; "E"; "X"; "i"; "C"; "M" ];
+  let names =
+    List.filter_map
+      (fun e ->
+        match field e "name" with Obs.Json.String n -> Some n | _ -> None)
+      events
+  in
+  List.iter
+    (fun n ->
+      check (Printf.sprintf "has a %S slice" n) true (List.mem n names))
+    [ "checkpoint"; "sfence"; "wbinvd"; "epoch 3" ];
+  (* Complete slices carry a duration and start at end - dur. *)
+  List.iter
+    (fun e ->
+      if field e "ph" = Obs.Json.String "X" then
+        check "X slice has dur" true
+          (match Obs.Json.to_float_opt (field e "dur") with
+          | Some d -> d >= 0.0
+          | None -> false))
+    events;
+  (* Every event sits on a numbered pid/tid. *)
+  List.iter
+    (fun e ->
+      check "event has pid" true (Obs.Json.to_float_opt (field e "pid") <> None))
+    events
 
 let tests =
   ( "obs",
@@ -209,6 +467,10 @@ let tests =
       Alcotest.test_case "json escaping" `Quick json_escapes_strings;
       Alcotest.test_case "json floats valid" `Quick json_floats_are_valid;
       Alcotest.test_case "json nesting/pretty" `Quick json_nests;
+      Alcotest.test_case "json parser roundtrip" `Quick json_parses_back;
+      Alcotest.test_case "json parser numbers" `Quick json_parses_numbers;
+      Alcotest.test_case "json parser rejects garbage" `Quick json_rejects_garbage;
+      Alcotest.test_case "json accessors" `Quick json_accessors;
       Alcotest.test_case "histogram aggregates exact" `Quick histogram_exact_aggregates;
       Alcotest.test_case "histogram percentiles" `Quick histogram_percentiles_approximate;
       Alcotest.test_case "histogram empty" `Quick histogram_empty_is_quiet;
@@ -216,8 +478,16 @@ let tests =
       Alcotest.test_case "registry stable handles" `Quick registry_handles_are_stable;
       Alcotest.test_case "registry merges shards" `Quick registry_merge_sums_shards;
       Alcotest.test_case "registry snapshot/diff" `Quick registry_snapshot_diff_windows;
+      Alcotest.test_case "registry diff exhaustive" `Quick registry_diff_is_exhaustive;
       Alcotest.test_case "registry JSON shape" `Quick registry_json_shape;
       Alcotest.test_case "trace disabled by default" `Quick trace_disabled_by_default;
       Alcotest.test_case "trace ring bounds memory" `Quick trace_ring_bounds_memory;
+      Alcotest.test_case "trace wrap-around ordering" `Quick trace_wraparound_ordering;
       Alcotest.test_case "trace via region" `Quick trace_events_through_region;
+      Alcotest.test_case "span nesting/histograms" `Quick span_nesting_and_histograms;
+      Alcotest.test_case "span unbalanced end" `Quick span_unbalanced_end_raises;
+      Alcotest.test_case "span with_ on exception" `Quick span_with_closes_on_exception;
+      Alcotest.test_case "series downsampling" `Quick series_bounded_downsampling;
+      Alcotest.test_case "series below capacity" `Quick series_small_keeps_everything;
+      Alcotest.test_case "perfetto export" `Quick perfetto_export_well_formed;
     ] )

@@ -276,6 +276,80 @@ let recovery_reports_replayed_entries () =
   | None -> Alcotest.fail "no recover stats");
   expect_original s 100
 
+let recovery_phase_breakdown_sums () =
+  let s = mk () in
+  populate s 200;
+  for i = 0 to 50 do
+    ignore (Sys_.remove s ~key:(key8 i));
+    Sys_.put s ~key:(key8 i) ~value:"mixed!!!"
+  done;
+  Sys_.crash s (Util.Rng.create ~seed:13);
+  let s = Sys_.recover s in
+  (match Sys_.last_recover_stats s with
+  | Some st ->
+      check "phases non-empty" true (st.Sys_.phases <> []);
+      List.iter
+        (fun name ->
+          check
+            (Printf.sprintf "has phase %s" name)
+            true
+            (List.mem_assoc name st.Sys_.phases))
+        [
+          "recover.epoch_open"; "recover.extlog_replay";
+          "recover.alloc_chains"; "recover.image_scan"; "recover.checkpoint";
+        ];
+      List.iter
+        (fun (name, d) ->
+          check (Printf.sprintf "phase %s non-negative" name) true (d >= 0.0))
+        st.Sys_.phases;
+      (* Mark-to-mark durations telescope: they must sum to the whole
+         recovery's simulated time, not approximately but exactly (modulo
+         float addition noise). *)
+      let sum = List.fold_left (fun a (_, d) -> a +. d) 0.0 st.Sys_.phases in
+      check "phases sum to total" true
+        (Float.abs (sum -. st.Sys_.recovery_sim_ns)
+        <= 1e-6 *. Float.max 1.0 st.Sys_.recovery_sim_ns);
+      (* And each phase fed a span histogram in the region's registry. *)
+      List.iter
+        (fun (name, _) ->
+          match
+            Obs.Registry.find_histogram (Sys_.metrics s)
+              ("span." ^ name ^ "_ns")
+          with
+          | Some h ->
+              check (Printf.sprintf "span histogram for %s" name) true
+                (Obs.Histogram.count h >= 1)
+          | None -> Alcotest.fail ("missing span histogram for " ^ name))
+        st.Sys_.phases
+  | None -> Alcotest.fail "no recover stats");
+  expect_original s 200
+
+let sharded_recover_merges_phases () =
+  let cfg =
+    { cfg with Sys_.nvm = { cfg.Sys_.nvm with Nvm.Config.crash_support = Nvm.Config.Precise } }
+  in
+  let st = Store.Sharded.create ~config:cfg Sys_.Incll ~shards:2 in
+  for i = 0 to 199 do
+    Store.Sharded.put st ~key:(key8 i) ~value:(string_of_int i)
+  done;
+  Store.Sharded.advance_epochs st;
+  Store.Sharded.crash st (Util.Rng.create ~seed:14);
+  let phases = Store.Sharded.recover st in
+  check "merged phases non-empty" true (phases <> []);
+  check "merged breakdown starts with epoch_open" true
+    (match phases with ("recover.epoch_open", _) :: _ -> true | _ -> false);
+  (* The merged sum is the total simulated recovery time over shards. *)
+  let sum = List.fold_left (fun a (_, d) -> a +. d) 0.0 phases in
+  let per_shard =
+    List.init (Store.Sharded.nshards st) (fun i ->
+        match Sys_.last_recover_stats (Store.Sharded.shard st i) with
+        | Some r -> r.Sys_.recovery_sim_ns
+        | None -> 0.0)
+  in
+  let total = List.fold_left ( +. ) 0.0 per_shard in
+  check "merged sum = sum over shards" true
+    (Float.abs (sum -. total) <= 1e-6 *. Float.max 1.0 total)
+
 let lazy_recovery_is_lazy () =
   (* After recovery, untouched nodes still carry failed-epoch stamps; the
      first access repairs them (measured via the lazy counter). *)
@@ -352,6 +426,8 @@ let tests =
       Alcotest.test_case "crash during recovery" `Quick crash_during_recovery_replays;
       Alcotest.test_case "failed-set compaction" `Quick failed_set_compaction_sweeps;
       Alcotest.test_case "recovery statistics" `Quick recovery_reports_replayed_entries;
+      Alcotest.test_case "recovery phase breakdown" `Quick recovery_phase_breakdown_sums;
+      Alcotest.test_case "sharded recover merges phases" `Quick sharded_recover_merges_phases;
       Alcotest.test_case "lazy recovery is lazy" `Quick lazy_recovery_is_lazy;
       Alcotest.test_case "LOGGING variant recovers" `Quick logging_variant_recovers_too;
       Alcotest.test_case "eager sweep" `Quick eager_sweep_restores_everything;

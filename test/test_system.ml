@@ -149,7 +149,7 @@ let store_crash_recover () =
     Store.Sharded.put st ~key:(key8 i) ~value:"dirty"
   done;
   Store.Sharded.crash st (Util.Rng.create ~seed:42);
-  Store.Sharded.recover st;
+  ignore (Store.Sharded.recover st : (string * float) list);
   for i = 0 to 299 do
     check "kept" true (Store.Sharded.get st ~key:(key8 i) = Some (string_of_int i))
   done;
@@ -256,7 +256,7 @@ let concurrent_domains_stress () =
   let before = Store.Sharded.cardinal st in
   Store.Sharded.advance_epochs st;
   Store.Sharded.crash st (Util.Rng.create ~seed:55);
-  Store.Sharded.recover st;
+  ignore (Store.Sharded.recover st : (string * float) list);
   check_int "checkpointed state survives" before (Store.Sharded.cardinal st);
   for d = 0 to 3 do
     Masstree.Tree.validate (Sys_.tree (Store.Sharded.shard st d))
@@ -266,8 +266,8 @@ let recover_mutates_store_in_place () =
   (* Regression: recover used to build and RETURN a fresh store while the
      caller's binding kept the crashed shards — every alias had to be
      rebound or it kept talking to dead systems. recover now swaps the
-     recovered shards into the existing store (unit return), so every
-     alias observes the recovery. *)
+     recovered shards into the existing store (returning only the phase
+     timing breakdown), so every alias observes the recovery. *)
   let cfg =
     {
       small_cfg with
@@ -281,7 +281,7 @@ let recover_mutates_store_in_place () =
   done;
   Store.Sharded.advance_epochs st;
   Store.Sharded.crash st (Util.Rng.create ~seed:7);
-  Store.Sharded.recover st;
+  ignore (Store.Sharded.recover st : (string * float) list);
   (* The untouched alias serves reads from the recovered shards. *)
   for i = 0 to 99 do
     check "alias sees recovery" true
