@@ -1,6 +1,11 @@
 # Convenience targets; `make check` is the gate a PR must pass.
 
-.PHONY: all build test check bench bench-gate clean
+# Relative simulated-throughput drop that fails the bench_compare gate
+# (also overridable at run time via BENCH_COMPARE_THRESHOLD in the
+# environment; the flag passed here wins).
+BENCH_THRESHOLD ?= 0.10
+
+.PHONY: all build test check bench bench-gate microbench clean
 
 all: build
 
@@ -12,14 +17,22 @@ test:
 
 # Build + unit tests + a smoke benchmark run whose JSON report must diff
 # cleanly against itself through bin/bench_compare (exercises the --json
-# schema, the parser and the regression gate end to end).
-check: build test bench-gate
+# schema, the parser and the regression gate end to end) + a wall-clock
+# microbench smoke run (exercises the simulator fast paths and the
+# --min-mops gate plumbing; the bar is deliberately tiny — real
+# comparisons are two --json reports on the same machine).
+check: build test bench-gate microbench
 
 bench-gate:
 	dune exec bench/main.exe -- --only ablation_valincll --scale 0.001 \
 	  --threads 2 --ops 2000 --json _build/bench_check.json --date check
-	dune exec bin/bench_compare.exe -- \
+	dune exec bin/bench_compare.exe -- --threshold $(BENCH_THRESHOLD) \
 	  _build/bench_check.json _build/bench_check.json
+
+microbench:
+	dune exec bin/microbench.exe -- --stores 200000 --spans 50000 \
+	  --keys 2000 --ops 2000 --threads 2 --min-mops 0.005 \
+	  --json _build/microbench_check.json
 
 bench:
 	dune exec bench/main.exe -- --scale 0.001 --threads 2 --ops 5000

@@ -17,6 +17,7 @@ type opts = {
   mutable scale : float;
   mutable threads : int;
   mutable ops : int;  (* per thread *)
+  mutable chunk : int;  (* batch size for the measured loop *)
   mutable epoch_ms : float;
   mutable seed : int;
   mutable repeats : int;
@@ -32,6 +33,7 @@ let opts =
     scale = 0.01;
     threads = 8;
     ops = 50_000;
+    chunk = Bench_harness.Runner.default_chunk;
     epoch_ms = 8.0;
     seed = 1;
     repeats = 1;
@@ -104,7 +106,7 @@ let run ?threads ?keys ?sfence_extra_ns ?val_incll variant mix dist =
   let keys = Option.value ~default:(nkeys ()) keys in
   let cfg = config ?sfence_extra_ns ?val_incll ~keys ~threads () in
   note_metrics
-    (R.run ~seed:opts.seed ~threads ~ops_per_thread:opts.ops ~config:cfg
+    (R.run ~seed:opts.seed ~threads ~ops_per_thread:opts.ops ~chunk:opts.chunk ~config:cfg
        ~trace:(tracing ()) ~variant ~mix ~dist ~nkeys:keys ())
 
 (* Repeated runs with distinct workload seeds; returns (mean Mops,
@@ -118,7 +120,8 @@ let run_repeated ?threads ?keys variant mix dist =
         let cfg = config ~keys ~threads () in
         (note_metrics
            (R.run ~seed:(opts.seed + (1000 * i)) ~threads
-              ~ops_per_thread:opts.ops ~config:cfg ~trace:(tracing ())
+              ~ops_per_thread:opts.ops ~chunk:opts.chunk ~config:cfg
+              ~trace:(tracing ())
               ~variant ~mix ~dist ~nkeys:keys ()))
           .R.mops_sim)
   in
@@ -223,7 +226,7 @@ let fig3 () =
   let sweep dist =
     let pts =
       R.run_latency_sweep ~seed:opts.seed ~threads:opts.threads
-        ~ops_per_thread:opts.ops
+        ~ops_per_thread:opts.ops ~chunk:opts.chunk
         ~config:(config ~keys ~threads:opts.threads ())
         ~trace:(tracing ()) ~variant:Sys_.Incll ~mix:Y.A ~dist ~nkeys:keys
         ~latencies ()
@@ -386,7 +389,7 @@ let fig8 () =
   let sweep variant dist =
     let pts =
       R.run_latency_sweep ~seed:opts.seed ~threads:opts.threads
-        ~ops_per_thread:opts.ops
+        ~ops_per_thread:opts.ops ~chunk:opts.chunk
         ~config:(config ~keys ~threads:opts.threads ())
         ~trace:(tracing ()) ~variant ~mix:Y.A ~dist ~nkeys:keys ~latencies ()
     in
@@ -674,6 +677,8 @@ let usage () =
      \  --scale F      fraction of the paper's 20M keys (default 0.01)\n\
      \  --threads N    worker domains / shards (default 8)\n\
      \  --ops N        operations per thread (default 50000)\n\
+     \  --chunk N      ops per measured batch; each finished chunk samples the\n\
+     \                 shard's bench.chunk_wall_mops series (default 4096)\n\
      \  --epoch-ms F   simulated epoch length (default 8.0; paper: 64)\n\
      \  --seed N       workload seed\n\
      \  --repeats N    Figure-2 runs per cell, reported as mean±stdev (default 1)\n\
@@ -701,6 +706,9 @@ let parse_args () =
         go rest
     | "--threads" :: v :: rest ->
         opts.threads <- int_of_string v;
+        go rest
+    | "--chunk" :: v :: rest ->
+        opts.chunk <- int_of_string v;
         go rest
     | "--ops" :: v :: rest ->
         opts.ops <- int_of_string v;
@@ -766,6 +774,7 @@ let write_json_report path =
         ("keys", Obs.Json.Int (nkeys ()));
         ("threads", Obs.Json.Int opts.threads);
         ("ops_per_thread", Obs.Json.Int opts.ops);
+        ("chunk", Obs.Json.Int opts.chunk);
         ("epoch_ms", Obs.Json.Float opts.epoch_ms);
         ("seed", Obs.Json.Int opts.seed);
         ("repeats", Obs.Json.Int opts.repeats);

@@ -13,14 +13,29 @@
 
 module J = Obs.Json
 
-let threshold = ref 0.10
+(* Default threshold: the BENCH_COMPARE_THRESHOLD environment variable if
+   set (so CI can tighten or loosen the gate without editing the recipe),
+   else 10%. --threshold beats both. *)
+let threshold =
+  ref
+    (match Sys.getenv_opt "BENCH_COMPARE_THRESHOLD" with
+    | Some v -> (
+        match float_of_string_opt v with
+        | Some f when f >= 0.0 -> f
+        | _ ->
+            prerr_endline
+              ("bench_compare: ignoring invalid BENCH_COMPARE_THRESHOLD=" ^ v);
+            0.10)
+    | None -> 0.10)
+
 let force = ref false
 
 let usage_exit () =
   prerr_endline
     "usage: bench_compare [--threshold F] [--force] BASELINE.json NEW.json\n\
      \  --threshold F  relative throughput drop that fails the gate\n\
-     \                 (default 0.10 = 10%)\n\
+     \                 (default: $BENCH_COMPARE_THRESHOLD if set, else\n\
+     \                 0.10 = 10%)\n\
      \  --force        compare even when the run metadata is incompatible";
   exit 2
 

@@ -49,10 +49,14 @@ val config_for :
 (** Size the region (Counting mode — throughput runs never crash) to the
     working set, leaving head-room for the external log and churn. *)
 
+val default_chunk : int
+(** Default measured-loop batch size (4096 ops). *)
+
 val run :
   ?seed:int ->
   ?threads:int ->
   ?ops_per_thread:int ->
+  ?chunk:int ->
   ?config:Incll.System.config ->
   ?trace:bool ->
   variant:Incll.System.variant ->
@@ -65,12 +69,19 @@ val run :
     [threads * ops_per_thread] pre-generated operations with one domain
     per shard (ops are routed to the shard that owns their key, like the
     paper's shared-tree threads each operating on the whole key space).
-    Statistics cover only the measured phase. *)
+    Statistics cover only the measured phase.
+
+    The op stream is decoded into flat tag/key/value arrays at prepare
+    time and applied in batches of [chunk] ops (default 4096): the hot
+    loop dispatches on a byte tag with the shard handle hoisted, and each
+    finished chunk's wall-clock throughput is sampled into the shard's
+    ["bench.chunk_wall_mops"] series. *)
 
 val run_latency_sweep :
   ?seed:int ->
   ?threads:int ->
   ?ops_per_thread:int ->
+  ?chunk:int ->
   ?config:Incll.System.config ->
   ?trace:bool ->
   variant:Incll.System.variant ->

@@ -173,7 +173,7 @@ let durability_lag_ns t =
   match t.em with
   | None -> infinity
   | Some em ->
-      (Nvm.Region.stats t.region).Nvm.Stats.sim_ns
+      Nvm.Stats.sim_ns (Nvm.Region.stats t.region)
       -. Epoch.Manager.epoch_start_ns em
 
 let advance_epoch t =
@@ -203,7 +203,7 @@ let recover_region ~variant ~config region =
       failwith "System.recover: transient variants are not recoverable");
   Nvm.Superblock.check region;
   let wall0 = Unix.gettimeofday () in
-  let sim_now () = (Nvm.Region.stats region).Nvm.Stats.sim_ns in
+  let sim_now () = Nvm.Stats.sim_ns (Nvm.Region.stats region) in
   let sim0 = sim_now () in
   (* Per-phase profiling: each [phase] is a named span on the region's
      simulated clock. Phase durations are measured mark-to-mark (the time

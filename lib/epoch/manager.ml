@@ -103,7 +103,7 @@ let create ?(epoch_len_ns = default_epoch_len_ns) region =
       current = 2;
       first_epoch_of_run = 2;
       crashed_epoch = None;
-      epoch_start_ns = (Nvm.Region.stats region).Nvm.Stats.sim_ns;
+      epoch_start_ns = Nvm.Stats.sim_ns (Nvm.Region.stats region);
       advances = 0;
       failed = Hashtbl.create 8;
       subscribers = [];
@@ -115,7 +115,7 @@ let create ?(epoch_len_ns = default_epoch_len_ns) region =
     }
   in
   write_durable_epoch t 2;
-  t.epoch_start_ns <- (Nvm.Region.stats region).Nvm.Stats.sim_ns;
+  t.epoch_start_ns <- Nvm.Stats.sim_ns (Nvm.Region.stats region);
   t
 
 let open_after_crash ?(epoch_len_ns = default_epoch_len_ns) region =
@@ -132,7 +132,7 @@ let open_after_crash ?(epoch_len_ns = default_epoch_len_ns) region =
       current = crashed + 1;  (* the recovery-marker epoch *)
       first_epoch_of_run = crashed + 1;
       crashed_epoch = Some crashed;
-      epoch_start_ns = (Nvm.Region.stats region).Nvm.Stats.sim_ns;
+      epoch_start_ns = Nvm.Stats.sim_ns (Nvm.Region.stats region);
       advances = 0;
       failed = Hashtbl.create 8;
       subscribers = [];
@@ -152,7 +152,7 @@ let open_after_crash ?(epoch_len_ns = default_epoch_len_ns) region =
   t
 
 let advance t =
-  let now = (Nvm.Region.stats t.region).Nvm.Stats.sim_ns in
+  let now = Nvm.Stats.sim_ns (Nvm.Region.stats t.region) in
   Obs.Histogram.record t.h_epoch_len (now -. t.epoch_start_ns);
   let dirty = Nvm.Region.dirty_line_count t.region in
   Obs.Histogram.record t.h_epoch_dirty (float_of_int dirty);
@@ -171,11 +171,11 @@ let advance t =
   ignore (Obs.Span.end_ spans "checkpoint" : float);
   t.current <- t.current + 1;
   t.advances <- t.advances + 1;
-  t.epoch_start_ns <- (Nvm.Region.stats t.region).Nvm.Stats.sim_ns;
+  t.epoch_start_ns <- Nvm.Stats.sim_ns (Nvm.Region.stats t.region);
   run_subscribers t
 
 let maybe_advance t =
-  let now = (Nvm.Region.stats t.region).Nvm.Stats.sim_ns in
+  let now = Nvm.Stats.sim_ns (Nvm.Region.stats t.region) in
   if now -. t.epoch_start_ns >= t.epoch_len_ns then begin
     advance t;
     true

@@ -53,7 +53,7 @@ let truncate t ~epoch =
   (* Log growth over the ending epoch — sampled before the reset, one
      point per checkpoint (the §6.3 worst-case-recovery quantity). *)
   Obs.Series.sample t.s_used
-    ~ts_ns:(Nvm.Region.stats t.region).Nvm.Stats.sim_ns
+    ~ts_ns:(Nvm.Stats.sim_ns (Nvm.Region.stats t.region))
     ~value:(float_of_int t.tail);
   t.tail <- 0;
   Nvm.Region.write_i64 t.region Nvm.Layout.extlog_off (Int64.of_int epoch);

@@ -14,24 +14,24 @@ let child_off i =
   if i < 0 || i > width then invalid_arg "Internal.child_off";
   192 + (8 * i)
 
-let nkeys region node = Int64.to_int (Nvm.Region.read_i64 region (node + off_nkeys))
+let nkeys region node = Nvm.Region.read_int region (node + off_nkeys)
 let set_nkeys region node v =
-  Nvm.Region.write_i64 region (node + off_nkeys) (Int64.of_int v)
+  Nvm.Region.write_int region (node + off_nkeys) v
 
 let key region node ~i = Nvm.Region.read_i64 region (node + key_off i)
 let set_key region node ~i v = Nvm.Region.write_i64 region (node + key_off i) v
 
 let child region node ~i =
-  Int64.to_int (Nvm.Region.read_i64 region (node + child_off i))
+  Nvm.Region.read_int region (node + child_off i)
 
 let set_child region node ~i v =
-  Nvm.Region.write_i64 region (node + child_off i) (Int64.of_int v)
+  Nvm.Region.write_int region (node + child_off i) v
 
 let logged_epoch region node =
-  Int64.to_int (Nvm.Region.read_i64 region (node + off_logged_epoch))
+  Nvm.Region.read_int region (node + off_logged_epoch)
 
 let set_logged_epoch region node v =
-  Nvm.Region.write_i64 region (node + off_logged_epoch) (Int64.of_int v)
+  Nvm.Region.write_int region (node + off_logged_epoch) v
 
 let layer region node =
   Util.Bits.get_int
@@ -44,7 +44,7 @@ let create (alloc : Alloc.Api.t) region ~layer =
   Nvm.Region.write_i64 region (node + off_version) 0L;
   set_logged_epoch region node 0;
   (* bit 0 clear: not a leaf (shared flag position with Leaf). *)
-  Nvm.Region.write_i64 region (node + off_flags) (Int64.of_int (layer lsl 8));
+  Nvm.Region.write_int region (node + off_flags) (layer lsl 8);
   set_nkeys region node 0;
   node
 
@@ -52,13 +52,16 @@ let is_full region node = nkeys region node >= width
 
 let search_child region node ~slice =
   let n = nkeys region node in
-  (* First key strictly greater than [slice] gives the child index. *)
+  let shi = Int64.to_int (Int64.shift_right_logical slice 32)
+  and slo = Int64.to_int (Int64.logand slice 0xFFFF_FFFFL) in
+  (* First key strictly greater than [slice] gives the child index;
+     unboxed comparison, so the descent allocates nothing. *)
   let rec loop lo hi =
     if lo >= hi then lo
     else begin
       let mid = (lo + hi) / 2 in
-      if Key.compare_slices (key region node ~i:mid) slice <= 0 then
-        loop (mid + 1) hi
+      if Nvm.Region.compare_u64 region (node + key_off mid) ~hi:shi ~lo:slo <= 0
+      then loop (mid + 1) hi
       else loop lo mid
     end
   in

@@ -41,10 +41,10 @@ let flag_leaf = 1L
 
 let version region node = Nvm.Region.read_i64 region (node + off_version)
 let set_version region node v = Nvm.Region.write_i64 region (node + off_version) v
-let next region node = Int64.to_int (Nvm.Region.read_i64 region (node + off_next))
-let set_next region node v = Nvm.Region.write_i64 region (node + off_next) (Int64.of_int v)
-let prev region node = Int64.to_int (Nvm.Region.read_i64 region (node + off_prev))
-let set_prev region node v = Nvm.Region.write_i64 region (node + off_prev) (Int64.of_int v)
+let next region node = Nvm.Region.read_int region (node + off_next)
+let set_next region node v = Nvm.Region.write_int region (node + off_next) v
+let prev region node = Nvm.Region.read_int region (node + off_prev)
+let set_prev region node v = Nvm.Region.write_int region (node + off_prev) v
 
 let flags region node = Nvm.Region.read_i64 region (node + off_flags)
 let layer region node = Util.Bits.get_int (flags region node) ~lo:8 ~width:16
@@ -69,10 +69,10 @@ let keylen region node ~slot = Nvm.Region.read_u8 region (node + keylen_off slot
 let set_keylen region node ~slot v = Nvm.Region.write_u8 region (node + keylen_off slot) v
 
 let value region node ~slot =
-  Int64.to_int (Nvm.Region.read_i64 region (node + val_off slot))
+  Nvm.Region.read_int region (node + val_off slot)
 
 let set_value region node ~slot v =
-  Nvm.Region.write_i64 region (node + val_off slot) (Int64.of_int v)
+  Nvm.Region.write_int region (node + val_off slot) v
 
 let incll region node ~slot = Nvm.Region.read_i64 region (node + incll_off slot)
 let set_incll region node ~slot v =
@@ -110,17 +110,23 @@ let entry_count region node = Permutation.count (perm region node)
 let find region node ~slice ~keylen:klen =
   let p = perm region node in
   let n = Permutation.count p in
+  let shi = Int64.to_int (Int64.shift_right_logical slice 32)
+  and slo = Int64.to_int (Int64.logand slice 0xFFFF_FFFFL) in
   (* Invariant: entries at ranks < lo are smaller, at ranks >= hi are
-     greater or equal. *)
+     greater or equal. The probe reads keylen before the key slice (the
+     argument order of [Key.compare_entry], which this unboxed comparison
+     replaces) and compares via {!Nvm.Region.compare_u64}, so a search
+     allocates nothing. *)
   let rec loop lo hi =
     if lo >= hi then Insert_before lo
     else begin
       let mid = (lo + hi) / 2 in
       let slot = Permutation.slot_at_rank p mid in
+      let kl = keylen region node ~slot in
       let c =
-        Key.compare_entry (key region node ~slot)
-          (keylen region node ~slot) slice klen
+        Nvm.Region.compare_u64 region (node + key_off slot) ~hi:shi ~lo:slo
       in
+      let c = if c <> 0 then c else compare (kl : int) klen in
       if c = 0 then Found mid
       else if c < 0 then loop (mid + 1) hi
       else loop lo mid

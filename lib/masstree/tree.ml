@@ -58,14 +58,14 @@ let fresh_stats () =
   }
 
 let read_root region =
-  Int64.to_int (Nvm.Region.read_i64 region Nvm.Layout.off_root)
+  Nvm.Region.read_int region Nvm.Layout.off_root
 
 let create region alloc hooks ~current_epoch =
   let t =
     { region; alloc; hooks; current_epoch; root = 0; stats = fresh_stats () }
   in
   let leaf = Leaf.create alloc region ~layer:0 ~epoch:(current_epoch ()) in
-  Nvm.Region.write_i64 region Nvm.Layout.off_root (Int64.of_int leaf);
+  Nvm.Region.write_int region Nvm.Layout.off_root leaf;
   (* The initial root must survive even a crash in the first epoch. *)
   Nvm.Region.clwb region Nvm.Layout.off_root;
   Nvm.Region.sfence region;
@@ -86,13 +86,13 @@ let write_value t v =
   let len = String.length v in
   if len > max_value_bytes then invalid_arg "Tree: value too large";
   let buf = t.alloc.Alloc.Api.alloc ~aligned:false ~size:(8 + len) in
-  Nvm.Region.write_i64 t.region buf (Int64.of_int len);
-  if len > 0 then Nvm.Region.write_bytes t.region (buf + 8) (Bytes.of_string v);
+  Nvm.Region.write_int t.region buf len;
+  if len > 0 then Nvm.Region.write_string t.region (buf + 8) v;
   buf
 
 let read_value t buf =
-  let len = Int64.to_int (Nvm.Region.read_i64 t.region buf) in
-  Bytes.to_string (Nvm.Region.read_bytes t.region (buf + 8) ~len)
+  let len = Nvm.Region.read_int t.region buf in
+  Nvm.Region.read_string t.region (buf + 8) ~len
 
 (* Suffix entries (Masstree's ksuf): the key bytes past the 8-byte slice
    live in the entry's buffer, in front of the value:
@@ -106,23 +106,21 @@ let write_suffix_value t ~suffix ~value =
   let buf =
     t.alloc.Alloc.Api.alloc ~aligned:false ~size:(16 + pad8 slen + vlen)
   in
-  Nvm.Region.write_i64 t.region buf (Int64.of_int slen);
-  if slen > 0 then
-    Nvm.Region.write_bytes t.region (buf + 8) (Bytes.of_string suffix);
-  Nvm.Region.write_i64 t.region (buf + 8 + pad8 slen) (Int64.of_int vlen);
+  Nvm.Region.write_int t.region buf slen;
+  if slen > 0 then Nvm.Region.write_string t.region (buf + 8) suffix;
+  Nvm.Region.write_int t.region (buf + 8 + pad8 slen) vlen;
   if vlen > 0 then
-    Nvm.Region.write_bytes t.region (buf + 16 + pad8 slen) (Bytes.of_string value);
+    Nvm.Region.write_string t.region (buf + 16 + pad8 slen) value;
   buf
 
 let read_suffix t buf =
-  let slen = Int64.to_int (Nvm.Region.read_i64 t.region buf) in
-  Bytes.to_string (Nvm.Region.read_bytes t.region (buf + 8) ~len:slen)
+  let slen = Nvm.Region.read_int t.region buf in
+  Nvm.Region.read_string t.region (buf + 8) ~len:slen
 
 let read_suffix_value t buf =
-  let slen = Int64.to_int (Nvm.Region.read_i64 t.region buf) in
-  let vlen = Int64.to_int (Nvm.Region.read_i64 t.region (buf + 8 + pad8 slen)) in
-  Bytes.to_string
-    (Nvm.Region.read_bytes t.region (buf + 16 + pad8 slen) ~len:vlen)
+  let slen = Nvm.Region.read_int t.region buf in
+  let vlen = Nvm.Region.read_int t.region (buf + 8 + pad8 slen) in
+  Nvm.Region.read_string t.region (buf + 16 + pad8 slen) ~len:vlen
 
 (* --- descent ----------------------------------------------------------- *)
 
@@ -136,6 +134,18 @@ let descend t root slice =
     end
   in
   loop root []
+
+(* Read-path variant: same walk, same charges, but no ancestor stack —
+   lookups and scans never splice, so they need not allocate the spine. *)
+let descend_leaf t root slice =
+  let rec loop node =
+    if Leaf.is_leaf_node t.region node then node
+    else
+      loop
+        (Internal.child t.region node
+           ~i:(Internal.search_child t.region node ~slice))
+  in
+  loop root
 
 (* --- structural modification (splits) ---------------------------------- *)
 
@@ -171,7 +181,7 @@ let structural_log_list t rr stack leaf =
 let set_root t rr new_root =
   match rr with
   | Top ->
-      Nvm.Region.write_i64 t.region Nvm.Layout.off_root (Int64.of_int new_root);
+      Nvm.Region.write_int t.region Nvm.Layout.off_root new_root;
       t.root <- new_root
   | Val_slot { leaf; slot } -> Leaf.set_value t.region leaf ~slot new_root
 
@@ -399,7 +409,7 @@ let put t ~key ~value =
 
 let rec get_rec t root ~key ~layer =
   let slice, more, slen = slice_info key ~layer in
-  let leaf, _ = descend t root slice in
+  let leaf = descend_leaf t root slice in
   t.hooks.Hooks.on_leaf_access ~leaf;
   if not more then
     match Leaf.find t.region leaf ~slice ~keylen:slen with
@@ -706,7 +716,7 @@ let rec scan_layer_rev t root ~prefix ~local_bound ~f =
   match target with
   | None -> visit_leaf (rightmost root)
   | Some tg ->
-      let leaf0, _ = descend t root tg.Key.bits in
+      let leaf0 = descend_leaf t root tg.Key.bits in
       t.hooks.Hooks.on_leaf_access ~leaf:leaf0;
       let p = Leaf.perm t.region leaf0 in
       let tklen =
@@ -768,7 +778,7 @@ let cardinal t =
   let n = ref 0 in
   (* Count without materialising values. *)
   let rec count_layer root =
-    let leaf0, _ = descend t root 0L in
+    let leaf0 = descend_leaf t root 0L in
     let rec walk leaf =
       if leaf <> 0 then begin
         t.hooks.Hooks.on_leaf_access ~leaf;

@@ -3,6 +3,19 @@ type addr = int
 type t = {
   cfg : Config.t;
   nlines : int;
+  (* Hot-path copies of configuration the fast paths read on every store
+     and load. All immutable after [create]: chasing [cfg.cost.field]
+     through two records per memory access was measurable (see
+     bin/microbench.ml), so the fields are hoisted once here. *)
+  size_bytes : int;
+  is_precise : bool;
+  max_dirty : int;  (* [max_dirty_lines], with [None] as [max_int] *)
+  max_line_log_bytes : int;
+  op_base_ns : float;
+  write_ns : float;
+  read_ns : float;
+  mem_miss_ns : float;
+  clwb_ns : float;
   volatile : Bytes.t;
   persisted : Bytes.t;  (* unused (length 0) in Counting mode *)
   dirty : Bytes.t;  (* one byte per line: 0 clean, 1 dirty *)
@@ -19,7 +32,6 @@ type t = {
   series_tbl : (string, Obs.Series.t) Hashtbl.t;
   h_sfence : Obs.Histogram.t;  (* per-sfence latency, ns *)
   h_wbinvd : Obs.Histogram.t;  (* per-wbinvd latency, ns *)
-  scratch : Bytes.t;  (* 8-byte staging buffer for word stores *)
   mutable sfence_extra_ns : float;  (* runtime-adjustable emulated latency *)
   (* Direct-mapped LLC tag array: models capacity misses so locality has a
      price. Tag slots hold line ids (+1; 0 = empty). *)
@@ -30,7 +42,7 @@ type t = {
 let line_of_addr addr = addr lsr Config.line_shift
 let same_line a b = line_of_addr a = line_of_addr b
 
-let precise t = t.cfg.Config.crash_support = Config.Precise
+let precise t = t.is_precise
 
 let create (cfg : Config.t) =
   if cfg.size_bytes <= 0 || cfg.size_bytes land (Config.line_size - 1) <> 0
@@ -42,12 +54,21 @@ let create (cfg : Config.t) =
   let spans =
     Obs.Span.create ~registry:metrics ~trace
       ~wall_clock:(fun () -> Unix.gettimeofday () *. 1e9)
-      ~clock:(fun () -> stats.Stats.sim_ns)
+      ~clock:(fun () -> Stats.sim_ns stats)
       ()
   in
   {
     cfg;
     nlines;
+    size_bytes = cfg.size_bytes;
+    is_precise = cfg.crash_support = Config.Precise;
+    max_dirty = Option.value cfg.max_dirty_lines ~default:max_int;
+    max_line_log_bytes = cfg.max_line_log_bytes;
+    op_base_ns = cfg.cost.Config.op_base_ns;
+    write_ns = cfg.cost.Config.write_ns;
+    read_ns = cfg.cost.Config.read_ns;
+    mem_miss_ns = cfg.cost.Config.mem_miss_ns;
+    clwb_ns = cfg.cost.Config.clwb_ns;
     volatile = Bytes.make cfg.size_bytes '\000';
     persisted =
       (match cfg.crash_support with
@@ -67,7 +88,6 @@ let create (cfg : Config.t) =
     series_tbl = Hashtbl.create 8;
     h_sfence = Obs.Registry.histogram metrics "nvm.sfence_ns";
     h_wbinvd = Obs.Registry.histogram metrics "nvm.wbinvd_ns";
-    scratch = Bytes.create 8;
     sfence_extra_ns = cfg.cost.Config.sfence_extra_ns;
     (* 2^18 slots x 64 B = a 16 MiB simulated LLC. *)
     llc_tags = Array.make 262144 0;
@@ -81,7 +101,7 @@ let trace t = t.trace
 let spans t = t.spans
 
 let trace_event t payload =
-  Obs.Trace.record t.trace ~ts_ns:t.stats.Stats.sim_ns payload
+  Obs.Trace.record t.trace ~ts_ns:(Stats.sim_ns t.stats) payload
 
 let series t name =
   match Hashtbl.find_opt t.series_tbl name with
@@ -116,18 +136,21 @@ let commit_line t line =
   end
 
 let evict_some t =
+  (* [commit_line] removes exactly one dirty line per call, so the count
+     can be threaded through the loop instead of re-read from the vector
+     each iteration (the RNG consumes the same bound sequence either
+     way). *)
   let n = dirty_line_count t in
   if n > 0 then begin
     let batch = min t.cfg.Config.evict_batch n in
+    let remaining = ref n in
     for _ = 1 to batch do
-      let remaining = dirty_line_count t in
-      if remaining > 0 then begin
-        let victim =
-          Util.Ivec.get t.dirty_list (Util.Rng.int t.evict_rng remaining)
-        in
-        commit_line t victim;
-        t.stats.Stats.evictions <- t.stats.Stats.evictions + 1
-      end
+      let victim =
+        Util.Ivec.get t.dirty_list (Util.Rng.int t.evict_rng !remaining)
+      in
+      commit_line t victim;
+      decr remaining;
+      t.stats.Stats.evictions <- t.stats.Stats.evictions + 1
     done
   end
 
@@ -136,9 +159,7 @@ let mark_dirty t line =
     Bytes.unsafe_set t.dirty line '\001';
     t.dirty_pos.(line) <- Util.Ivec.length t.dirty_list;
     Util.Ivec.push t.dirty_list line;
-    match t.cfg.Config.max_dirty_lines with
-    | Some cap when dirty_line_count t > cap -> evict_some t
-    | _ -> ()
+    if Util.Ivec.length t.dirty_list > t.max_dirty then evict_some t
   end
 
 let log_of_line t line =
@@ -151,17 +172,19 @@ let log_of_line t line =
 
 (* Record one intra-line store in Precise mode, evicting the line first if
    its pending log outgrew the configured bound (a legal cache behaviour
-   that keeps simulator memory bounded). *)
+   that keeps simulator memory bounded). [commit_line] clears the log in
+   place rather than dropping it, so the single lookup stays valid across
+   the eviction. *)
 let record_store t line ~off ~src ~src_pos ~len =
   let log = log_of_line t line in
-  if Line_log.payload_bytes log > t.cfg.Config.max_line_log_bytes then begin
+  if Line_log.payload_bytes log > t.max_line_log_bytes then begin
     commit_line t line;
     t.stats.Stats.evictions <- t.stats.Stats.evictions + 1
   end;
-  Line_log.append (log_of_line t line) ~off ~src ~src_pos ~len
+  Line_log.append log ~off ~src ~src_pos ~len
 
 let check_range t addr len =
-  if addr < 0 || len < 0 || addr + len > t.cfg.Config.size_bytes then
+  if addr < 0 || len < 0 || addr + len > t.size_bytes then
     invalid_arg
       (Printf.sprintf "Region: address range [%d, %d) out of bounds" addr
          (addr + len))
@@ -171,81 +194,198 @@ let touch_llc t line =
   let tag = line + 1 in
   if Array.unsafe_get t.llc_tags slot <> tag then begin
     Array.unsafe_set t.llc_tags slot tag;
-    Stats.add_ns t.stats t.cfg.Config.cost.Config.mem_miss_ns
+    let st = t.stats in
+    st.Stats.clock.Stats.ns <- st.Stats.clock.Stats.ns +. t.mem_miss_ns
   end
 
-(* Store [len] bytes from src at [addr]; caller guarantees the span stays
-   within one cache line. *)
-let store_in_line t addr ~src ~src_pos ~len =
-  let line = line_of_addr addr in
+(* Accounting for a store whose [len] bytes are already in the volatile
+   image at [addr] (and stay within one line): LLC probe, Precise-mode
+   logging, dirty tracking, and the stats/clock charges — in the same
+   order as the historical blit-from-scratch path, so the charged
+   [sim_ns] is bit-identical. Logging reads the store's bytes back out of
+   the volatile image itself, which lets every caller skip the scratch
+   staging buffer (fast paths write their payload directly). *)
+let store_committed t addr len =
+  let line = addr lsr Config.line_shift in
   touch_llc t line;
-  Bytes.blit src src_pos t.volatile addr len;
-  if precise t then
-    record_store t line ~off:(addr land (Config.line_size - 1)) ~src ~src_pos
-      ~len;
+  if t.is_precise then
+    record_store t line
+      ~off:(addr land (Config.line_size - 1))
+      ~src:t.volatile ~src_pos:addr ~len;
   mark_dirty t line;
-  t.stats.Stats.writes <- t.stats.Stats.writes + 1;
-  t.stats.Stats.bytes_written <- t.stats.Stats.bytes_written + len;
-  Stats.add_ns t.stats t.cfg.Config.cost.Config.write_ns
+  let st = t.stats in
+  st.Stats.writes <- st.Stats.writes + 1;
+  st.Stats.bytes_written <- st.Stats.bytes_written + len;
+  st.Stats.clock.Stats.ns <- st.Stats.clock.Stats.ns +. t.write_ns
 
 (* --- loads and stores ------------------------------------------------ *)
 
+(* Fused read accounting: counter bump, clock charge and LLC probe of the
+   line containing [addr], with no intermediate calls. *)
 let charge_read t addr =
-  t.stats.Stats.reads <- t.stats.Stats.reads + 1;
-  Stats.add_ns t.stats t.cfg.Config.cost.Config.read_ns;
-  touch_llc t (line_of_addr addr)
+  let st = t.stats in
+  st.Stats.reads <- st.Stats.reads + 1;
+  st.Stats.clock.Stats.ns <- st.Stats.clock.Stats.ns +. t.read_ns;
+  touch_llc t (addr lsr Config.line_shift)
+
+(* Read side of a multi-byte access: one read + LLC probe per touched
+   line (mirrors how the store side splits spans per line). *)
+let charge_read_span t addr len =
+  if len > 0 then begin
+    let st = t.stats in
+    let last = (addr + len - 1) lsr Config.line_shift in
+    for line = addr lsr Config.line_shift to last do
+      st.Stats.reads <- st.Stats.reads + 1;
+      st.Stats.clock.Stats.ns <- st.Stats.clock.Stats.ns +. t.read_ns;
+      touch_llc t line
+    done
+  end
 
 let read_i64 t addr =
-  check_range t addr 8;
+  if addr < 0 || addr > t.size_bytes - 8 then check_range t addr 8;
   charge_read t addr;
   Bytes.get_int64_le t.volatile addr
 
+(* Unsigned comparison of the stored word at [addr] against the probe
+   whose 32-bit unsigned halves are [hi] and [lo]. Charges exactly like
+   {!read_i64} (one read, one LLC probe); works entirely in tagged ints,
+   so index-structure searches can compare keys without boxing an Int64
+   per probe. *)
+let compare_u64 t addr ~hi ~lo =
+  if addr < 0 || addr > t.size_bytes - 8 then check_range t addr 8;
+  charge_read t addr;
+  let b = t.volatile in
+  let whi =
+    Bytes.get_uint16_le b (addr + 4) lor (Bytes.get_uint16_le b (addr + 6) lsl 16)
+  in
+  if whi <> hi then (if whi < hi then -1 else 1)
+  else begin
+    let wlo =
+      Bytes.get_uint16_le b addr lor (Bytes.get_uint16_le b (addr + 2) lsl 16)
+    in
+    if wlo = lo then 0 else if wlo < lo then -1 else 1
+  end
+
 let write_i64 t addr v =
-  check_range t addr 8;
-  if addr land 7 <> 0 then invalid_arg "Region.write_i64: unaligned";
-  Bytes.set_int64_le t.scratch 0 v;
-  store_in_line t addr ~src:t.scratch ~src_pos:0 ~len:8
+  (* Single fused bounds+alignment test on the hot path; the cold branch
+     re-derives which precondition failed for the historical message. *)
+  if addr land 7 <> 0 || addr < 0 || addr > t.size_bytes - 8 then begin
+    check_range t addr 8;
+    invalid_arg "Region.write_i64: unaligned"
+  end;
+  Bytes.set_int64_le t.volatile addr v;
+  store_committed t addr 8
+
+(* Tagged-int word accessors: same bytes, same charges as {!read_i64} /
+   {!write_i64} composed with [Int64.to_int] / [Int64.of_int], but built
+   from 16-bit accesses so no boxed [Int64] is ever allocated (bit 63 is
+   truncated exactly as [Int64.to_int] truncates it). *)
+let get_int_le b i =
+  Bytes.get_uint16_le b i
+  lor (Bytes.get_uint16_le b (i + 2) lsl 16)
+  lor (Bytes.get_uint16_le b (i + 4) lsl 32)
+  lor (Bytes.get_uint16_le b (i + 6) lsl 48)
+
+let set_int_le b i v =
+  Bytes.set_uint16_le b i (v land 0xffff);
+  Bytes.set_uint16_le b (i + 2) ((v lsr 16) land 0xffff);
+  Bytes.set_uint16_le b (i + 4) ((v lsr 32) land 0xffff);
+  Bytes.set_uint16_le b (i + 6) ((v asr 48) land 0xffff)
+
+let read_int t addr =
+  if addr < 0 || addr > t.size_bytes - 8 then check_range t addr 8;
+  charge_read t addr;
+  get_int_le t.volatile addr
+
+let write_int t addr v =
+  if addr land 7 <> 0 || addr < 0 || addr > t.size_bytes - 8 then begin
+    check_range t addr 8;
+    invalid_arg "Region.write_int: unaligned"
+  end;
+  set_int_le t.volatile addr v;
+  store_committed t addr 8
 
 let read_u8 t addr =
-  check_range t addr 1;
+  if addr < 0 || addr >= t.size_bytes then check_range t addr 1;
   charge_read t addr;
-  Char.code (Bytes.get t.volatile addr)
+  Char.code (Bytes.unsafe_get t.volatile addr)
 
 let write_u8 t addr v =
-  check_range t addr 1;
-  Bytes.set t.scratch 0 (Char.chr (v land 0xff));
-  store_in_line t addr ~src:t.scratch ~src_pos:0 ~len:1
+  if addr < 0 || addr >= t.size_bytes then check_range t addr 1;
+  Bytes.unsafe_set t.volatile addr (Char.unsafe_chr (v land 0xff));
+  store_committed t addr 1
 
-let write_span t addr src src_pos len =
-  (* Split a multi-line store into per-line stores, in address order. *)
-  let rec loop addr src_pos remaining =
-    if remaining > 0 then begin
-      let line_end = (line_of_addr addr + 1) * Config.line_size in
-      let chunk = min remaining (line_end - addr) in
-      store_in_line t addr ~src ~src_pos ~len:chunk;
-      loop (addr + chunk) (src_pos + chunk) (remaining - chunk)
-    end
-  in
-  loop addr src_pos len
+(* Split a multi-line store into per-line stores, in address order: blit
+   each line chunk into the volatile image, then account for it. The
+   loops are specialised per payload kind (bytes / string / the volatile
+   image itself) so none of them allocates. *)
+let rec write_span t addr src src_pos len =
+  if len > 0 then begin
+    let line_end = (addr lor (Config.line_size - 1)) + 1 in
+    let chunk = min len (line_end - addr) in
+    Bytes.blit src src_pos t.volatile addr chunk;
+    store_committed t addr chunk;
+    write_span t (addr + chunk) src (src_pos + chunk) (len - chunk)
+  end
 
 let write_bytes t addr b =
   let len = Bytes.length b in
   check_range t addr len;
   write_span t addr b 0 len
 
+let rec string_span t addr s pos len =
+  if len > 0 then begin
+    let line_end = (addr lor (Config.line_size - 1)) + 1 in
+    let chunk = min len (line_end - addr) in
+    Bytes.blit_string s pos t.volatile addr chunk;
+    store_committed t addr chunk;
+    string_span t (addr + chunk) s (pos + chunk) (len - chunk)
+  end
+
+let write_string t addr s =
+  let len = String.length s in
+  check_range t addr len;
+  string_span t addr s 0 len
+
 let read_bytes t addr ~len =
   check_range t addr len;
+  charge_read_span t addr len;
   Bytes.sub t.volatile addr len
+
+let read_string t addr ~len =
+  check_range t addr len;
+  charge_read_span t addr len;
+  Bytes.sub_string t.volatile addr len
 
 let blit_to_buf t addr buf ~pos ~len =
   check_range t addr len;
+  charge_read_span t addr len;
   Bytes.blit t.volatile addr buf pos len
 
 let blit_within t ~src ~dst ~len =
   check_range t src len;
   check_range t dst len;
-  let tmp = Bytes.sub t.volatile src len in
-  write_span t dst tmp 0 len
+  charge_read_span t src len;
+  if src + len <= dst || dst + len <= src then
+    (* Disjoint ranges: copy straight out of the volatile image, no
+       temporary ([Bytes.blit] within one buffer is fine when the chunks
+       cannot alias). *)
+    let rec loop dst src len =
+      if len > 0 then begin
+        let line_end = (dst lor (Config.line_size - 1)) + 1 in
+        let chunk = min len (line_end - dst) in
+        Bytes.blit t.volatile src t.volatile dst chunk;
+        store_committed t dst chunk;
+        loop (dst + chunk) (src + chunk) (len - chunk)
+      end
+    in
+    loop dst src len
+  else begin
+    (* Overlapping: the destination stores must see the pre-copy source
+       bytes, so stage them once. *)
+    let tmp = Bytes.sub t.volatile src len in
+    write_span t dst tmp 0 len
+  end
 
 (* --- persistence instructions ---------------------------------------- *)
 
@@ -269,7 +409,7 @@ let clwb t addr =
     Util.Ivec.push t.pending_wb line
   end;
   t.stats.Stats.clwb <- t.stats.Stats.clwb + 1;
-  Stats.add_ns t.stats t.cfg.Config.cost.Config.clwb_ns;
+  Stats.add_ns t.stats t.clwb_ns;
   trace_event t (Obs.Trace.Clwb { line })
 
 let sfence t =
@@ -312,7 +452,9 @@ let wbinvd t =
   Obs.Histogram.record t.h_wbinvd cost;
   trace_event t (Obs.Trace.Wbinvd { lines = ndirty; dur_ns = cost })
 
-let charge_op t = Stats.add_ns t.stats t.cfg.Config.cost.Config.op_base_ns
+let charge_op t =
+  let st = t.stats in
+  st.Stats.clock.Stats.ns <- st.Stats.clock.Stats.ns +. t.op_base_ns
 
 let set_sfence_extra_ns t ns = t.sfence_extra_ns <- ns
 let advance_clock t ns = Stats.add_ns t.stats ns

@@ -70,16 +70,41 @@ val read_i64 : t -> addr -> int64
 val write_i64 : t -> addr -> int64 -> unit
 (** [addr] must be 8-byte aligned, so a word never straddles lines. *)
 
+val read_int : t -> addr -> int
+val write_int : t -> addr -> int -> unit
+(** Allocation-free word accessors for [int]-valued words (pointers,
+    lengths, counters): byte-for-byte and charge-for-charge equivalent to
+    {!read_i64} / {!write_i64} composed with [Int64.to_int] /
+    [Int64.of_int] (bit 63 truncates), but never allocate a boxed
+    [Int64]. [addr] must be 8-byte aligned for {!write_int}. *)
+
+val compare_u64 : t -> addr -> hi:int -> lo:int -> int
+(** Unsigned comparison of the stored word at [addr] against the probe
+    value whose unsigned 32-bit halves are [hi] and [lo]: the sign of
+    [Int64.unsigned_compare (read_i64 t addr) probe]. Charges exactly
+    like {!read_i64} and never allocates — the hot comparison of
+    index-structure searches. *)
+
 val read_u8 : t -> addr -> int
 val write_u8 : t -> addr -> int -> unit
 
 val read_bytes : t -> addr -> len:int -> Bytes.t
 val write_bytes : t -> addr -> Bytes.t -> unit
-(** Multi-line stores are split into per-line stores in address order. *)
+(** Multi-line stores are split into per-line stores in address order.
+    Symmetrically, multi-byte {e reads} ({!read_bytes}, {!read_string},
+    {!blit_to_buf} and the source side of {!blit_within}) charge one read
+    plus one LLC probe per touched line. *)
+
+val read_string : t -> addr -> len:int -> string
+val write_string : t -> addr -> string -> unit
+(** Like {!read_bytes} / {!write_bytes} but for [string] payloads, with
+    no intermediate [Bytes.t] copy (one allocation for the result of
+    {!read_string}, none for {!write_string}). *)
 
 val blit_to_buf : t -> addr -> Bytes.t -> pos:int -> len:int -> unit
 val blit_within : t -> src:addr -> dst:addr -> len:int -> unit
-(** Volatile-image copy, recorded as stores to the destination lines. *)
+(** Volatile-image copy, recorded as stores to the destination lines and
+    reads of the source lines. *)
 
 (** {1 Persistence instructions} *)
 

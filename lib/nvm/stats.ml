@@ -1,3 +1,11 @@
+(* The simulated clock lives in its own single-field all-float record:
+   OCaml stores float fields of mixed records boxed, so a [mutable
+   sim_ns : float] directly in [t] would allocate a fresh box on every
+   clock charge — several times per simulated store/load. The nested
+   all-float record is flat and is updated in place, making [add_ns]
+   allocation-free on the hot paths. *)
+type clock = { mutable ns : float }
+
 type t = {
   mutable writes : int;
   mutable reads : int;
@@ -10,7 +18,7 @@ type t = {
   mutable lines_committed : int;
   mutable evictions : int;
   mutable crashes : int;
-  mutable sim_ns : float;
+  clock : clock;
 }
 
 let create () =
@@ -26,7 +34,7 @@ let create () =
     lines_committed = 0;
     evictions = 0;
     crashes = 0;
-    sim_ns = 0.0;
+    clock = { ns = 0.0 };
   }
 
 let reset t =
@@ -41,9 +49,10 @@ let reset t =
   t.lines_committed <- 0;
   t.evictions <- 0;
   t.crashes <- 0;
-  t.sim_ns <- 0.0
+  t.clock.ns <- 0.0
 
-let add_ns t ns = t.sim_ns <- t.sim_ns +. ns
+let sim_ns t = t.clock.ns
+let add_ns t ns = t.clock.ns <- t.clock.ns +. ns
 
 let snapshot t =
   {
@@ -58,7 +67,7 @@ let snapshot t =
     lines_committed = t.lines_committed;
     evictions = t.evictions;
     crashes = t.crashes;
-    sim_ns = t.sim_ns;
+    clock = { ns = t.clock.ns };
   }
 
 let diff ~after ~before =
@@ -74,7 +83,7 @@ let diff ~after ~before =
     lines_committed = after.lines_committed - before.lines_committed;
     evictions = after.evictions - before.evictions;
     crashes = after.crashes - before.crashes;
-    sim_ns = after.sim_ns -. before.sim_ns;
+    clock = { ns = after.clock.ns -. before.clock.ns };
   }
 
 (* Every counter field as a labelled list: the single source for [pp] and
@@ -97,9 +106,9 @@ let int_fields t =
 
 let pp ppf t =
   List.iter (fun (k, v) -> Format.fprintf ppf "%s=%d " k v) (int_fields t);
-  Format.fprintf ppf "sim_ms=%.3f" (t.sim_ns /. 1e6)
+  Format.fprintf ppf "sim_ms=%.3f" (t.clock.ns /. 1e6)
 
 let to_json t =
   Obs.Json.Obj
     (List.map (fun (k, v) -> (k, Obs.Json.Int v)) (int_fields t)
-    @ [ ("sim_ns", Obs.Json.Float t.sim_ns) ])
+    @ [ ("sim_ns", Obs.Json.Float t.clock.ns) ])

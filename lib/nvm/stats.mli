@@ -7,6 +7,11 @@
     [ops / sim_seconds] and depends only on counted events — exactly the
     quantity the paper sweeps. *)
 
+type clock = { mutable ns : float }
+(** The simulated clock, in its own all-float record so hot-path updates
+    are unboxed in-place stores (a [mutable float] field in the mixed
+    record below would allocate on every charge). *)
+
 type t = {
   mutable writes : int;  (** Individual store instructions to NVM space. *)
   mutable reads : int;  (** Individual load instructions from NVM space. *)
@@ -21,11 +26,15 @@ type t = {
           reason (clwb+sfence, eviction, wbinvd). *)
   mutable evictions : int;  (** Capacity write-backs by cache replacement. *)
   mutable crashes : int;
-  mutable sim_ns : float;  (** Simulated elapsed time. *)
+  clock : clock;  (** Simulated elapsed time; read it via {!sim_ns}. *)
 }
 
 val create : unit -> t
 val reset : t -> unit
+
+val sim_ns : t -> float
+(** Simulated elapsed nanoseconds ([t.clock.ns]). *)
+
 val add_ns : t -> float -> unit
 val diff : after:t -> before:t -> t
 (** Event-count difference (for measuring a window; [sim_ns] also differs). *)

@@ -34,13 +34,21 @@ let put t ~key ~value =
 let get t ~key = Incll.System.get t.shards.(shard_of_key t key) ~key
 let remove t ~key = Incll.System.remove t.shards.(shard_of_key t key) ~key
 
+(* [List.rev_append] that also returns how many elements it moved, so
+   each shard hop costs one traversal of its partial result instead of a
+   rev_append plus a separate [List.length]. *)
+let rec rev_append_count part acc k =
+  match part with
+  | [] -> (acc, k)
+  | x :: tl -> rev_append_count tl (x :: acc) (k + 1)
+
 let scan t ~start ~n =
   let rec gather i start acc need =
     if need <= 0 || i >= Array.length t.shards then List.rev acc
     else begin
       let part = Incll.System.scan t.shards.(i) ~start ~n:need in
-      let acc = List.rev_append part acc in
-      gather (i + 1) "" acc (need - List.length part)
+      let acc, got = rev_append_count part acc 0 in
+      gather (i + 1) "" acc (need - got)
     end
   in
   gather (shard_of_key t start) start [] n
@@ -54,8 +62,8 @@ let scan_rev t ?bound ~n () =
     if need <= 0 || i < 0 then List.rev acc
     else begin
       let part = Incll.System.scan_rev t.shards.(i) ?bound ~n:need () in
-      let acc = List.rev_append part acc in
-      gather (i - 1) None acc (need - List.length part)
+      let acc, got = rev_append_count part acc 0 in
+      gather (i - 1) None acc (need - got)
     end
   in
   gather start_shard bound [] n
@@ -90,8 +98,7 @@ let metrics t =
   Obs.Registry.merged
     (Array.to_list (Array.map Incll.System.metrics t.shards))
 
-let sim_ns s =
-  (Nvm.Region.stats (Incll.System.region s)).Nvm.Stats.sim_ns
+let sim_ns s = Nvm.Stats.sim_ns (Nvm.Region.stats (Incll.System.region s))
 
 let total_sim_ns t = Array.fold_left (fun a s -> a +. sim_ns s) 0.0 t.shards
 

@@ -287,8 +287,8 @@ let transient_general_charges_more () =
     ignore (Alloc.Transient.alloc pool ~size:32);
     ignore (Alloc.Transient.alloc gen ~size:32)
   done;
-  let t1 = (Nvm.Region.stats r1).Nvm.Stats.sim_ns in
-  let t2 = (Nvm.Region.stats r2).Nvm.Stats.sim_ns in
+  let t1 = Nvm.Stats.sim_ns (Nvm.Region.stats r1) in
+  let t2 = Nvm.Stats.sim_ns (Nvm.Region.stats r2) in
   check "general-purpose allocator costs more" true (t2 > t1 *. 2.0)
 
 let tests =

@@ -4,6 +4,7 @@ let () =
       Test_util.tests;
       Test_obs.tests;
       Test_nvm.tests;
+      Test_region_fastpath.tests;
       Test_epoch.tests;
       Test_alloc.tests;
       Test_extlog.tests;

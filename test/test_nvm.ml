@@ -232,7 +232,7 @@ let stats_count_events () =
 let clock_prices_events () =
   let cfg = small_cfg () in
   let r = Nvm.Region.create cfg in
-  let t0 = (Nvm.Region.stats r).Nvm.Stats.sim_ns in
+  let t0 = Nvm.Stats.sim_ns (Nvm.Region.stats r) in
   Nvm.Region.write_i64 r 4096 1L;
   Nvm.Region.clwb r 4096;
   Nvm.Region.sfence r;
@@ -242,32 +242,32 @@ let clock_prices_events () =
     c.Nvm.Config.write_ns +. c.Nvm.Config.mem_miss_ns +. c.Nvm.Config.clwb_ns
     +. c.Nvm.Config.sfence_ns
   in
-  let d = (Nvm.Region.stats r).Nvm.Stats.sim_ns -. t0 in
+  let d = Nvm.Stats.sim_ns (Nvm.Region.stats r) -. t0 in
   Alcotest.(check (float 0.001)) "price" expect d
 
 let sfence_extra_latency_charged () =
   let cfg = Nvm.Config.with_sfence_extra_ns (small_cfg ()) 1000.0 in
   let r = Nvm.Region.create cfg in
-  let t0 = (Nvm.Region.stats r).Nvm.Stats.sim_ns in
+  let t0 = Nvm.Stats.sim_ns (Nvm.Region.stats r) in
   Nvm.Region.sfence r;
-  let d = (Nvm.Region.stats r).Nvm.Stats.sim_ns -. t0 in
+  let d = Nvm.Stats.sim_ns (Nvm.Region.stats r) -. t0 in
   check "includes emulated latency" true (d >= 1000.0)
 
 let llc_misses_priced_once () =
   let cfg = small_cfg () in
   let r = Nvm.Region.create cfg in
   let c = cfg.Nvm.Config.cost in
-  let t0 = (Nvm.Region.stats r).Nvm.Stats.sim_ns in
+  let t0 = Nvm.Stats.sim_ns (Nvm.Region.stats r) in
   ignore (Nvm.Region.read_i64 r 4096);
-  let t1 = (Nvm.Region.stats r).Nvm.Stats.sim_ns in
+  let t1 = Nvm.Stats.sim_ns (Nvm.Region.stats r) in
   Alcotest.(check (float 0.001)) "first access misses"
     (c.Nvm.Config.read_ns +. c.Nvm.Config.mem_miss_ns)
     (t1 -. t0);
   ignore (Nvm.Region.read_i64 r 4104);
-  let t2 = (Nvm.Region.stats r).Nvm.Stats.sim_ns in
+  let t2 = Nvm.Stats.sim_ns (Nvm.Region.stats r) in
   Alcotest.(check (float 0.001)) "same line hits" c.Nvm.Config.read_ns (t2 -. t1);
   ignore (Nvm.Region.read_i64 r 8192);
-  let t3 = (Nvm.Region.stats r).Nvm.Stats.sim_ns in
+  let t3 = Nvm.Stats.sim_ns (Nvm.Region.stats r) in
   Alcotest.(check (float 0.001)) "other line misses"
     (c.Nvm.Config.read_ns +. c.Nvm.Config.mem_miss_ns)
     (t3 -. t2)
@@ -279,7 +279,7 @@ let llc_rewards_locality () =
   let run hot =
     let r = Nvm.Region.create (small_cfg ()) in
     let rng = Util.Rng.create ~seed:5 in
-    let t0 = (Nvm.Region.stats r).Nvm.Stats.sim_ns in
+    let t0 = Nvm.Stats.sim_ns (Nvm.Region.stats r) in
     for _ = 1 to 20_000 do
       let addr =
         if hot && Util.Rng.int rng 10 < 9 then 8 * Util.Rng.int rng 64
@@ -287,7 +287,7 @@ let llc_rewards_locality () =
       in
       ignore (Nvm.Region.read_i64 r (addr land lnot 7))
     done;
-    (Nvm.Region.stats r).Nvm.Stats.sim_ns -. t0
+    Nvm.Stats.sim_ns (Nvm.Region.stats r) -. t0
   in
   check "locality is cheaper" true (run true < run false /. 2.0)
 
@@ -313,9 +313,9 @@ let crash_leaves_llc_cold () =
   ignore (Nvm.Region.read_i64 r 4096);
   (* line is now hot *)
   Nvm.Region.crash_persist_all r;
-  let t0 = (Nvm.Region.stats r).Nvm.Stats.sim_ns in
+  let t0 = Nvm.Stats.sim_ns (Nvm.Region.stats r) in
   ignore (Nvm.Region.read_i64 r 4096);
-  let d = (Nvm.Region.stats r).Nvm.Stats.sim_ns -. t0 in
+  let d = Nvm.Stats.sim_ns (Nvm.Region.stats r) -. t0 in
   Alcotest.(check (float 0.001)) "first post-crash read misses"
     (c.Nvm.Config.read_ns +. c.Nvm.Config.mem_miss_ns)
     d
