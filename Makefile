@@ -5,7 +5,12 @@
 # environment; the flag passed here wins).
 BENCH_THRESHOLD ?= 0.10
 
-.PHONY: all build test check bench bench-gate microbench clean
+.PHONY: all build test check chaos bench bench-gate microbench clean
+
+# Chaos-run shape: the four historically-bad seeds (the limbo-chain bug,
+# now fixed and regression-gated here) plus four fresh ones.
+CHAOS_SEEDS ?= 1,4,6,7,11,23,42,97
+CHAOS_OPS ?= 30000
 
 all: build
 
@@ -22,6 +27,19 @@ test:
 # --min-mops gate plumbing; the bar is deliberately tiny — real
 # comparisons are two --json reports on the same machine).
 check: build test bench-gate microbench
+
+# Crash-chaos gate: random-crash torture over the known-bad + fresh seed
+# matrix, a deterministic schedule that crashes inside recovery at three
+# distinct phases, and an offline fsck pass over the final image. Each
+# chaos run fails red on any oracle mismatch, unconverged recovery or
+# quarantined (leaked) allocator chain.
+chaos: build
+	dune exec bin/chaos.exe -- --seeds $(CHAOS_SEEDS) --ops $(CHAOS_OPS) \
+	  --json _build/chaos_check.json
+	dune exec bin/chaos.exe -- --seeds 4 --ops 10000 \
+	  --schedule "merge_limbo:1,recover.epoch_open:1,recover.extlog_replay:1,recover.alloc_chains:1,recover.checkpoint:1" \
+	  --json _build/chaos_sched.json --save-image _build/chaos_final.nvm
+	dune exec bin/incll_fsck.exe -- _build/chaos_final.nvm
 
 bench-gate:
 	dune exec bench/main.exe -- --only ablation_valincll --scale 0.001 \

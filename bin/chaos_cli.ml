@@ -1,0 +1,175 @@
+(* Crash-chaos driver: run the torture matrix, inject deterministic
+   fault schedules, minimize failures to a replayable JSON repro.
+
+   Examples:
+     dune exec bin/chaos.exe -- --seeds 1,4,6,7 --ops 30000 --json out.json
+     dune exec bin/chaos.exe -- --schedule merge_limbo:1,recover.alloc_chains:1
+     dune exec bin/chaos.exe -- --replay chaos_repro.json
+     dune exec bin/chaos.exe -- --sites            # list injection sites *)
+
+module T = Chaos_runner.Torture
+module Shrink = Chaos_runner.Shrink
+module J = Obs.Json
+
+let usage () =
+  prerr_endline
+    "usage: chaos.exe [--seeds S1,S2,..] [--ops N] [--nkeys N]\n\
+    \       [--crash-period N] [--schedule SITE[:HIT],..] [--json FILE]\n\
+    \       [--save-image FILE] [--minimize] [--repro FILE]\n\
+    \       [--replay FILE] [--sites] [--verbose]";
+  exit 2
+
+let () =
+  let seeds = ref [ 7 ] in
+  let ops = ref T.default.T.ops in
+  let nkeys = ref T.default.T.nkeys in
+  let crash_period = ref T.default.T.crash_period in
+  let schedule = ref [] in
+  let json_out = ref None in
+  let save_image = ref None in
+  let minimize = ref false in
+  let repro_out = ref "chaos_repro.json" in
+  let replay = ref None in
+  let verbose = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--seeds" :: v :: rest ->
+        seeds :=
+          String.split_on_char ',' v
+          |> List.filter (fun s -> String.trim s <> "")
+          |> List.map int_of_string;
+        parse rest
+    | "--ops" :: v :: rest ->
+        ops := int_of_string v;
+        parse rest
+    | "--nkeys" :: v :: rest ->
+        nkeys := int_of_string v;
+        parse rest
+    | "--crash-period" :: v :: rest ->
+        crash_period := int_of_string v;
+        parse rest
+    | "--schedule" :: v :: rest ->
+        schedule := Chaos.Plan.parse v;
+        parse rest
+    | "--json" :: v :: rest ->
+        json_out := Some v;
+        parse rest
+    | "--save-image" :: v :: rest ->
+        save_image := Some v;
+        parse rest
+    | "--minimize" :: rest ->
+        minimize := true;
+        parse rest
+    | "--repro" :: v :: rest ->
+        repro_out := v;
+        parse rest
+    | "--replay" :: v :: rest ->
+        replay := Some v;
+        parse rest
+    | "--sites" :: _ ->
+        List.iter
+          (fun s -> print_endline (Chaos.Site.to_string s))
+          Chaos.Site.all;
+        exit 0
+    | "--verbose" :: rest ->
+        verbose := true;
+        parse rest
+    | x :: _ ->
+        prerr_endline ("unexpected argument " ^ x);
+        usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let base seed =
+    {
+      T.default with
+      T.ops = !ops;
+      nkeys = !nkeys;
+      seed;
+      crash_period = !crash_period;
+      schedule = !schedule;
+      verbose = !verbose;
+    }
+  in
+  let configs =
+    match !replay with
+    | Some path ->
+        let ic = open_in_bin path in
+        let len = in_channel_length ic in
+        let doc = really_input_string ic len in
+        close_in ic;
+        Printf.printf "replaying %s\n%!" path;
+        [ Shrink.config_of_json (J.of_string doc) ]
+    | None -> List.map base !seeds
+  in
+  let outcome_json cfg (o : T.outcome) =
+    J.Obj
+      [
+        ("seed", J.Int cfg.T.seed);
+        ("ops", J.Int cfg.T.ops);
+        ("ok", J.Bool o.T.ok);
+        ("crashes", J.Int o.T.crashes);
+        ("recoveries", J.Int o.T.recoveries);
+        ("verified", J.Int o.T.verified);
+        ("quarantined", J.Int o.T.quarantined);
+        ("schedule_left", J.Int o.T.schedule_left);
+        ( "injected",
+          J.Obj (List.map (fun (s, n) -> (s, J.Int n)) o.T.injected) );
+        ( "failure",
+          match o.T.failure with
+          | None -> J.Null
+          | Some f -> J.String (T.failure_to_string f) );
+      ]
+  in
+  let all_ok = ref true in
+  let runs =
+    List.map
+      (fun cfg ->
+        Printf.printf "chaos: seed %d, %d ops%s...%!" cfg.T.seed cfg.T.ops
+          (match cfg.T.schedule with
+          | [] -> ""
+          | s ->
+              ", schedule "
+              ^ String.concat "," (List.map Chaos.Plan.point_to_string s));
+        let o = T.run ?save_image:!save_image cfg in
+        Printf.printf " %s (%d crashes, %d injected, %d verified%s)\n%!"
+          (if o.T.ok then "ok" else "FAIL")
+          o.T.crashes
+          (List.fold_left (fun a (_, n) -> a + n) 0 o.T.injected)
+          o.T.verified
+          (if o.T.quarantined > 0 then
+             Printf.sprintf ", %d QUARANTINED" o.T.quarantined
+           else "");
+        (match o.T.failure with
+        | Some f -> Printf.printf "  failure: %s\n%!" (T.failure_to_string f)
+        | None -> ());
+        if not o.T.ok then begin
+          all_ok := false;
+          if !minimize then begin
+            Printf.printf "  minimizing...\n%!";
+            match Shrink.minimize cfg with
+            | Some (mcfg, mout) ->
+                let doc = Shrink.repro_to_json mcfg mout in
+                let oc = open_out !repro_out in
+                output_string oc (J.to_string_pretty doc);
+                output_char oc '\n';
+                close_out oc;
+                Printf.printf
+                  "  minimized to %d ops; repro written to %s\n%!" mcfg.T.ops
+                  !repro_out
+            | None ->
+                Printf.printf "  minimization lost the failure (flaky?)\n%!"
+          end
+        end;
+        outcome_json cfg o)
+      configs
+  in
+  (match !json_out with
+  | Some path ->
+      let doc = J.Obj [ ("ok", J.Bool !all_ok); ("runs", J.List runs) ] in
+      let oc = open_out path in
+      output_string oc (J.to_string_pretty doc);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "report written to %s\n%!" path
+  | None -> ());
+  exit (if !all_ok then 0 else 1)

@@ -50,6 +50,20 @@ let () =
    end);
   Printf.printf "  superblock        : ok (format %Ld)\n"
     (Nvm.Region.read_i64 region Nvm.Layout.off_format);
+  (* The heap base depends on the external-log size the image was
+     formatted with; reload under the recorded one so chain pointers are
+     interpreted against the right layout. *)
+  let cfg, region =
+    match Nvm.Superblock.recorded_extlog_bytes region with
+    | Some n when n <> cfg.Sys_.nvm.Nvm.Config.extlog_bytes ->
+        let cfg =
+          { cfg with Sys_.nvm = { cfg.Sys_.nvm with Nvm.Config.extlog_bytes = n } }
+        in
+        (cfg, Nvm.Image.load cfg.Sys_.nvm ~path)
+    | _ -> (cfg, region)
+  in
+  Printf.printf "  external log      : %d bytes\n"
+    cfg.Sys_.nvm.Nvm.Config.extlog_bytes;
   let durable_epoch =
     Int64.to_int (Nvm.Region.read_i64 region Nvm.Layout.off_durable_epoch)
   in
@@ -68,7 +82,12 @@ let () =
   in
   (match Sys_.last_recover_stats sys with
   | Some st ->
-      Printf.printf "  log replay        : %d entries\n" st.Sys_.replayed_entries
+      Printf.printf "  log replay        : %d entries\n" st.Sys_.replayed_entries;
+      if st.Sys_.quarantined_chains > 0 then begin
+        Printf.printf "  quarantined       : %d chain(s) leaked by recovery\n"
+          st.Sys_.quarantined_chains;
+        exit 1
+      end
   | None -> ());
   (* Eager sweep: force every lazy restore now so validation sees the
      final state. *)
@@ -77,10 +96,32 @@ let () =
       Incll.Recovery.eager_sweep ctx (Sys_.tree sys) da;
       (try
          Alloc.Durable.check_chains da;
-         Printf.printf "  allocator chains  : ok\n"
-       with Failure m ->
-         Printf.printf "  allocator chains  : CORRUPT (%s)\n" m;
-         exit 1)
+         (* Full invariant pass: acyclic and in-bounds chains, header
+            class agreement, and no chunk reachable from two chains. *)
+         let report = Alloc.Durable.validate da in
+         Printf.printf "  allocator chains  : %d free, %d limbo chunks\n"
+           report.Alloc.Durable.free_chunks report.Alloc.Durable.limbo_chunks;
+         (match report.Alloc.Durable.errors with
+         | [] -> Printf.printf "  chain invariants  : ok\n"
+         | errs ->
+             List.iter
+               (fun (e : Alloc.Durable.chain_error) ->
+                 Printf.printf
+                   "  chain invariants  : CORRUPT class %d (%s head %d): %s\n"
+                   e.Alloc.Durable.cls e.Alloc.Durable.kind
+                   e.Alloc.Durable.head e.Alloc.Durable.detail)
+               errs;
+             exit 1)
+       with
+      | Failure m ->
+          Printf.printf "  allocator chains  : CORRUPT (%s)\n" m;
+          exit 1
+      | Alloc.Durable.Corrupt_chain { head; at; steps; reason } ->
+          Printf.printf
+            "  allocator chains  : CORRUPT (chain head %d: %s at %d after %d \
+             steps)\n"
+            head reason at steps;
+          exit 1)
   | _ -> ());
   (try
      Masstree.Tree.validate (Sys_.tree sys);

@@ -4,97 +4,106 @@
    points, launching a new process, and checking that system's state
    matched the state at the beginning of the failed epoch."
 
-   A differential harness runs random operations against both the durable
-   store and an in-memory model, crashes at random points, and verifies
-   that recovery lands exactly on the last completed checkpoint.
+   The actual harness lives in [Chaos_runner.Torture] (shared with
+   [bin/chaos.exe] and the CI chaos job); this executable is the
+   human-friendly front door.
 
-   Run with: dune exec examples/crash_torture.exe -- [rounds] [seed] *)
+   Run with: dune exec examples/crash_torture.exe -- [rounds] [seed]
+   or:       dune exec examples/crash_torture.exe -- --seeds 1,4,6,7 \
+               --ops 30000 --json out.json *)
 
-module SM = Map.Make (String)
-module Sys_ = Incll.System
+module Torture = Chaos_runner.Torture
+module J = Obs.Json
 
-let key_of i = Masstree.Key.of_int64 (Util.Scramble.fmix64 (Int64.of_int i))
-
-let config =
-  {
-    Sys_.default_config with
-    Sys_.nvm =
-      {
-        Nvm.Config.default with
-        Nvm.Config.size_bytes = 32 * 1024 * 1024;
-        extlog_bytes = 2 * 1024 * 1024;
-      };
-    epoch_len_ns = 0.2e6 (* short epochs -> many checkpoints *);
-  }
+let usage () =
+  prerr_endline
+    "usage: crash_torture [rounds] [seed]\n\
+    \       crash_torture [--ops N] [--seeds S1,S2,...] [--json FILE]";
+  exit 2
 
 let () =
-  let rounds =
-    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 30_000
+  let ops = ref Torture.default.Torture.ops in
+  let seeds = ref [ Torture.default.Torture.seed ] in
+  let json = ref None in
+  let positional = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--ops" :: n :: rest ->
+        ops := int_of_string n;
+        parse rest
+    | "--seeds" :: s :: rest ->
+        seeds := List.map int_of_string (String.split_on_char ',' s);
+        parse rest
+    | "--json" :: f :: rest ->
+        json := Some f;
+        parse rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | a :: _ when String.length a > 0 && a.[0] = '-' ->
+        Printf.eprintf "unknown option %s\n" a;
+        usage ()
+    | a :: rest ->
+        positional := a :: !positional;
+        parse rest
   in
-  let seed = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 7 in
-  let rng = Util.Rng.create ~seed in
-  let sys = ref (Sys_.create ~config Sys_.Incll) in
-  let model = ref SM.empty in
-  let checkpoint = ref SM.empty in
-  let nkeys = 1_000 in
-  let crashes = ref 0 in
-  let verified = ref 0 in
-  let epoch () =
-    match Sys_.epoch_manager !sys with
-    | Some em -> Epoch.Manager.current em
-    | None -> 0
+  parse (List.tl (Array.to_list Sys.argv));
+  (match List.rev !positional with
+  | [] -> ()
+  | [ r ] -> ops := int_of_string r
+  | [ r; s ] ->
+      ops := int_of_string r;
+      seeds := [ int_of_string s ]
+  | _ -> usage ());
+  let results =
+    List.map
+      (fun seed ->
+        let cfg = { Torture.default with Torture.ops = !ops; seed } in
+        Printf.printf "torturing INCLL with %d ops over %d keys (seed %d)...\n%!"
+          cfg.Torture.ops cfg.Torture.nkeys seed;
+        let out = Torture.run cfg in
+        (match out.Torture.failure with
+        | Some f -> Printf.printf "MISMATCH: %s\n%!" (Torture.failure_to_string f)
+        | None ->
+            Printf.printf
+              "OK: %d crashes, %d post-crash key verifications, all states \
+               matched the\n\
+               beginning of the failed epoch (paper §5.2)\n%!"
+              out.Torture.crashes out.Torture.verified);
+        if out.Torture.quarantined > 0 then
+          Printf.printf "WARNING: %d allocator chain(s) quarantined\n%!"
+            out.Torture.quarantined;
+        (seed, out))
+      !seeds
   in
-  let last_epoch = ref (epoch ()) in
-  let sync () =
-    if epoch () <> !last_epoch then begin
-      checkpoint := !model;
-      last_epoch := epoch ()
-    end
-  in
-  Printf.printf "torturing INCLL with %d ops over %d keys (seed %d)...\n%!"
-    rounds nkeys seed;
-  for step = 1 to rounds do
-    sync ();
-    let k = key_of (Util.Rng.int rng nkeys) in
-    (match Util.Rng.int rng 10 with
-    | 0 | 1 | 2 | 3 | 4 ->
-        let v = Printf.sprintf "v%d" step in
-        Sys_.put !sys ~key:k ~value:v;
-        model := SM.add k v !model
-    | 5 | 6 ->
-        ignore (Sys_.remove !sys ~key:k);
-        model := SM.remove k !model
-    | _ -> assert (Sys_.get !sys ~key:k = SM.find_opt k !model));
-    sync ();
-    if Util.Rng.int rng 2_000 = 0 then begin
-      (* Power failure at a random point; every dirty line keeps a random
-         prefix of its pending stores. *)
-      Sys_.crash !sys rng;
-      sys := Sys_.recover !sys;
-      incr crashes;
-      model := !checkpoint;
-      last_epoch := epoch ();
-      (* Full verification against the checkpoint model. *)
-      Masstree.Tree.validate (Sys_.tree !sys);
-      SM.iter
-        (fun k v ->
-          match Sys_.get !sys ~key:k with
-          | Some v' when v' = v -> incr verified
-          | other ->
-              Printf.printf "MISMATCH at key %S: got %s, expected %S\n"
-                k
-                (match other with Some v' -> Printf.sprintf "%S" v' | None -> "None")
-                v;
-              exit 1)
-        !model;
-      if Masstree.Tree.cardinal (Sys_.tree !sys) <> SM.cardinal !model then begin
-        print_endline "MISMATCH: cardinality differs";
-        exit 1
-      end;
-      checkpoint := !model
-    end
-  done;
-  Printf.printf
-    "OK: %d crashes, %d post-crash key verifications, all states matched the\n\
-     beginning of the failed epoch (paper §5.2)\n"
-    !crashes !verified
+  (match !json with
+  | None -> ()
+  | Some path ->
+      let doc =
+        J.Obj
+          [
+            ("ok", J.Bool (List.for_all (fun (_, o) -> o.Torture.ok) results));
+            ( "runs",
+              J.List
+                (List.map
+                   (fun (seed, o) ->
+                     J.Obj
+                       [
+                         ("seed", J.Int seed);
+                         ("ops", J.Int o.Torture.ops_run);
+                         ("ok", J.Bool o.Torture.ok);
+                         ("crashes", J.Int o.Torture.crashes);
+                         ("recoveries", J.Int o.Torture.recoveries);
+                         ("verified", J.Int o.Torture.verified);
+                         ("quarantined", J.Int o.Torture.quarantined);
+                         ( "failure",
+                           match o.Torture.failure with
+                           | None -> J.Null
+                           | Some f -> J.String (Torture.failure_to_string f) );
+                       ])
+                   results) );
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (J.to_string doc);
+      output_char oc '\n';
+      close_out oc);
+  if List.for_all (fun (_, o) -> o.Torture.ok) results then exit 0 else exit 1

@@ -64,5 +64,13 @@ let init region ~chunk ~epoch ~cls =
 
 let restore region ~chunk ~marker_epoch =
   let d = read region ~chunk in
+  let w0 = Nvm.Region.read_i64 region chunk in
+  let ctr0, _, _, _ = decode_word w0 in
+  (* The new ctr must differ from word0's current one: [write_words] emits
+     word1 first, so a crash that persists only word1 would otherwise leave
+     the two ctrs equal by coincidence (old ctr0 = 0) while the decoded
+     epoch is a chimera of word0's high half and word1's low half — a state
+     that reads as committed but still carries the failed [next]. With
+     ctr0+1 a torn restore is always a visible mismatch and simply re-runs. *)
   write_words region ~chunk ~next:d.next_incll ~next_incll:d.next_incll
-    ~ctr:0 ~epoch:marker_epoch ~cls:d.size_class
+    ~ctr:((ctr0 + 1) land 3) ~epoch:marker_epoch ~cls:d.size_class

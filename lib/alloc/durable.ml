@@ -1,20 +1,42 @@
 exception Heap_full
 
+exception
+  Corrupt_chain of { head : int; at : int; steps : int; reason : string }
+
 type t = {
   region : Nvm.Region.t;
   em : Epoch.Manager.t;
+  heap_start : int;
   heap_end : int;
   limbo_tails : int array;  (* transient; 0 = unknown/empty *)
   mutable allocs : int;
   mutable deallocs : int;
   mutable freelist_allocs : int;
   mutable bump_allocs : int;
+  mutable quarantined : int;
+  c_quarantined : int ref;  (* "alloc.quarantined_chains" registry counter *)
 }
 
 let allocs t = t.allocs
 let deallocs t = t.deallocs
 let freelist_allocs t = t.freelist_allocs
 let bump_allocs t = t.bump_allocs
+let quarantined t = t.quarantined
+
+let corrupt ~head ~at ~steps reason =
+  raise (Corrupt_chain { head; at; steps; reason })
+
+(* Cheap structural sanity for a [next] pointer before we chase it: 0 is
+   the list terminator; anything else must be a 64-aligned heap address.
+   Catches wild pointers from cross-linked lines immediately instead of
+   letting the walk wander into unrelated metadata. *)
+let check_link t ~head ~at ~steps next =
+  if next <> 0 then begin
+    if next < t.heap_start || next >= t.heap_end then
+      corrupt ~head ~at ~steps "next pointer out of heap bounds";
+    if next land 63 <> 0 then
+      corrupt ~head ~at ~steps "next pointer not 64-byte aligned"
+  end
 
 let bump_line = Nvm.Layout.off_bump
 let free_line cls = Nvm.Layout.alloc_class_free_line cls
@@ -53,6 +75,44 @@ let set_meta_head t ~line v =
   Meta_line.touch t.region ~line ~epoch:(current t);
   Meta_line.set_head t.region ~line v
 
+(* Quarantine (leak-don't-crash degradation): when a chain walk proves
+   the chain corrupt, unlink the whole chain by zeroing its head. Every
+   block on it leaks, but the allocator and the store stay usable; the
+   count is surfaced through [quarantined] / recover_stats and the
+   "alloc.quarantined_chains" counter so CI can fail red on it. *)
+let quarantine_chain t ~line exn =
+  (match exn with
+  | Corrupt_chain { head; at; steps; reason } ->
+      Nvm.Region.trace_event t.region
+        (Obs.Trace.Custom { kind = "alloc_quarantine"; arg = head });
+      ignore (at, steps, reason)
+  | _ -> ());
+  set_meta_head t ~line 0;
+  t.quarantined <- t.quarantined + 1;
+  incr t.c_quarantined
+
+(* Guarded chain walk: returns the tail of the chain starting at [head],
+   raising [Corrupt_chain] on a cycle, an out-of-bounds link or a
+   mis-aligned link instead of walking forever. The visited set is
+   transient scaffolding — the walk itself only happens on the recovery
+   path (transient tail lost in a crash), never on the alloc/dealloc
+   fast path. *)
+let find_tail t head =
+  let visited = Hashtbl.create 64 in
+  Hashtbl.add visited head ();
+  let rec walk c steps =
+    let next = chunk_next t c in
+    check_link t ~head ~at:c ~steps next;
+    if next = 0 then c
+    else begin
+      if Hashtbl.mem visited next then
+        corrupt ~head ~at:c ~steps "cycle in chain";
+      Hashtbl.add visited next ();
+      walk next (steps + 1)
+    end
+  in
+  walk head 0
+
 (* Checkpoint subscriber: splice each limbo list onto its free list. Runs
    inside the new epoch, so every store is first-touch logged and a crash
    rolls the merge back atomically with the rest of the epoch. *)
@@ -60,36 +120,41 @@ let merge_limbo t () =
   for cls = 0 to Size_class.count - 1 do
     let lhead = Meta_line.head t.region ~line:(limbo_line cls) in
     if lhead <> 0 then begin
-      let tail =
-        if t.limbo_tails.(cls) <> 0 then t.limbo_tails.(cls)
-        else begin
+      Chaos.Plan.fire Chaos.Site.Merge_limbo;
+      match
+        if t.limbo_tails.(cls) <> 0 then Ok t.limbo_tails.(cls)
+        else
           (* Transient tail lost in a crash: walk the chain. *)
-          let rec walk c =
-            let next = chunk_next t c in
-            if next = 0 then c else walk next
-          in
-          walk lhead
-        end
-      in
-      let fhead = Meta_line.head t.region ~line:(free_line cls) in
-      touch_chunk t tail;
-      Chunk_header.write_next t.region ~chunk:tail ~next:fhead;
-      set_meta_head t ~line:(free_line cls) lhead;
-      set_meta_head t ~line:(limbo_line cls) 0
+          try Ok (find_tail t lhead)
+          with Corrupt_chain _ as e -> Error e
+      with
+      | Ok tail ->
+          let fhead = Meta_line.head t.region ~line:(free_line cls) in
+          touch_chunk t tail;
+          Chunk_header.write_next t.region ~chunk:tail ~next:fhead;
+          set_meta_head t ~line:(free_line cls) lhead;
+          set_meta_head t ~line:(limbo_line cls) 0
+      | Error e -> quarantine_chain t ~line:(limbo_line cls) e
     end;
     t.limbo_tails.(cls) <- 0
   done
 
 let make region em =
+  let cfg = Nvm.Region.config region in
   {
     region;
     em;
-    heap_end = (Nvm.Region.config region).Nvm.Config.size_bytes;
+    heap_start = Nvm.Layout.heap_off cfg;
+    heap_end = cfg.Nvm.Config.size_bytes;
     limbo_tails = Array.make Size_class.count 0;
     allocs = 0;
     deallocs = 0;
     freelist_allocs = 0;
     bump_allocs = 0;
+    quarantined = 0;
+    c_quarantined =
+      Obs.Registry.counter (Nvm.Region.metrics region)
+        "alloc.quarantined_chains";
   }
 
 let create em =
@@ -164,20 +229,36 @@ let payload_capacity_of t payload =
   Size_class.payload_capacity ~cls:d.Chunk_header.size_class
     ~aligned:(payload land 63 = 0)
 
+(* Every chain iteration carries the same guard as [find_tail]: a cyclic
+   or wild chain is an immediate [Corrupt_chain] (with the chain head and
+   the step count reached), never a hang. *)
 let iter_chain t head f =
-  let rec loop c n =
-    if c <> 0 then begin
-      if n > 100_000_000 then failwith "Durable: free-list cycle";
+  if head <> 0 then begin
+    check_link t ~head ~at:0 ~steps:0 head;
+    let visited = Hashtbl.create 64 in
+    Hashtbl.add visited head ();
+    let rec loop c steps =
       f c;
-      loop (chunk_next t c) (n + 1)
-    end
-  in
-  loop head 0
+      let next = chunk_next t c in
+      check_link t ~head ~at:c ~steps next;
+      if next <> 0 then begin
+        if Hashtbl.mem visited next then
+          corrupt ~head ~at:c ~steps "cycle in chain";
+        Hashtbl.add visited next ();
+        loop next (steps + 1)
+      end
+    in
+    loop head 0
+  end
 
 let recover_all_chains t =
   for cls = 0 to Size_class.count - 1 do
-    iter_chain t (Meta_line.head t.region ~line:(free_line cls)) (fun _ -> ());
-    iter_chain t (Meta_line.head t.region ~line:(limbo_line cls)) (fun _ -> ())
+    let eager line =
+      try iter_chain t (Meta_line.head t.region ~line) (fun _ -> ())
+      with Corrupt_chain _ as e -> quarantine_chain t ~line e
+    in
+    eager (free_line cls);
+    eager (limbo_line cls)
   done
 
 let count_chain t head =
@@ -201,3 +282,62 @@ let check_chains t =
     iter_chain t (Meta_line.head t.region ~line:(free_line cls)) check;
     iter_chain t (Meta_line.head t.region ~line:(limbo_line cls)) check
   done
+
+let forget_limbo_tails t = Array.fill t.limbo_tails 0 Size_class.count 0
+
+type chain_error = { cls : int; kind : string; head : int; detail : string }
+
+type report = {
+  free_chunks : int;
+  limbo_chunks : int;
+  errors : chain_error list;
+}
+
+(* Full allocator invariant check (the fsck entry point): every free and
+   limbo chain must be acyclic and in-bounds, every chunk header must
+   agree with its chain's size class, every chunk must lie inside
+   [heap_start, bump), and no chunk may be reachable from two chains.
+   Collects every violation instead of stopping at the first. *)
+let validate t =
+  let errors = ref [] in
+  let owner : (int, int * string) Hashtbl.t = Hashtbl.create 256 in
+  let bump = bump_position t in
+  let free_chunks = ref 0 and limbo_chunks = ref 0 in
+  for cls = 0 to Size_class.count - 1 do
+    List.iter
+      (fun (kind, line, counter) ->
+        let head = Meta_line.head t.region ~line in
+        let err detail = errors := { cls; kind; head; detail } :: !errors in
+        try
+          iter_chain t head (fun c ->
+              incr counter;
+              (match Hashtbl.find_opt owner c with
+              | Some (ocls, okind) ->
+                  err
+                    (Printf.sprintf
+                       "chunk %d also reachable from the %s chain of class %d"
+                       c okind ocls)
+              | None -> Hashtbl.add owner c (cls, kind));
+              let d = Chunk_header.read t.region ~chunk:c in
+              if d.Chunk_header.size_class <> cls then
+                err
+                  (Printf.sprintf
+                     "chunk %d header claims class %d, chain is class %d" c
+                     d.Chunk_header.size_class cls);
+              if c < t.heap_start || c + Size_class.chunk_size cls > bump then
+                err
+                  (Printf.sprintf "chunk %d outside [heap start, bump)" c))
+        with Corrupt_chain { at; steps; reason; _ } ->
+          err
+            (Printf.sprintf "corrupt chain after %d steps at chunk %d: %s"
+               steps at reason))
+      [
+        ("free", free_line cls, free_chunks);
+        ("limbo", limbo_line cls, limbo_chunks);
+      ]
+  done;
+  {
+    free_chunks = !free_chunks;
+    limbo_chunks = !limbo_chunks;
+    errors = List.rev !errors;
+  }

@@ -18,6 +18,16 @@ type t
 
 exception Heap_full
 
+exception
+  Corrupt_chain of { head : int; at : int; steps : int; reason : string }
+(** A guarded chain walk ({!iter_chain-style} walks inside the limbo
+    merge, {!recover_all_chains}, {!free_count} …) found structural
+    corruption: a cycle, an out-of-bounds link or a mis-aligned link.
+    [head] is the chain's head chunk, [at] the chunk whose [next] was
+    bad, [steps] how many links had been followed. Walks raise this
+    instead of hanging; the recovery path converts it into a chain
+    quarantine (see {!quarantined}). *)
+
 val create : Epoch.Manager.t -> t
 (** Initialise allocator metadata on a fresh region (after
     [Nvm.Superblock.format]) and subscribe the limbo merge to checkpoints. *)
@@ -47,6 +57,37 @@ val recover_all_chains : t -> unit
 val check_chains : t -> unit
 (** Walk every free and limbo list and validate chunk headers; raises
     [Failure] on corruption (testing aid). *)
+
+(** {1 Corruption handling} *)
+
+val quarantined : t -> int
+(** Chains quarantined since this handle was opened: a walk raised
+    {!Corrupt_chain} during the limbo merge or {!recover_all_chains},
+    and the whole chain was unlinked (its blocks leak) so the store
+    could keep running. Mirrored in the ["alloc.quarantined_chains"]
+    registry counter. Always 0 in a healthy store — CI fails red when a
+    chaos run reports otherwise. *)
+
+type chain_error = { cls : int; kind : string; head : int; detail : string }
+(** One invariant violation: [kind] is ["free"] or ["limbo"]. *)
+
+type report = {
+  free_chunks : int;  (** chunks reachable from all free chains *)
+  limbo_chunks : int;  (** chunks reachable from all limbo chains *)
+  errors : chain_error list;  (** empty iff the allocator is clean *)
+}
+
+val validate : t -> report
+(** Full allocator invariant check (the fsck entry point): every free
+    and limbo chain acyclic and in-bounds, chunk headers agreeing with
+    their chain's size class, every chunk inside [heap start, bump), and
+    no chunk reachable from two chains. Collects all violations rather
+    than raising. *)
+
+val forget_limbo_tails : t -> unit
+(** Drop the transient limbo tail cache, forcing the next limbo merge to
+    re-walk each chain as it must after a crash (testing aid for the
+    walk's cycle guard). *)
 
 (** {1 Statistics} *)
 

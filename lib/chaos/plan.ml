@@ -1,0 +1,85 @@
+type point = { site : Site.t; hit : int }
+type t = point list
+
+exception Crash_requested of point
+
+let point_of_string s =
+  let site_name, hit =
+    match String.index_opt s ':' with
+    | None -> (s, 1)
+    | Some i -> (
+        let name = String.sub s 0 i in
+        let n = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt n with
+        | Some h -> (name, h)
+        | None -> invalid_arg ("Chaos.Plan.point_of_string: bad hit in " ^ s))
+  in
+  match Site.of_string site_name with
+  | Some site -> { site; hit = max 1 hit }
+  | None -> invalid_arg ("Chaos.Plan.point_of_string: unknown site " ^ site_name)
+
+let point_to_string p = Printf.sprintf "%s:%d" (Site.to_string p.site) p.hit
+
+let parse s =
+  String.split_on_char ',' s
+  |> List.filter_map (fun part ->
+         let part = String.trim part in
+         if part = "" then None else Some (point_of_string part))
+
+(* Process-wide injector state. [enabled] gates the hot path: with
+   nothing armed, [fire] is one load and one conditional branch. *)
+let enabled = ref false
+let current : point option ref = ref None
+let hit_counts = Array.make Site.count 0
+let injected_counts_a = Array.make Site.count 0
+let registry : Obs.Registry.t option ref = ref None
+
+let set_registry r = registry := r
+
+let bump_registry prefix site =
+  match !registry with
+  | None -> ()
+  | Some m ->
+      incr (Obs.Registry.counter m ("chaos." ^ prefix ^ "." ^ Site.to_string site))
+
+let arm p =
+  Array.fill hit_counts 0 Site.count 0;
+  current := Some p;
+  enabled := true
+
+let disarm () =
+  enabled := false;
+  current := None
+
+let armed () = !current
+
+let really_fire site =
+  let i = Site.index site in
+  hit_counts.(i) <- hit_counts.(i) + 1;
+  bump_registry "hits" site;
+  match !current with
+  | Some p when p.site = site && hit_counts.(i) >= p.hit ->
+      injected_counts_a.(i) <- injected_counts_a.(i) + 1;
+      bump_registry "injected" site;
+      disarm ();
+      raise (Crash_requested p)
+  | _ -> ()
+
+let fire site = if !enabled then really_fire site
+
+let hits site = hit_counts.(Site.index site)
+let injected site = injected_counts_a.(Site.index site)
+let injected_total () = Array.fold_left ( + ) 0 injected_counts_a
+
+let injected_counts () =
+  List.filter_map
+    (fun site ->
+      let n = injected site in
+      if n = 0 then None else Some (Site.to_string site, n))
+    Site.all
+  |> List.sort compare
+
+let reset () =
+  disarm ();
+  Array.fill hit_counts 0 Site.count 0;
+  Array.fill injected_counts_a 0 Site.count 0

@@ -1,0 +1,78 @@
+(** Deterministic fault-injection plans.
+
+    A {!point} arms a crash at the [hit]-th firing of a {!Site.t}; a
+    plan is an ordered list of points applied one at a time by a runner
+    (arm the head; when it fires, crash, arm the next, recover, …).
+    Instrumented code calls {!fire} at each site; when the armed point's
+    count is reached the injector raises {!Crash_requested}, which the
+    runner converts into an [Nvm.Region.crash] plus recovery. Raising —
+    rather than crashing in place — lets the runner decide crash
+    semantics (random PCSO prefix, persist-none, adversarial) and keeps
+    this library free of any dependency on the simulator.
+
+    The injector is a process-wide singleton and is meant for
+    single-domain chaos runs; when disarmed, {!fire} is one load and one
+    branch, so leaving the hooks compiled into hot paths (sfence) is
+    free for production benchmarks.
+
+    Per-site counters are mirrored into an {!Obs.Registry.t} when one is
+    installed ({!set_registry}): ["chaos.hits.<site>"] counts firings
+    while armed and ["chaos.injected.<site>"] counts crashes actually
+    requested, so JSON metric dumps and Perfetto timelines can show the
+    injected-fault schedule next to the system's own events. *)
+
+type point = { site : Site.t; hit : int }
+(** Crash at the [hit]-th firing of [site] (1-based; [hit <= 0] is
+    normalised to 1). *)
+
+type t = point list
+
+exception Crash_requested of point
+(** Raised by {!fire} out of the instrumented call site. The runner must
+    treat the in-memory system as dead (as a power failure would) and
+    recover from the region's persisted image. *)
+
+val point_of_string : string -> point
+(** ["site"] or ["site:hit"], e.g. ["merge_limbo:2"]. Raises
+    [Invalid_argument] on unknown sites or malformed input. *)
+
+val point_to_string : point -> string
+
+val parse : string -> t
+(** Comma-separated points: ["sfence:3,recover.alloc_chains:1"]. *)
+
+(** {1 The process-wide injector} *)
+
+val arm : point -> unit
+(** Arm one point and reset the per-arm hit counters. Any previously
+    armed point is replaced. *)
+
+val disarm : unit -> unit
+(** Stop injecting. Counters keep their values for inspection. *)
+
+val armed : unit -> point option
+
+val fire : Site.t -> unit
+(** Called by instrumented code. No-op unless a point is armed. When the
+    armed site's counter reaches its [hit], the injector disarms itself
+    (so the recovery that follows is not immediately re-interrupted) and
+    raises {!Crash_requested}. *)
+
+val hits : Site.t -> int
+(** Firings of [site] since the last {!arm}. *)
+
+val injected : Site.t -> int
+(** Total crashes requested at [site] since {!reset}. *)
+
+val injected_total : unit -> int
+
+val injected_counts : unit -> (string * int) list
+(** [(site name, injected crashes)] for every site that fired, sorted by
+    name. *)
+
+val reset : unit -> unit
+(** Disarm and zero every counter (between independent runs). *)
+
+val set_registry : Obs.Registry.t option -> unit
+(** Mirror counters into ["chaos.hits.*"] / ["chaos.injected.*"] of the
+    given registry (typically the region's metrics). *)

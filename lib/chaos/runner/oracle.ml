@@ -1,0 +1,72 @@
+type op = Put of { key : string; value : string } | Remove of { key : string }
+
+type t = {
+  mutable ops : op array;
+  mutable len : int;
+  boundaries : (int, int) Hashtbl.t;  (* epoch -> ops complete at its start *)
+}
+
+let dummy = Remove { key = "" }
+
+let create () = { ops = Array.make 1024 dummy; len = 0; boundaries = Hashtbl.create 32 }
+
+let record t op =
+  if t.len = Array.length t.ops then begin
+    let bigger = Array.make (2 * t.len) dummy in
+    Array.blit t.ops 0 bigger 0 t.len;
+    t.ops <- bigger
+  end;
+  t.ops.(t.len) <- op;
+  t.len <- t.len + 1
+
+let length t = t.len
+
+let mark_epoch t ~epoch =
+  if not (Hashtbl.mem t.boundaries epoch) then
+    Hashtbl.add t.boundaries epoch t.len
+
+let committed_at t ~crashed_epoch =
+  match Hashtbl.find_opt t.boundaries crashed_epoch with
+  | Some n -> n
+  | None -> t.len
+
+let truncate t n =
+  if n < 0 || n > t.len then invalid_arg "Oracle.truncate";
+  t.len <- n;
+  Hashtbl.reset t.boundaries
+
+let replay t =
+  let tbl = Hashtbl.create 1024 in
+  for i = 0 to t.len - 1 do
+    match t.ops.(i) with
+    | Put { key; value } -> Hashtbl.replace tbl key value
+    | Remove { key } -> Hashtbl.remove tbl key
+  done;
+  tbl
+
+let check t ~get ~cardinal =
+  let tbl = replay t in
+  let bad = ref None in
+  Hashtbl.iter
+    (fun k v ->
+      if !bad = None then
+        match get k with
+        | Some v' when v' = v -> ()
+        | other ->
+            bad :=
+              Some
+                (Printf.sprintf "key %S: store has %s, oracle expects %S" k
+                   (match other with
+                   | Some v' -> Printf.sprintf "%S" v'
+                   | None -> "nothing")
+                   v))
+    tbl;
+  match !bad with
+  | Some msg -> Error msg
+  | None ->
+      let n = Hashtbl.length tbl in
+      if cardinal <> n then
+        Error
+          (Printf.sprintf "cardinality: store has %d entries, oracle has %d"
+             cardinal n)
+      else Ok n

@@ -1,0 +1,52 @@
+(** The shadow-model differential checker.
+
+    The torture runner records every mutating operation here before
+    applying it to the durable store. At each epoch boundary the oracle
+    marks how many operations were complete when that epoch began; after
+    a crash, the store must roll back to the beginning of the epoch the
+    crash invalidated, so {!committed_at} maps the crashed epoch to the
+    operation count the recovered store must reflect. {!replay} then
+    rebuilds that prefix into a plain [Hashtbl] — deliberately the
+    dumbest possible model — and {!check} compares the recovered store
+    against it key by key. *)
+
+type op = Put of { key : string; value : string } | Remove of { key : string }
+
+type t
+
+val create : unit -> t
+
+val record : t -> op -> unit
+(** Append an operation. Call {e before} applying it to the store, so an
+    operation whose own epoch-advance commits it is in the log. *)
+
+val length : t -> int
+
+val mark_epoch : t -> epoch:int -> unit
+(** Note that [epoch] is (now) running. Only the first observation of an
+    epoch sets its boundary: the number of operations complete when it
+    began. *)
+
+val committed_at : t -> crashed_epoch:int -> int
+(** Operations the store must reflect after recovering from a crash that
+    invalidated [crashed_epoch]. Falls back to {!length} when the epoch
+    was never observed — that happens only when the crash hit inside an
+    operation's own checkpoint, after the operation's mutations were
+    flushed. *)
+
+val truncate : t -> int -> unit
+(** Drop rolled-back operations and every epoch boundary (recovery
+    starts a fresh epoch numbering context). *)
+
+val replay : t -> (string, string) Hashtbl.t
+(** Fold the whole (truncated) log into a fresh table. *)
+
+val check :
+  t ->
+  get:(string -> string option) ->
+  cardinal:int ->
+  (int, string) result
+(** Replay and compare: every key of the replayed model must read back
+    with the same value, and [cardinal] must equal the model size.
+    Returns the number of keys verified, or a human-readable mismatch
+    description. *)

@@ -1,0 +1,91 @@
+module J = Obs.Json
+
+let fails cfg = not (Torture.run cfg).Torture.ok
+
+let minimize cfg =
+  let full = Torture.run cfg in
+  if full.Torture.ok then None
+  else begin
+    (* The failure cannot depend on ops after the one it surfaced at. *)
+    let hi =
+      match full.Torture.failure with
+      | Some f -> max 1 f.Torture.op_index
+      | None -> max 1 full.Torture.ops_run
+    in
+    let hi = if fails { cfg with Torture.ops = hi } then hi else cfg.Torture.ops in
+    let rec search lo hi =
+      (* invariant: ops = hi fails; ops < lo passes *)
+      if lo >= hi then hi
+      else
+        let mid = (lo + hi) / 2 in
+        if fails { cfg with Torture.ops = mid } then search lo mid
+        else search (mid + 1) hi
+    in
+    let best = search 1 hi in
+    let cfg' = { cfg with Torture.ops = best } in
+    Some (cfg', Torture.run cfg')
+  end
+
+let repro_to_json (cfg : Torture.config) (out : Torture.outcome) =
+  J.Obj
+    [
+      ("seed", J.Int cfg.Torture.seed);
+      ("ops", J.Int cfg.Torture.ops);
+      ("nkeys", J.Int cfg.Torture.nkeys);
+      ("epoch_len_ns", J.Float cfg.Torture.epoch_len_ns);
+      ("size_bytes", J.Int cfg.Torture.size_bytes);
+      ("extlog_bytes", J.Int cfg.Torture.extlog_bytes);
+      ("crash_period", J.Int cfg.Torture.crash_period);
+      ( "schedule",
+        J.List
+          (List.map
+             (fun p -> J.String (Chaos.Plan.point_to_string p))
+             cfg.Torture.schedule) );
+      ("quarantined", J.Int out.Torture.quarantined);
+      ( "failure",
+        match out.Torture.failure with
+        | None -> J.Null
+        | Some f ->
+            J.Obj
+              [
+                ("op_index", J.Int f.Torture.op_index);
+                ( "crash_site",
+                  match f.Torture.site with
+                  | Some s -> J.String s
+                  | None -> J.Null );
+                ("detail", J.String f.Torture.detail);
+              ] );
+    ]
+
+let config_of_json j =
+  let int name d =
+    match J.find j name with Some (J.Int n) -> n | _ -> d
+  in
+  let flt name d =
+    match Option.bind (J.find j name) J.to_float_opt with
+    | Some f -> f
+    | None -> d
+  in
+  (match J.find j "seed" with
+  | Some (J.Int _) -> ()
+  | _ -> failwith "Shrink.config_of_json: no seed");
+  let d = Torture.default in
+  {
+    Torture.ops = int "ops" d.Torture.ops;
+    nkeys = int "nkeys" d.Torture.nkeys;
+    seed = int "seed" d.Torture.seed;
+    epoch_len_ns = flt "epoch_len_ns" d.Torture.epoch_len_ns;
+    size_bytes = int "size_bytes" d.Torture.size_bytes;
+    extlog_bytes = int "extlog_bytes" d.Torture.extlog_bytes;
+    crash_period = int "crash_period" d.Torture.crash_period;
+    schedule =
+      (match J.find j "schedule" with
+      | Some (J.List l) ->
+          List.filter_map
+            (function
+              | J.String s -> Some (Chaos.Plan.point_of_string s) | _ -> None)
+            l
+      | _ -> []);
+    validate_chains = true;
+    verbose = false;
+  }

@@ -1,0 +1,23 @@
+(** Failure minimisation and repro serialisation.
+
+    A torture run is a pure function of its config (one RNG seeded from
+    [config.seed] drives ops, crash points and PCSO prefixes), and a run
+    of [N] ops executes the identical first [min (N, failing op)]
+    operations of any longer run — so "fails within N ops" is monotone
+    in [N] and binary search finds the minimal failing prefix. The
+    minimized repro (seed, op index, crash site, schedule) serialises to
+    JSON for direct replay via [bin/chaos.exe --replay]. *)
+
+val minimize : Torture.config -> (Torture.config * Torture.outcome) option
+(** Binary-search the smallest [ops] bound under which [config] still
+    fails; [None] if the full run actually passes. The returned config
+    is the minimized one, the outcome its (failing) result. *)
+
+val repro_to_json : Torture.config -> Torture.outcome -> Obs.Json.t
+(** Self-contained repro document: the config fields needed to re-run,
+    plus the observed failure (op index, site, detail). *)
+
+val config_of_json : Obs.Json.t -> Torture.config
+(** Rebuild a runnable config from {!repro_to_json} output (unknown
+    fields ignored; missing fields fall back to {!Torture.default}).
+    Raises [Failure] on a document that lacks a ["seed"]. *)

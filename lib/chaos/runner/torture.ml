@@ -1,0 +1,281 @@
+module Sys_ = Incll.System
+
+type config = {
+  ops : int;
+  nkeys : int;
+  seed : int;
+  epoch_len_ns : float;
+  size_bytes : int;
+  extlog_bytes : int;
+  crash_period : int;
+  schedule : Chaos.Plan.t;
+  validate_chains : bool;
+  verbose : bool;
+}
+
+type failure = { op_index : int; site : string option; detail : string }
+
+type outcome = {
+  ok : bool;
+  ops_run : int;
+  crashes : int;
+  injected : (string * int) list;
+  schedule_left : int;
+  recoveries : int;
+  verified : int;
+  quarantined : int;
+  failure : failure option;
+}
+
+let default =
+  {
+    ops = 30_000;
+    nkeys = 1_000;
+    seed = 7;
+    epoch_len_ns = 0.2e6;  (* short epochs -> many checkpoints *)
+    size_bytes = 32 * 1024 * 1024;
+    extlog_bytes = 2 * 1024 * 1024;
+    crash_period = 2_000;
+    schedule = [];
+    validate_chains = true;
+    verbose = false;
+  }
+
+let failure_to_string f =
+  Printf.sprintf "op %d%s: %s" f.op_index
+    (match f.site with Some s -> " (after injected crash at " ^ s ^ ")" | None -> "")
+    f.detail
+
+exception Fail of failure
+
+let key_of i = Masstree.Key.of_int64 (Util.Scramble.fmix64 (Int64.of_int i))
+
+(* The epoch the persisted image says was running — the epoch recovery
+   will invalidate. Read it *after* the crash, when the volatile image
+   has been reloaded from the persisted one, so a durable-epoch store
+   whose fence the crash interrupted is accounted the way recovery will
+   see it. *)
+let persisted_epoch region =
+  Int64.to_int (Nvm.Region.read_i64 region Nvm.Layout.off_durable_epoch)
+
+let run ?save_image cfg =
+  Chaos.Plan.reset ();
+  let rng = Util.Rng.create ~seed:cfg.seed in
+  let config =
+    {
+      Sys_.default_config with
+      Sys_.nvm =
+        {
+          Nvm.Config.default with
+          Nvm.Config.size_bytes = cfg.size_bytes;
+          extlog_bytes = cfg.extlog_bytes;
+        };
+      epoch_len_ns = cfg.epoch_len_ns;
+    }
+  in
+  let sys = ref (Sys_.create ~config Sys_.Incll) in
+  Chaos.Plan.set_registry (Some (Sys_.metrics !sys));
+  let oracle = Oracle.create () in
+  let model : (string, string) Hashtbl.t = Hashtbl.create 1024 in
+  let schedule = ref cfg.schedule in
+  let arm_next () =
+    match !schedule with
+    | [] -> ()
+    | p :: rest ->
+        schedule := rest;
+        if cfg.verbose then
+          Printf.printf "  [chaos] arming %s\n%!" (Chaos.Plan.point_to_string p);
+        Chaos.Plan.arm p
+  in
+  let crashes = ref 0 in
+  let recoveries = ref 0 in
+  let verified = ref 0 in
+  let last_site = ref None in
+  let epoch () =
+    match Sys_.epoch_manager !sys with
+    | Some em -> Epoch.Manager.current em
+    | None -> 0
+  in
+  let sync () = Oracle.mark_epoch oracle ~epoch:(epoch ()) in
+  let quarantined () =
+    Obs.Registry.counter_value (Sys_.metrics !sys) "alloc.quarantined_chains"
+  in
+  (* Crash now (the region's volatile state is lost with a random PCSO
+     prefix per dirty line), then recover — re-entering recovery as many
+     times as armed [recover.*] points crash it — and check the result
+     against the oracle's replay of the committed op-log prefix. *)
+  let crash_and_recover ~op_index =
+    incr crashes;
+    Sys_.crash !sys rng;
+    let committed =
+      Oracle.committed_at oracle ~crashed_epoch:(persisted_epoch (Sys_.region !sys))
+    in
+    let rec recover_loop attempts =
+      if attempts > 4 + List.length cfg.schedule then
+        raise
+          (Fail
+             {
+               op_index;
+               site = !last_site;
+               detail = "recovery did not converge after repeated crashes";
+             });
+      match Sys_.recover !sys with
+      | s -> s
+      | exception Chaos.Plan.Crash_requested p ->
+          incr crashes;
+          last_site := Some (Chaos.Site.to_string p.site);
+          if cfg.verbose then
+            Printf.printf "  [chaos] crash inside recovery at %s\n%!"
+              (Chaos.Site.to_string p.site);
+          Nvm.Region.trace_event (Sys_.region !sys)
+            (Obs.Trace.Custom
+               { kind = "chaos_inject"; arg = Chaos.Site.index p.site });
+          Nvm.Region.crash (Sys_.region !sys) rng;
+          arm_next ();
+          recover_loop (attempts + 1)
+    in
+    sys := recover_loop 0;
+    incr recoveries;
+    (* Verification must not itself be chaos-interrupted: its reads
+       advance the simulated clock (and therefore epochs), which would
+       let an armed workload-site point fire inside harness code. *)
+    let paused = Chaos.Plan.armed () in
+    Chaos.Plan.disarm ();
+    Oracle.truncate oracle committed;
+    (try Masstree.Tree.validate (Sys_.tree !sys)
+     with Failure m ->
+       raise (Fail { op_index; site = !last_site; detail = "tree: " ^ m }));
+    (match
+       Oracle.check oracle
+         ~get:(fun k -> Sys_.get !sys ~key:k)
+         ~cardinal:(Masstree.Tree.cardinal (Sys_.tree !sys))
+     with
+    | Ok n -> verified := !verified + n
+    | Error detail -> raise (Fail { op_index; site = !last_site; detail }));
+    (match Sys_.durable_alloc !sys with
+    | Some da when cfg.validate_chains -> (
+        match (Alloc.Durable.validate da).Alloc.Durable.errors with
+        | [] -> ()
+        | e :: _ ->
+            raise
+              (Fail
+                 {
+                   op_index;
+                   site = !last_site;
+                   detail = "allocator: " ^ e.Alloc.Durable.detail;
+                 }))
+    | _ -> ());
+    (* Resync the live model with the oracle's replay. *)
+    Hashtbl.reset model;
+    Hashtbl.iter (fun k v -> Hashtbl.replace model k v) (Oracle.replay oracle);
+    sync ();
+    (match paused with Some p -> Chaos.Plan.arm p | None -> ())
+  in
+  let ops_run = ref 0 in
+  let failure = ref None in
+  (try
+     arm_next ();
+     sync ();
+     for step = 1 to cfg.ops do
+       ops_run := step;
+       try
+         sync ();
+         let k = key_of (Util.Rng.int rng cfg.nkeys) in
+         (match Util.Rng.int rng 10 with
+         | 0 | 1 | 2 | 3 | 4 ->
+             let v = Printf.sprintf "v%d" step in
+             Oracle.record oracle (Oracle.Put { key = k; value = v });
+             Sys_.put !sys ~key:k ~value:v;
+             Hashtbl.replace model k v
+         | 5 | 6 ->
+             Oracle.record oracle (Oracle.Remove { key = k });
+             ignore (Sys_.remove !sys ~key:k);
+             Hashtbl.remove model k
+         | _ ->
+             let got = Sys_.get !sys ~key:k and want = Hashtbl.find_opt model k in
+             if got <> want then
+               raise
+                 (Fail
+                    {
+                      op_index = step;
+                      site = !last_site;
+                      detail =
+                        Printf.sprintf "read of %S: got %s, expected %s" k
+                          (match got with
+                          | Some v -> Printf.sprintf "%S" v
+                          | None -> "nothing")
+                          (match want with
+                          | Some v -> Printf.sprintf "%S" v
+                          | None -> "nothing");
+                    }));
+         sync ();
+         if cfg.crash_period > 0 && Util.Rng.int rng cfg.crash_period = 0 then
+           crash_and_recover ~op_index:step
+       with Chaos.Plan.Crash_requested p ->
+         (* An armed point fired somewhere inside the operation. *)
+         last_site := Some (Chaos.Site.to_string p.site);
+         if cfg.verbose then
+           Printf.printf "  [chaos] crash at %s (op %d)\n%!"
+             (Chaos.Site.to_string p.site) step;
+         Nvm.Region.trace_event (Sys_.region !sys)
+           (Obs.Trace.Custom
+              { kind = "chaos_inject"; arg = Chaos.Site.index p.site });
+         arm_next ();
+         crash_and_recover ~op_index:step
+     done;
+     (* End-of-run sweep: one final crash-free validation pass. *)
+     Chaos.Plan.disarm ();
+     (try Masstree.Tree.validate (Sys_.tree !sys)
+      with Failure m ->
+        raise (Fail { op_index = cfg.ops; site = !last_site; detail = "tree: " ^ m }));
+     match Sys_.durable_alloc !sys with
+     | Some da when cfg.validate_chains -> (
+         match (Alloc.Durable.validate da).Alloc.Durable.errors with
+         | [] -> ()
+         | e :: _ ->
+             raise
+               (Fail
+                  {
+                    op_index = cfg.ops;
+                    site = !last_site;
+                    detail = "allocator: " ^ e.Alloc.Durable.detail;
+                  }))
+     | _ -> ()
+   with
+  | Fail f -> failure := Some f
+  | Alloc.Durable.Corrupt_chain { head; at; steps; reason } ->
+      failure :=
+        Some
+          {
+            op_index = !ops_run;
+            site = !last_site;
+            detail =
+              Printf.sprintf "Corrupt_chain: head %d at %d after %d steps: %s"
+                head at steps reason;
+          }
+  | e ->
+      failure :=
+        Some
+          {
+            op_index = !ops_run;
+            site = !last_site;
+            detail = "exception: " ^ Printexc.to_string e;
+          });
+  (match save_image with
+  | Some path -> Nvm.Image.save (Sys_.region !sys) ~path
+  | None -> ());
+  let quarantined_total = quarantined () in
+  let injected = Chaos.Plan.injected_counts () in
+  Chaos.Plan.set_registry None;
+  Chaos.Plan.reset ();
+  {
+    ok = !failure = None && quarantined_total = 0;
+    ops_run = !ops_run;
+    crashes = !crashes;
+    injected;
+    schedule_left = List.length !schedule;
+    recoveries = !recoveries;
+    verified = !verified;
+    quarantined = quarantined_total;
+    failure = !failure;
+  }

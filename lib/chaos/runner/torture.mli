@@ -1,0 +1,61 @@
+(** The library-backed crash-torture / chaos runner.
+
+    One [run] drives random operations against an INCLL store and an
+    in-memory shadow model, crashing at random points (the paper's §5.2
+    methodology) and/or at the deterministic sites of a {!Chaos.Plan.t}
+    schedule — including sites {e inside recovery}, which the runner
+    survives by re-entering recovery until it converges. After every
+    recovery the {!Oracle} replays the committed op-log prefix into a
+    plain [Hashtbl] and the store must match it exactly; allocator
+    chains are optionally re-validated with [Alloc.Durable.validate].
+
+    CI ([make chaos]), [bin/chaos.exe] and [examples/crash_torture.exe]
+    all run this same code. *)
+
+type config = {
+  ops : int;
+  nkeys : int;
+  seed : int;
+  epoch_len_ns : float;
+  size_bytes : int;
+  extlog_bytes : int;
+  crash_period : int;
+      (** expected ops between random crashes; 0 disables random crashes *)
+  schedule : Chaos.Plan.t;
+      (** deterministic injection points, armed one after another: when a
+          point fires the runner crashes, arms the next point (so a
+          following [recover.*] point fires inside this crash's
+          recovery), and recovers *)
+  validate_chains : bool;
+      (** run the full allocator invariant check after every recovery *)
+  verbose : bool;
+}
+
+type failure = {
+  op_index : int;  (** 1-based op at which the failure surfaced *)
+  site : string option;  (** last injected site before the failure, if any *)
+  detail : string;
+}
+
+type outcome = {
+  ok : bool;
+  ops_run : int;
+  crashes : int;  (** random + injected *)
+  injected : (string * int) list;  (** per-site injected crash counts *)
+  schedule_left : int;  (** scheduled points that never fired *)
+  recoveries : int;
+  verified : int;  (** total post-recovery key verifications *)
+  quarantined : int;  (** allocator chains quarantined across the run *)
+  failure : failure option;
+}
+
+val default : config
+(** 30k ops, 1000 keys, seed 7, short (0.2 ms) epochs, ~1/2000 random
+    crash rate, no schedule — the historical [crash_torture] shape. *)
+
+val run : ?save_image:string -> config -> outcome
+(** [save_image] writes the final persisted image (what a power failure
+    at end of run would leave) to the given path — [bin/incll_fsck.exe]
+    then replays recovery on it as an independent check. *)
+
+val failure_to_string : failure -> string

@@ -1,0 +1,70 @@
+type t =
+  | Epoch_advance
+  | Post_checkpoint
+  | Sfence
+  | Merge_limbo
+  | Extlog_append
+  | Recover_epoch_open
+  | Recover_extlog_replay
+  | Recover_alloc_chains
+  | Recover_image_scan
+  | Recover_eager_sweep
+  | Recover_checkpoint
+
+let all =
+  [
+    Epoch_advance;
+    Post_checkpoint;
+    Sfence;
+    Merge_limbo;
+    Extlog_append;
+    Recover_epoch_open;
+    Recover_extlog_replay;
+    Recover_alloc_chains;
+    Recover_image_scan;
+    Recover_eager_sweep;
+    Recover_checkpoint;
+  ]
+
+let index = function
+  | Epoch_advance -> 0
+  | Post_checkpoint -> 1
+  | Sfence -> 2
+  | Merge_limbo -> 3
+  | Extlog_append -> 4
+  | Recover_epoch_open -> 5
+  | Recover_extlog_replay -> 6
+  | Recover_alloc_chains -> 7
+  | Recover_image_scan -> 8
+  | Recover_eager_sweep -> 9
+  | Recover_checkpoint -> 10
+
+let count = List.length all
+
+let to_string = function
+  | Epoch_advance -> "epoch_advance"
+  | Post_checkpoint -> "post_checkpoint"
+  | Sfence -> "sfence"
+  | Merge_limbo -> "merge_limbo"
+  | Extlog_append -> "extlog_append"
+  | Recover_epoch_open -> "recover.epoch_open"
+  | Recover_extlog_replay -> "recover.extlog_replay"
+  | Recover_alloc_chains -> "recover.alloc_chains"
+  | Recover_image_scan -> "recover.image_scan"
+  | Recover_eager_sweep -> "recover.eager_sweep"
+  | Recover_checkpoint -> "recover.checkpoint"
+
+let of_string s = List.find_opt (fun site -> to_string site = s) all
+
+let of_phase s =
+  match of_string s with
+  | Some site when String.length s >= 8 && String.sub s 0 8 = "recover." ->
+      Some site
+  | _ -> None
+
+let is_recovery = function
+  | Recover_epoch_open | Recover_extlog_replay | Recover_alloc_chains
+  | Recover_image_scan | Recover_eager_sweep | Recover_checkpoint ->
+      true
+  | Epoch_advance | Post_checkpoint | Sfence | Merge_limbo | Extlog_append ->
+      false

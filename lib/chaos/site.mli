@@ -1,0 +1,53 @@
+(** Named fault-injection sites.
+
+    A site is a place in the persistence machinery where a crash is
+    architecturally interesting: around the checkpoint protocol, around
+    fences, inside the allocator's limbo merge, inside the external log
+    append — and inside recovery itself, because crash-during-recovery
+    must re-enter recovery cleanly (the failed-epoch set makes recovery
+    idempotent, and these sites are how we prove it).
+
+    Instrumented code calls {!Plan.fire} with its site; which site
+    actually crashes is decided by the armed {!Plan.point}. *)
+
+type t =
+  | Epoch_advance  (** entry of [Epoch.Manager.advance], before the flush *)
+  | Post_checkpoint
+      (** inside [advance], after the durable-epoch store is fenced but
+          before the post-advance subscribers (limbo merge, log
+          truncation) have run *)
+  | Sfence  (** entry of [Nvm.Region.sfence], before the drain *)
+  | Merge_limbo
+      (** [Alloc.Durable.merge_limbo], once per non-empty size class,
+          before that class is spliced *)
+  | Extlog_append  (** entry of [Extlog.Log.append] *)
+  | Recover_epoch_open  (** recovery, before re-opening the epoch manager *)
+  | Recover_extlog_replay  (** recovery, before the external-log replay *)
+  | Recover_alloc_chains
+      (** recovery, before restoring allocator metadata lines *)
+  | Recover_image_scan  (** recovery, before the tree image scan *)
+  | Recover_eager_sweep  (** recovery, before an eager sweep (if any) *)
+  | Recover_checkpoint  (** recovery, before the final checkpoint *)
+
+val all : t list
+(** Every site, in declaration order. *)
+
+val index : t -> int
+(** Dense index into {!all} (for per-site counters). *)
+
+val count : int
+
+val to_string : t -> string
+(** Stable name, e.g. ["merge_limbo"], ["recover.alloc_chains"]. The
+    [recover.*] names coincide with the recovery phase names of
+    [Incll.System.recover_stats]. *)
+
+val of_string : string -> t option
+
+val of_phase : string -> t option
+(** Map a recovery phase name (["recover.extlog_replay"], …) to its
+    site; [None] for phases without one. *)
+
+val is_recovery : t -> bool
+(** True for the [Recover_*] sites — the ones that can only fire while
+    recovery is running. *)

@@ -27,6 +27,8 @@ type recover_stats = {
   replayed_entries : int;
   recovery_sim_ns : float;
   recovery_wall_ns : float;
+  quarantined_chains : int;
+      (* allocator chains found corrupt and unlinked during this recovery *)
   phases : (string * float) list;
       (* ordered (phase, sim ns) breakdown; sums to recovery_sim_ns *)
 }
@@ -214,6 +216,12 @@ let recover_region ~variant ~config region =
   let phases = ref [] in
   let last_mark = ref sim0 in
   let phase name f =
+    (* Fault-injection hook: every phase boundary is a chaos site, so a
+       crash inside recovery (which must re-enter recovery cleanly) can
+       be scheduled deterministically. *)
+    (match Chaos.Site.of_phase name with
+    | Some site -> Chaos.Plan.fire site
+    | None -> ());
     Obs.Span.begin_ spans name;
     let r = f () in
     ignore (Obs.Span.end_ spans name : float);
@@ -279,6 +287,7 @@ let recover_region ~variant ~config region =
           replayed_entries = replayed;
           recovery_sim_ns = sim1 -. sim0;
           recovery_wall_ns = (wall1 -. wall0) *. 1e9;
+          quarantined_chains = Alloc.Durable.quarantined dalloc;
           phases = List.rev !phases;
         };
   }

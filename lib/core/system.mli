@@ -97,6 +97,11 @@ type recover_stats = {
   replayed_entries : int;
   recovery_sim_ns : float;
   recovery_wall_ns : float;
+  quarantined_chains : int;
+      (** Allocator chains found structurally corrupt during this
+          recovery ([Alloc.Durable.Corrupt_chain]) and unlinked so the
+          store could keep running — their blocks leak. 0 in a healthy
+          store. *)
   phases : (string * float) list;
       (** Ordered per-phase breakdown of the recovery, in simulated ns:
           [recover.epoch_open] (failed-set load + marker epoch),

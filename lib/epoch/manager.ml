@@ -152,6 +152,11 @@ let open_after_crash ?(epoch_len_ns = default_epoch_len_ns) region =
   t
 
 let advance t =
+  (* Fault-injection hooks: [Epoch_advance] kills the checkpoint before
+     anything was flushed; [Post_checkpoint] (below) kills it after the
+     new durable epoch is fenced but before the subscribers (limbo
+     merge, log truncation) have run in the new epoch. *)
+  Chaos.Plan.fire Chaos.Site.Epoch_advance;
   let now = Nvm.Stats.sim_ns (Nvm.Region.stats t.region) in
   Obs.Histogram.record t.h_epoch_len (now -. t.epoch_start_ns);
   let dirty = Nvm.Region.dirty_line_count t.region in
@@ -172,6 +177,7 @@ let advance t =
   t.current <- t.current + 1;
   t.advances <- t.advances + 1;
   t.epoch_start_ns <- Nvm.Stats.sim_ns (Nvm.Region.stats t.region);
+  Chaos.Plan.fire Chaos.Site.Post_checkpoint;
   run_subscribers t
 
 let maybe_advance t =

@@ -78,6 +78,7 @@ let checksum region ~payload_off ~size ~epoch ~addr =
 let append t ~epoch ~addr ~size =
   if size <= 0 || size land 7 <> 0 then
     invalid_arg "Extlog.append: size must be a positive multiple of 8";
+  Chaos.Plan.fire Chaos.Site.Extlog_append;
   let total = header_bytes + size in
   if t.tail + total > t.len then raise Log_full;
   let entry = t.off + t.tail in

@@ -2,6 +2,7 @@ let superblock_bytes = 4096
 let off_magic = 0
 let off_format = 8
 let off_size = 16
+let off_extlog_size = 24
 
 (* Line 1: the durable epoch index. *)
 let off_durable_epoch = 64

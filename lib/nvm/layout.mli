@@ -17,6 +17,11 @@ val off_magic : int
 val off_format : int
 val off_size : int
 
+val off_extlog_size : int
+(** External-log size in bytes, recorded at format time so a saved image
+    can be re-attached (e.g. by [incll_fsck]) without knowing the original
+    configuration — the heap base depends on it. *)
+
 val off_durable_epoch : int
 (** The global epoch index, durably advanced at each checkpoint (§4). Lives
     in its own line so the bump can be flushed independently. *)

@@ -413,6 +413,10 @@ let clwb t addr =
   trace_event t (Obs.Trace.Clwb { line })
 
 let sfence t =
+  (* Fault-injection hook: an armed chaos plan can kill the process at
+     the moment the drain would start, i.e. with every clwb issued but
+     nothing yet guaranteed persistent. *)
+  Chaos.Plan.fire Chaos.Site.Sfence;
   let drained = Util.Ivec.length t.pending_wb in
   Util.Ivec.iter (fun line -> commit_line t line) t.pending_wb;
   clear_pending_wb t;

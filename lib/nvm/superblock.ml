@@ -3,6 +3,8 @@ let format region =
   Region.write_i64 region Layout.off_format Layout.format_version;
   Region.write_i64 region Layout.off_size
     (Int64.of_int (Region.size region));
+  Region.write_i64 region Layout.off_extlog_size
+    (Int64.of_int (Region.config region).Config.extlog_bytes);
   Region.clwb region Layout.off_magic;
   Region.sfence region
 
@@ -13,3 +15,8 @@ let is_formatted region =
 let check region =
   if not (is_formatted region) then
     failwith "Superblock.check: region is not a formatted InCLL region"
+
+let recorded_extlog_bytes region =
+  match Int64.to_int (Region.read_i64 region Layout.off_extlog_size) with
+  | 0 -> None
+  | n -> Some n

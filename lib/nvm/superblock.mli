@@ -11,3 +11,9 @@ val is_formatted : Region.t -> bool
 
 val check : Region.t -> unit
 (** Raise [Failure] when the region is not a formatted InCLL region. *)
+
+val recorded_extlog_bytes : Region.t -> int option
+(** The external-log size recorded at format time, or [None] for images
+    written before the field existed (slot reads 0). Re-attaching an image
+    with a different [extlog_bytes] than it was formatted with shifts the
+    heap base and makes every chain pointer look wild. *)

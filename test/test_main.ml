@@ -21,4 +21,5 @@ let () =
       Test_exhaustive_crash.tests;
       Test_image.tests;
       Test_listing3.tests;
+      Test_chaos.tests;
     ]
