@@ -5,7 +5,7 @@
 # environment; the flag passed here wins).
 BENCH_THRESHOLD ?= 0.10
 
-.PHONY: all build test check chaos bench bench-gate microbench clean
+.PHONY: all build test check chaos chaos-txn bench bench-gate microbench clean
 
 # Chaos-run shape: the four historically-bad seeds (the limbo-chain bug,
 # now fixed and regression-gated here) plus four fresh ones.
@@ -40,6 +40,25 @@ chaos: build
 	  --schedule "merge_limbo:1,recover.epoch_open:1,recover.extlog_replay:1,recover.alloc_chains:1,recover.checkpoint:1" \
 	  --json _build/chaos_sched.json --save-image _build/chaos_final.nvm
 	dune exec bin/incll_fsck.exe -- _build/chaos_final.nvm
+	$(MAKE) chaos-txn
+
+# Transaction torture: multi-key transactions interleaved with random
+# crashes, single-shard and across a 4-shard 2PC store (the oracle
+# checks every committed transaction is all-or-nothing after each
+# crash), plus a deterministic schedule that crashes at each txn
+# protocol site — mid-PREPARE, just before the watermark store, during
+# epoch rollback, and inside recovery's in-doubt resolution.
+chaos-txn: build
+	dune exec bin/chaos.exe -- --seeds $(CHAOS_SEEDS) --ops 8000 \
+	  --txn-period 10 --crash-period 500 \
+	  --json _build/chaos_txn1.json
+	dune exec bin/chaos.exe -- --seeds 11,12,13,14,15,16,17,18 --ops 6000 \
+	  --shards 4 --txn-period 8 --txn-writes 6 --crash-period 400 \
+	  --json _build/chaos_txn4.json
+	dune exec bin/chaos.exe -- --seeds 3,9 --ops 3000 --shards 4 \
+	  --txn-period 8 --crash-period 0 \
+	  --schedule "txn_prepare:1,txn_commit_record:1,txn_rollback:1,recover.txn_resolve:1" \
+	  --json _build/chaos_txn_sched.json
 
 bench-gate:
 	dune exec bench/main.exe -- --only ablation_valincll --scale 0.001 \

@@ -14,7 +14,8 @@ module J = Obs.Json
 let usage () =
   prerr_endline
     "usage: chaos.exe [--seeds S1,S2,..] [--ops N] [--nkeys N]\n\
-    \       [--crash-period N] [--schedule SITE[:HIT],..] [--json FILE]\n\
+    \       [--crash-period N] [--shards N] [--txn-period N] [--txn-writes N]\n\
+    \       [--schedule SITE[:HIT],..] [--json FILE]\n\
     \       [--save-image FILE] [--minimize] [--repro FILE]\n\
     \       [--replay FILE] [--sites] [--verbose]";
   exit 2
@@ -24,6 +25,9 @@ let () =
   let ops = ref T.default.T.ops in
   let nkeys = ref T.default.T.nkeys in
   let crash_period = ref T.default.T.crash_period in
+  let shards = ref T.default.T.shards in
+  let txn_period = ref T.default.T.txn_period in
+  let txn_writes = ref T.default.T.txn_writes in
   let schedule = ref [] in
   let json_out = ref None in
   let save_image = ref None in
@@ -47,6 +51,15 @@ let () =
         parse rest
     | "--crash-period" :: v :: rest ->
         crash_period := int_of_string v;
+        parse rest
+    | "--shards" :: v :: rest ->
+        shards := int_of_string v;
+        parse rest
+    | "--txn-period" :: v :: rest ->
+        txn_period := int_of_string v;
+        parse rest
+    | "--txn-writes" :: v :: rest ->
+        txn_writes := int_of_string v;
         parse rest
     | "--schedule" :: v :: rest ->
         schedule := Chaos.Plan.parse v;
@@ -86,6 +99,9 @@ let () =
       nkeys = !nkeys;
       seed;
       crash_period = !crash_period;
+      shards = !shards;
+      txn_period = !txn_period;
+      txn_writes = !txn_writes;
       schedule = !schedule;
       verbose = !verbose;
     }
@@ -110,6 +126,8 @@ let () =
         ("crashes", J.Int o.T.crashes);
         ("recoveries", J.Int o.T.recoveries);
         ("verified", J.Int o.T.verified);
+        ("txns_committed", J.Int o.T.txns_committed);
+        ("txns_in_doubt", J.Int o.T.txns_in_doubt);
         ("quarantined", J.Int o.T.quarantined);
         ("schedule_left", J.Int o.T.schedule_left);
         ( "injected",
@@ -124,18 +142,26 @@ let () =
   let runs =
     List.map
       (fun cfg ->
-        Printf.printf "chaos: seed %d, %d ops%s...%!" cfg.T.seed cfg.T.ops
+        Printf.printf "chaos: seed %d, %d ops%s%s...%!" cfg.T.seed cfg.T.ops
+          (if cfg.T.shards > 1 || cfg.T.txn_period > 0 then
+             Printf.sprintf ", %d shards, txn 1/%d" cfg.T.shards
+               cfg.T.txn_period
+           else "")
           (match cfg.T.schedule with
           | [] -> ""
           | s ->
               ", schedule "
               ^ String.concat "," (List.map Chaos.Plan.point_to_string s));
         let o = T.run ?save_image:!save_image cfg in
-        Printf.printf " %s (%d crashes, %d injected, %d verified%s)\n%!"
+        Printf.printf " %s (%d crashes, %d injected, %d verified%s%s)\n%!"
           (if o.T.ok then "ok" else "FAIL")
           o.T.crashes
           (List.fold_left (fun a (_, n) -> a + n) 0 o.T.injected)
           o.T.verified
+          (if o.T.txns_committed > 0 || o.T.txns_in_doubt > 0 then
+             Printf.sprintf ", %d txns (%d in doubt)" o.T.txns_committed
+               o.T.txns_in_doubt
+           else "")
           (if o.T.quarantined > 0 then
              Printf.sprintf ", %d QUARANTINED" o.T.quarantined
            else "");

@@ -14,6 +14,12 @@ let usage =
   del <key>               remove a key
   scan <start> <n>        n consecutive pairs from the smallest key >= start
   count                   number of entries
+  begin                   start a multi-key transaction
+  tput <key> <value>      buffer a put in the open transaction
+  tdel <key>              buffer a remove in the open transaction
+  tget <key>              read-your-writes lookup inside the transaction
+  commit                  two-phase commit of the open transaction
+  abort                   discard the open transaction
   checkpoint              force an epoch boundary (durability point)
   crash [seed]            power failure (PCSO per-line prefixes)
   recover                 rebuild from the persistent image (prints the
@@ -92,6 +98,44 @@ let () =
                 (S.scan !store ~start ~n:(int_of_string n))
           | [ "count" ] when not !crashed ->
               Printf.printf "%d entries\n" (S.cardinal !store)
+          | [ "begin" ] when not !crashed ->
+              if S.txn_active !store then print_endline "transaction already open"
+              else begin
+                S.txn_begin !store;
+                Printf.printf "txn %d open\n"
+                  (Option.value ~default:0 (S.txn_id !store))
+              end
+          | [ "tput"; k; v ] when not !crashed ->
+              if S.txn_active !store then begin
+                S.txn_put !store ~key:k ~value:v;
+                print_endline "buffered"
+              end
+              else print_endline "no open transaction (try `begin`)"
+          | [ "tdel"; k ] when not !crashed ->
+              if S.txn_active !store then begin
+                S.txn_remove !store ~key:k;
+                print_endline "buffered"
+              end
+              else print_endline "no open transaction (try `begin`)"
+          | [ "tget"; k ] when not !crashed ->
+              if S.txn_active !store then
+                match S.txn_get !store ~key:k with
+                | Some v -> Printf.printf "%S\n" v
+                | None -> print_endline "(not found)"
+              else print_endline "no open transaction (try `begin`)"
+          | [ "commit" ] when not !crashed ->
+              if S.txn_active !store then begin
+                let id = Option.value ~default:0 (S.txn_id !store) in
+                S.txn_commit !store;
+                Printf.printf "txn %d committed durably\n" id
+              end
+              else print_endline "no open transaction (try `begin`)"
+          | [ "abort" ] when not !crashed ->
+              if S.txn_active !store then begin
+                S.txn_abort !store;
+                print_endline "aborted (no shard was touched)"
+              end
+              else print_endline "no open transaction (try `begin`)"
           | [ "checkpoint" ] when not !crashed ->
               S.advance_epochs !store;
               print_endline "checkpointed (everything so far is durable)"

@@ -73,6 +73,28 @@ let () =
   Printf.printf "  durable epoch     : %d (crashed mid-epoch; will roll back)\n"
     durable_epoch;
   Printf.printf "  failed epochs     : %d recorded\n" failed_count;
+  (* Transaction records, scanned on the raw image before recovery
+     truncates the log: a PREPARE whose id is above the durable
+     watermark is dangling (in doubt) — recovery will roll it back. *)
+  let wm = Incll.Txn.watermark region in
+  Printf.printf "  txn watermark     : %d\n" wm;
+  let log = Extlog.Log.attach region in
+  let prepares = ref 0 and dangling = ref 0 and commits = ref 0 in
+  Extlog.Log.fold_all_records log (fun ~kind ~epoch:_ ~txn_id ~payload:_ ->
+      if kind = Extlog.Log.kind_txn_prepare then begin
+        incr prepares;
+        if txn_id > wm then incr dangling
+      end
+      else if kind = Extlog.Log.kind_txn_commit then incr commits);
+  if !prepares > 0 || !commits > 0 then begin
+    Printf.printf "  txn records       : %d PREPARE, %d commit marker(s)\n"
+      !prepares !commits;
+    if !dangling > 0 then
+      Printf.printf
+        "  dangling PREPAREs : %d in doubt (recovery rolls them back)\n"
+        !dangling
+  end
+  else Printf.printf "  txn records       : none\n";
   (* Recover on the in-memory copy. *)
   let sys =
     try Sys_.attach ~config:cfg !variant region
@@ -83,6 +105,9 @@ let () =
   (match Sys_.last_recover_stats sys with
   | Some st ->
       Printf.printf "  log replay        : %d entries\n" st.Sys_.replayed_entries;
+      if st.Sys_.txns_redone > 0 || st.Sys_.txns_aborted > 0 then
+        Printf.printf "  transactions      : %d redone, %d rolled back\n"
+          st.Sys_.txns_redone st.Sys_.txns_aborted;
       if st.Sys_.quarantined_chains > 0 then begin
         Printf.printf "  quarantined       : %d chain(s) leaked by recovery\n"
           st.Sys_.quarantined_chains;

@@ -1,44 +1,83 @@
 type op = Put of { key : string; value : string } | Remove of { key : string }
 
+type entry = { op : op; shard : int; txn : int option }
+
 type t = {
-  mutable ops : op array;
+  mutable entries : entry array;
   mutable len : int;
-  boundaries : (int, int) Hashtbl.t;  (* epoch -> ops complete at its start *)
+  boundaries : (int * int, int) Hashtbl.t;
+      (* (shard, epoch) -> ops complete at that epoch's start on that shard *)
 }
 
-let dummy = Remove { key = "" }
+let dummy = { op = Remove { key = "" }; shard = 0; txn = None }
 
-let create () = { ops = Array.make 1024 dummy; len = 0; boundaries = Hashtbl.create 32 }
+let create () =
+  { entries = Array.make 1024 dummy; len = 0; boundaries = Hashtbl.create 32 }
 
-let record t op =
-  if t.len = Array.length t.ops then begin
+let record t ?txn ~shard op =
+  if t.len = Array.length t.entries then begin
     let bigger = Array.make (2 * t.len) dummy in
-    Array.blit t.ops 0 bigger 0 t.len;
-    t.ops <- bigger
+    Array.blit t.entries 0 bigger 0 t.len;
+    t.entries <- bigger
   end;
-  t.ops.(t.len) <- op;
+  t.entries.(t.len) <- { op; shard; txn };
   t.len <- t.len + 1
 
 let length t = t.len
 
-let mark_epoch t ~epoch =
-  if not (Hashtbl.mem t.boundaries epoch) then
-    Hashtbl.add t.boundaries epoch t.len
+let mark_epoch t ~shard ~epoch =
+  if not (Hashtbl.mem t.boundaries (shard, epoch)) then
+    Hashtbl.add t.boundaries (shard, epoch) t.len
 
-let committed_at t ~crashed_epoch =
-  match Hashtbl.find_opt t.boundaries crashed_epoch with
+let boundary_at t ~shard ~crashed_epoch =
+  match Hashtbl.find_opt t.boundaries (shard, crashed_epoch) with
   | Some n -> n
   | None -> t.len
 
-let truncate t n =
-  if n < 0 || n > t.len then invalid_arg "Oracle.truncate";
-  t.len <- n;
+(* Post-crash survivor compaction. A plain operation survives iff its
+   shard's crashed epoch began after it ([i < boundary shard]: it was
+   inside a completed checkpoint). A transactional write survives iff
+   its transaction's commit point is durable — the boundary is
+   irrelevant in both directions: an uncommitted write never reached any
+   tree (writes apply only after the watermark advances), even when a
+   reserve-time checkpoint pushed the boundary past its record, and a
+   committed write rolled back with its epoch is redone by recovery from
+   the surviving PREPARE.
+
+   Redone operations land {e after} the checkpointed prefix (recovery
+   replays the rollback first, then resolves records), in log = record
+   order; per-key state is unaffected by the move because every
+   operation at or past a shard's boundary except the redone ones is
+   discarded. *)
+let compact t ~boundary ~committed =
+  let kept = Array.make (max 1 t.len) dummy in
+  let kn = ref 0 in
+  let redo = ref [] in
+  for i = 0 to t.len - 1 do
+    let e = t.entries.(i) in
+    let keep () =
+      kept.(!kn) <- e;
+      incr kn
+    in
+    match e.txn with
+    | Some id ->
+        if committed id then
+          if i < boundary e.shard then keep () else redo := e :: !redo
+    | None -> if i < boundary e.shard then keep ()
+  done;
+  List.iter
+    (fun e ->
+      kept.(!kn) <- e;
+      incr kn)
+    (List.rev !redo);
+  Array.blit kept 0 t.entries 0 !kn;
+  t.len <- !kn;
   Hashtbl.reset t.boundaries
 
 let replay t =
   let tbl = Hashtbl.create 1024 in
   for i = 0 to t.len - 1 do
-    match t.ops.(i) with
+    match t.entries.(i).op with
     | Put { key; value } -> Hashtbl.replace tbl key value
     | Remove { key } -> Hashtbl.remove tbl key
   done;

@@ -1,14 +1,17 @@
 (** The shadow-model differential checker.
 
     The torture runner records every mutating operation here before
-    applying it to the durable store. At each epoch boundary the oracle
-    marks how many operations were complete when that epoch began; after
-    a crash, the store must roll back to the beginning of the epoch the
-    crash invalidated, so {!committed_at} maps the crashed epoch to the
-    operation count the recovered store must reflect. {!replay} then
-    rebuilds that prefix into a plain [Hashtbl] — deliberately the
-    dumbest possible model — and {!check} compares the recovered store
-    against it key by key. *)
+    applying it to the durable store — tagged with the shard that owns
+    its key and, for transactional writes, the transaction id. At each
+    epoch boundary of each shard the oracle marks how many operations
+    were complete when that (shard, epoch) began. After a crash the
+    store must roll every shard back to the beginning of the epoch the
+    crash invalidated there {e and} redo committed transactions from
+    their PREPARE records, so {!compact} rebuilds the op log into
+    exactly the survivors: per-shard checkpointed prefixes plus redone
+    committed-transaction writes. {!replay} then folds the log into a
+    plain [Hashtbl] — deliberately the dumbest possible model — and
+    {!check} compares the recovered store against it key by key. *)
 
 type op = Put of { key : string; value : string } | Remove of { key : string }
 
@@ -16,30 +19,40 @@ type t
 
 val create : unit -> t
 
-val record : t -> op -> unit
-(** Append an operation. Call {e before} applying it to the store, so an
-    operation whose own epoch-advance commits it is in the log. *)
+val record : t -> ?txn:int -> shard:int -> op -> unit
+(** Append an operation owned by [shard]. Call {e before} applying it to
+    the store, so an operation whose own epoch-advance commits it is in
+    the log. [txn] tags writes of a transaction (record them just before
+    the commit call; buffered writes never reach the store earlier). *)
 
 val length : t -> int
 
-val mark_epoch : t -> epoch:int -> unit
-(** Note that [epoch] is (now) running. Only the first observation of an
-    epoch sets its boundary: the number of operations complete when it
-    began. *)
+val mark_epoch : t -> shard:int -> epoch:int -> unit
+(** Note that [epoch] is (now) running on [shard]. Only the first
+    observation of a (shard, epoch) pair sets its boundary: the number
+    of operations complete when it began. *)
 
-val committed_at : t -> crashed_epoch:int -> int
-(** Operations the store must reflect after recovering from a crash that
-    invalidated [crashed_epoch]. Falls back to {!length} when the epoch
-    was never observed — that happens only when the crash hit inside an
-    operation's own checkpoint, after the operation's mutations were
-    flushed. *)
+val boundary_at : t -> shard:int -> crashed_epoch:int -> int
+(** Operations complete when [shard]'s crashed epoch began — the
+    rollback point for that shard's keys. Falls back to {!length} when
+    the epoch was never observed — that happens only when the crash hit
+    inside an operation's own checkpoint, after the operation's
+    mutations were flushed. *)
 
-val truncate : t -> int -> unit
-(** Drop rolled-back operations and every epoch boundary (recovery
-    starts a fresh epoch numbering context). *)
+val compact : t -> boundary:(int -> int) -> committed:(int -> bool) -> unit
+(** Post-crash survivor compaction. [boundary shard] is that shard's
+    rollback point (from {!boundary_at}); [committed id] says whether
+    transaction [id]'s commit point is durable (the torture runner reads
+    the coordinator shard's watermark post-crash). Keeps the per-shard
+    checkpointed prefixes of plain operations in order, keeps committed
+    transactional writes — re-appending those that fell past their
+    shard's boundary (recovery redoes them after the rollback) — drops
+    everything else (uncommitted transactional writes are dropped even
+    inside a kept prefix: they never reached any tree), and clears every
+    epoch boundary (recovery starts a fresh epoch numbering context). *)
 
 val replay : t -> (string, string) Hashtbl.t
-(** Fold the whole (truncated) log into a fresh table. *)
+(** Fold the whole (compacted) log into a fresh table. *)
 
 val check :
   t ->

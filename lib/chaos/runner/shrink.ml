@@ -36,6 +36,9 @@ let repro_to_json (cfg : Torture.config) (out : Torture.outcome) =
       ("size_bytes", J.Int cfg.Torture.size_bytes);
       ("extlog_bytes", J.Int cfg.Torture.extlog_bytes);
       ("crash_period", J.Int cfg.Torture.crash_period);
+      ("shards", J.Int cfg.Torture.shards);
+      ("txn_period", J.Int cfg.Torture.txn_period);
+      ("txn_writes", J.Int cfg.Torture.txn_writes);
       ( "schedule",
         J.List
           (List.map
@@ -78,6 +81,9 @@ let config_of_json j =
     size_bytes = int "size_bytes" d.Torture.size_bytes;
     extlog_bytes = int "extlog_bytes" d.Torture.extlog_bytes;
     crash_period = int "crash_period" d.Torture.crash_period;
+    shards = int "shards" d.Torture.shards;
+    txn_period = int "txn_period" d.Torture.txn_period;
+    txn_writes = int "txn_writes" d.Torture.txn_writes;
     schedule =
       (match J.find j "schedule" with
       | Some (J.List l) ->

@@ -21,6 +21,13 @@ type config = {
   extlog_bytes : int;
   crash_period : int;
       (** expected ops between random crashes; 0 disables random crashes *)
+  shards : int;
+      (** shard count of the {!Store.Sharded} store under test; 1 keeps
+          the historical single-system stream *)
+  txn_period : int;
+      (** expected ops between multi-key transactions; 0 disables
+          transactions entirely (and keeps the historical RNG stream) *)
+  txn_writes : int;  (** max writes per transaction (uniform 1..n) *)
   schedule : Chaos.Plan.t;
       (** deterministic injection points, armed one after another: when a
           point fires the runner crashes, arms the next point (so a
@@ -45,13 +52,18 @@ type outcome = {
   schedule_left : int;  (** scheduled points that never fired *)
   recoveries : int;
   verified : int;  (** total post-recovery key verifications *)
+  txns_committed : int;  (** transactions whose commit call returned *)
+  txns_in_doubt : int;
+      (** injected crashes that hit with a transaction in flight — the
+          all-or-nothing cases the oracle then adjudicates by watermark *)
   quarantined : int;  (** allocator chains quarantined across the run *)
   failure : failure option;
 }
 
 val default : config
 (** 30k ops, 1000 keys, seed 7, short (0.2 ms) epochs, ~1/2000 random
-    crash rate, no schedule — the historical [crash_torture] shape. *)
+    crash rate, one shard, no transactions, no schedule — the historical
+    [crash_torture] shape (bit-identical RNG stream). *)
 
 val run : ?save_image:string -> config -> outcome
 (** [save_image] writes the final persisted image (what a power failure

@@ -4,10 +4,14 @@ type t =
   | Sfence
   | Merge_limbo
   | Extlog_append
+  | Txn_prepare
+  | Txn_commit_record
+  | Txn_rollback
   | Recover_epoch_open
   | Recover_extlog_replay
   | Recover_alloc_chains
   | Recover_image_scan
+  | Recover_txn_resolve
   | Recover_eager_sweep
   | Recover_checkpoint
 
@@ -18,10 +22,14 @@ let all =
     Sfence;
     Merge_limbo;
     Extlog_append;
+    Txn_prepare;
+    Txn_commit_record;
+    Txn_rollback;
     Recover_epoch_open;
     Recover_extlog_replay;
     Recover_alloc_chains;
     Recover_image_scan;
+    Recover_txn_resolve;
     Recover_eager_sweep;
     Recover_checkpoint;
   ]
@@ -32,12 +40,16 @@ let index = function
   | Sfence -> 2
   | Merge_limbo -> 3
   | Extlog_append -> 4
-  | Recover_epoch_open -> 5
-  | Recover_extlog_replay -> 6
-  | Recover_alloc_chains -> 7
-  | Recover_image_scan -> 8
-  | Recover_eager_sweep -> 9
-  | Recover_checkpoint -> 10
+  | Txn_prepare -> 5
+  | Txn_commit_record -> 6
+  | Txn_rollback -> 7
+  | Recover_epoch_open -> 8
+  | Recover_extlog_replay -> 9
+  | Recover_alloc_chains -> 10
+  | Recover_image_scan -> 11
+  | Recover_txn_resolve -> 12
+  | Recover_eager_sweep -> 13
+  | Recover_checkpoint -> 14
 
 let count = List.length all
 
@@ -47,10 +59,14 @@ let to_string = function
   | Sfence -> "sfence"
   | Merge_limbo -> "merge_limbo"
   | Extlog_append -> "extlog_append"
+  | Txn_prepare -> "txn_prepare"
+  | Txn_commit_record -> "txn_commit_record"
+  | Txn_rollback -> "txn_rollback"
   | Recover_epoch_open -> "recover.epoch_open"
   | Recover_extlog_replay -> "recover.extlog_replay"
   | Recover_alloc_chains -> "recover.alloc_chains"
   | Recover_image_scan -> "recover.image_scan"
+  | Recover_txn_resolve -> "recover.txn_resolve"
   | Recover_eager_sweep -> "recover.eager_sweep"
   | Recover_checkpoint -> "recover.checkpoint"
 
@@ -64,7 +80,9 @@ let of_phase s =
 
 let is_recovery = function
   | Recover_epoch_open | Recover_extlog_replay | Recover_alloc_chains
-  | Recover_image_scan | Recover_eager_sweep | Recover_checkpoint ->
+  | Recover_image_scan | Recover_txn_resolve | Recover_eager_sweep
+  | Recover_checkpoint | Txn_rollback ->
       true
-  | Epoch_advance | Post_checkpoint | Sfence | Merge_limbo | Extlog_append ->
+  | Epoch_advance | Post_checkpoint | Sfence | Merge_limbo | Extlog_append
+  | Txn_prepare | Txn_commit_record ->
       false

@@ -21,11 +21,24 @@ type t =
       (** [Alloc.Durable.merge_limbo], once per non-empty size class,
           before that class is spliced *)
   | Extlog_append  (** entry of [Extlog.Log.append] *)
+  | Txn_prepare
+      (** commit protocol, before a participant's PREPARE record is
+          appended — some participants prepared, some not *)
+  | Txn_commit_record
+      (** commit protocol, before the coordinator's commit decision (the
+          durable txn watermark) is stored — every PREPARE durable but
+          the decision is not: the in-doubt window *)
+  | Txn_rollback
+      (** recovery, before an in-doubt transaction whose coordinator has
+          no commit decision is discarded *)
   | Recover_epoch_open  (** recovery, before re-opening the epoch manager *)
   | Recover_extlog_replay  (** recovery, before the external-log replay *)
   | Recover_alloc_chains
       (** recovery, before restoring allocator metadata lines *)
   | Recover_image_scan  (** recovery, before the tree image scan *)
+  | Recover_txn_resolve
+      (** recovery, before surviving PREPARE records are resolved against
+          their coordinator's watermark (redo or rollback) *)
   | Recover_eager_sweep  (** recovery, before an eager sweep (if any) *)
   | Recover_checkpoint  (** recovery, before the final checkpoint *)
 
@@ -49,5 +62,6 @@ val of_phase : string -> t option
     site; [None] for phases without one. *)
 
 val is_recovery : t -> bool
-(** True for the [Recover_*] sites — the ones that can only fire while
-    recovery is running. *)
+(** True for the sites that can only fire while recovery is running: the
+    [Recover_*] phase entries plus [Txn_rollback] (fired inside the
+    [recover.txn_resolve] phase). *)

@@ -176,6 +176,13 @@ let pre_structural ctx nodes =
         end
       end
       else if L.is_leaf_node region addr then begin
+        (* A structural change can reach a leaf no operation has accessed
+           since a crash — the sibling whose link pointer a split or
+           collapse rewrites. Roll it back first: logging and stamping it
+           below would otherwise launder the crashed epoch's
+           un-rolled-back contents into the current epoch, disabling its
+           lazy recovery forever. *)
+        Recovery.lazy_leaf_recovery ctx ~leaf:addr;
         let ew = L.epoch_word region addr in
         if not (ew.EW.logged && ew.EW.epoch = e0) then begin
           Ctx.log_node ctx ~addr ~size:L.node_bytes;

@@ -29,9 +29,15 @@ type recover_stats = {
   recovery_wall_ns : float;
   quarantined_chains : int;
       (* allocator chains found corrupt and unlinked during this recovery *)
+  txns_redone : int;  (* committed transactions redone from PREPARE records *)
+  txns_aborted : int;  (* in-doubt transactions rolled back *)
   phases : (string * float) list;
       (* ordered (phase, sim ns) breakdown; sums to recovery_sim_ns *)
 }
+
+(* A transaction buffers its writes until commit (last-write-wins), so
+   abort never touches the tree. *)
+type txn_state = { id : int; mutable writes : (string * string option) list }
 
 type t = {
   variant : variant;
@@ -42,6 +48,8 @@ type t = {
   dalloc : Alloc.Durable.t option;
   tree : Masstree.Tree.t;
   last_recover_stats : recover_stats option;
+  mutable active_txn : txn_state option;
+  mutable next_txn_id : int;
 }
 
 let variant t = t.variant
@@ -103,6 +111,8 @@ let create ?(config = default_config) variant =
         dalloc = None;
         tree;
         last_recover_stats = None;
+        active_txn = None;
+        next_txn_id = 1;
       }
   | Logging | Incll ->
       let em = Epoch.Manager.create ~epoch_len_ns:config.epoch_len_ns region in
@@ -131,6 +141,8 @@ let create ?(config = default_config) variant =
         dalloc = Some dalloc;
         tree;
         last_recover_stats = None;
+        active_txn = None;
+        next_txn_id = 1;
       }
 
 let after_op t =
@@ -198,7 +210,80 @@ let crash_with t ~choose =
   require_recoverable t "System.crash_with";
   Nvm.Region.crash_with t.region ~choose
 
-let recover_region ~variant ~config region =
+(* {1 Transactions}
+
+   Multi-key atomic updates over the [Txn] protocol. The system is
+   sequential, so the commit window (reserve .. apply) runs without an
+   intervening epoch advance: [reserve] takes any needed checkpoint
+   before the first PREPARE, and the writes are applied through the tree
+   directly (no [after_op]) so the records and the applied writes always
+   share one epoch. *)
+
+let txn_active t = Option.is_some t.active_txn
+
+let require_txn_capable t what =
+  require_recoverable t what;
+  if t.ctx = None then failwith (what ^ ": no logging context")
+
+let txn_begin t =
+  require_txn_capable t "System.txn_begin";
+  if txn_active t then failwith "System.txn_begin: transaction already active";
+  let id = t.next_txn_id in
+  t.next_txn_id <- id + 1;
+  t.active_txn <- Some { id; writes = [] }
+
+let active_exn t what =
+  match t.active_txn with
+  | Some txn -> txn
+  | None -> failwith (what ^ ": no active transaction")
+
+let txn_put t ~key ~value =
+  let txn = active_exn t "System.txn_put" in
+  txn.writes <- (key, Some value) :: txn.writes
+
+let txn_remove t ~key =
+  let txn = active_exn t "System.txn_remove" in
+  txn.writes <- (key, None) :: txn.writes
+
+(* Read-your-writes: the buffer (newest first) shadows the tree. *)
+let txn_get t ~key =
+  let txn = active_exn t "System.txn_get" in
+  match List.assoc_opt key txn.writes with
+  | Some v -> v
+  | None -> get t ~key
+
+let txn_abort t =
+  ignore (active_exn t "System.txn_abort" : txn_state);
+  t.active_txn <- None
+
+(* Last-write-wins flattening, preserving first-write order. *)
+let flatten_writes writes =
+  let seen = Hashtbl.create 8 in
+  List.fold_left
+    (fun acc (key, value) ->
+      if Hashtbl.mem seen key then acc
+      else begin
+        Hashtbl.add seen key ();
+        { Txn.key; value } :: acc
+      end)
+    [] writes
+
+let txn_commit t =
+  let txn = active_exn t "System.txn_commit" in
+  let ctx = Option.get t.ctx in
+  t.active_txn <- None;
+  let writes = flatten_writes txn.writes in
+  if writes <> [] then begin
+    Nvm.Region.charge_op t.region;
+    let coordinator = Txn.self_coordinator in
+    Txn.reserve ctx ~bytes:(Txn.prepare_bytes ~coordinator ~writes);
+    Txn.append_prepare ctx ~txn_id:txn.id ~coordinator ~writes;
+    Txn.advance_watermark t.region ~txn_id:txn.id;
+    Txn.apply_committed ctx t.tree ~txn_id:txn.id ~coordinator writes
+  end;
+  after_op t
+
+let recover_region ?txn_probe ~variant ~config region =
   (match variant with
   | Logging | Incll -> ()
   | Mt | Mt_plus ->
@@ -242,6 +327,9 @@ let recover_region ~variant ~config region =
     phase "recover.extlog_replay" (fun () ->
         Extlog.Log.replay log ~is_failed:(Epoch.Manager.is_failed em))
   in
+  (* Recovery-time appends (txn redo below) must not overwrite the live
+     prefix — a crash during recovery replays it again. *)
+  Extlog.Log.seek_live_end log ~is_failed:(Epoch.Manager.is_failed em);
   (* Restore the allocator metadata lines (bump/free/limbo chains). *)
   let dalloc =
     phase "recover.alloc_chains" (fun () -> Alloc.Durable.open_after_crash em)
@@ -258,13 +346,32 @@ let recover_region ~variant ~config region =
           hooks
           ~current_epoch:(fun () -> Epoch.Manager.current em))
   in
+  (* Resolve in-doubt transactions: redo committed write sets from the
+     surviving PREPARE records (the undo replay above erased their
+     applied writes along with the rest of the crashed epoch), discard
+     uncommitted ones. The probe answers "did this coordinator commit
+     that txn?" — by default against this region's own watermark; a
+     sharded store passes one that reads the coordinator shard. *)
+  let probe =
+    match txn_probe with
+    | Some p -> p
+    | None -> fun ~coordinator:_ ~txn_id -> txn_id <= Txn.watermark region
+  in
+  let txns_redone, txns_aborted =
+    phase "recover.txn_resolve" (fun () -> Txn.resolve ctx tree ~probe)
+  in
   (* Compact the failed-epoch set before it can overflow: recover every
-     node eagerly, persist that, then durably empty the set. *)
-  if Epoch.Manager.failed_count em >= Nvm.Layout.max_failed_epochs - 2
+     node eagerly, persist that, then durably drop it. Pressure is slot
+     occupancy, not epoch count — consecutive failed epochs share a
+     range slot. The sweep floor lets later GC discard any ranges a
+     crash resurrects after this point. *)
+  if Epoch.Manager.failed_slots em >= Nvm.Layout.max_failed_epochs - 2
   then
     phase "recover.eager_sweep" (fun () ->
         Recovery.eager_sweep ctx tree dalloc;
         Nvm.Region.wbinvd region;
+        Epoch.Manager.note_swept em
+          ~floor:(Epoch.Manager.first_epoch_of_run em);
         Epoch.Manager.clear_failed em);
   (* Execution resumes in a fresh epoch; the checkpoint persists all
      recovery writes and truncates the log. *)
@@ -288,11 +395,18 @@ let recover_region ~variant ~config region =
           recovery_sim_ns = sim1 -. sim0;
           recovery_wall_ns = (wall1 -. wall0) *. 1e9;
           quarantined_chains = Alloc.Durable.quarantined dalloc;
+          txns_redone;
+          txns_aborted;
           phases = List.rev !phases;
         };
+    active_txn = None;
+    (* Ids must stay above every committed id, or a reused id would make
+       a later in-doubt probe report a stale commit. *)
+    next_txn_id = Txn.watermark region + 1;
   }
 
-let recover old = recover_region ~variant:old.variant ~config:old.config old.region
+let recover ?txn_probe old =
+  recover_region ?txn_probe ~variant:old.variant ~config:old.config old.region
 
-let attach ?(config = default_config) variant region =
-  recover_region ~variant ~config region
+let attach ?txn_probe ?(config = default_config) variant region =
+  recover_region ?txn_probe ~variant ~config region

@@ -61,6 +61,38 @@ val scan : t -> start:string -> n:int -> (string * string) list
 val scan_rev : t -> ?bound:string -> n:int -> unit -> (string * string) list
 (** Descending scan from the largest key [<= bound]. *)
 
+(** {1 Transactions (Logging / Incll variants)}
+
+    Durable multi-key transactions over the {!Txn} commit protocol.
+    Writes are buffered until commit (reads inside the transaction see
+    them), so {!txn_abort} is free; {!txn_commit} makes the whole write
+    set atomic with respect to crashes — after recovery either every
+    write of the transaction is present or none is. One transaction at a
+    time (the system is sequential). *)
+
+val txn_begin : t -> unit
+(** Start buffering. Fails if a transaction is already active or the
+    variant has no logging context ([Mt] / [Mt_plus]). *)
+
+val txn_active : t -> bool
+
+val txn_put : t -> key:string -> value:string -> unit
+val txn_remove : t -> key:string -> unit
+(** Buffer a write into the active transaction (last write per key
+    wins). Fails outside a transaction. *)
+
+val txn_get : t -> key:string -> string option
+(** Read-your-writes lookup: buffered writes shadow the tree. *)
+
+val txn_abort : t -> unit
+(** Discard the buffered writes; the tree was never touched. *)
+
+val txn_commit : t -> unit
+(** Commit atomically: reserve log headroom, append a fenced PREPARE
+    record carrying the write set, durably advance the commit watermark
+    (the atomic commit point), then apply the writes through the tree.
+    An empty transaction commits without touching the log. *)
+
 val durability_lag_ns : t -> float
 (** Simulated time since the last completed checkpoint — the window of
     work a crash right now would lose (§4's tradeoff; bounded by the
@@ -79,14 +111,25 @@ val crash : t -> Util.Rng.t -> unit
 
 val crash_with : t -> choose:(line:int -> nwrites:int -> int) -> unit
 
-val recover : t -> t
+val recover : ?txn_probe:(coordinator:int -> txn_id:int -> bool) -> t -> t
 (** Rebuild a system over the crashed region: replay the external log,
-    restore allocator roots, arm lazy node recovery, compact the
-    failed-epoch set if it is close to capacity, and checkpoint so
-    execution resumes in a fresh epoch. Returns the replacement instance
-    ([recover_stats] tells how much work it did). *)
+    restore allocator roots, arm lazy node recovery, resolve in-doubt
+    transactions, compact the failed-epoch set if it is close to
+    capacity, and checkpoint so execution resumes in a fresh epoch.
+    Returns the replacement instance ([recover_stats] tells how much
+    work it did).
 
-val attach : ?config:config -> variant -> Nvm.Region.t -> t
+    [txn_probe] decides whether a surviving PREPARE record's transaction
+    committed; the default probes this region's own watermark (correct
+    for a standalone system). A sharded store passes a probe that reads
+    the coordinator shard's watermark. *)
+
+val attach :
+  ?txn_probe:(coordinator:int -> txn_id:int -> bool) ->
+  ?config:config ->
+  variant ->
+  Nvm.Region.t ->
+  t
 (** Recover a system from a region obtained elsewhere — typically an NVM
     image reloaded after a process restart ([Nvm.Image.load]). Runs the
     same recovery procedure as {!recover}. The [config]'s cost model and
@@ -102,11 +145,18 @@ type recover_stats = {
           recovery ([Alloc.Durable.Corrupt_chain]) and unlinked so the
           store could keep running — their blocks leak. 0 in a healthy
           store. *)
+  txns_redone : int;
+      (** Committed transactions whose write sets were re-applied from
+          surviving PREPARE records during [recover.txn_resolve]. *)
+  txns_aborted : int;
+      (** In-doubt transactions found uncommitted (coordinator watermark
+          below their id) and discarded. *)
   phases : (string * float) list;
       (** Ordered per-phase breakdown of the recovery, in simulated ns:
           [recover.epoch_open] (failed-set load + marker epoch),
           [recover.extlog_replay], [recover.alloc_chains],
           [recover.image_scan] (tree reattach; leaves repair lazily),
+          [recover.txn_resolve] (in-doubt transaction redo/rollback),
           [recover.eager_sweep] (only when the failed set was compacted)
           and [recover.checkpoint]. Durations are mark-to-mark, so they
           sum exactly to [recovery_sim_ns]. Each phase is also a

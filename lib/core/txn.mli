@@ -1,0 +1,92 @@
+(** The durable multi-key transaction commit protocol.
+
+    Building blocks shared by [Incll.System] (single store) and
+    [Store.Sharded] (two-phase commit across shards): typed PREPARE /
+    COMMIT records in the external log, the durable commit watermark, and
+    the recovery-side resolution of in-doubt records.
+
+    The protocol in one line: buffer writes, reserve log headroom,
+    append a fenced PREPARE per participant, durably advance the
+    coordinator's watermark (the store-atomic commit point), then apply
+    the writes through the tree. Recovery rolls the crashed epoch back
+    first, then redoes the write sets of surviving PREPAREs whose txn id
+    the coordinator's watermark covers and discards the rest — so a
+    transaction is either fully present or fully absent after any crash.
+
+    Log truncation at every checkpoint bounds record lifetime to one
+    epoch: a surviving PREPARE always belongs to the crashed epoch, and a
+    committed epoch that completed its checkpoint needs no redo (its
+    writes are durable and its records are gone). *)
+
+type write = { key : string; value : string option  (** [None] = remove *) }
+
+val self_coordinator : int
+(** Coordinator id a standalone (unsharded) system stamps into its
+    PREPARE records; the default recovery probe resolves it to the
+    system's own region. *)
+
+(** {1 Payload codec} *)
+
+val encode_prepare : coordinator:int -> writes:write list -> string
+val decode_prepare : string -> (int * write list) option
+(** [None] on malformed bytes — recovery treats such a record as
+    never-committed rather than crashing. *)
+
+val encode_commit : participants:int list -> string
+val decode_commit : string -> int list option
+
+val prepare_bytes : coordinator:int -> writes:write list -> int
+(** Log bytes the PREPARE for [writes] will consume (for {!reserve}). *)
+
+val commit_bytes : participants:int list -> int
+
+(** {1 The durable watermark} *)
+
+val watermark : Nvm.Region.t -> int
+(** Highest txn id whose commit decision this region has durably
+    recorded as coordinator (0 = none). *)
+
+val advance_watermark : Nvm.Region.t -> txn_id:int -> unit
+(** The commit point: durably store [txn_id] in the watermark word (one
+    store-atomic write, flushed and fenced). Fires the
+    [Txn_commit_record] chaos site first. *)
+
+(** {1 Commit-window log appends} *)
+
+val reserve : Ctx.t -> bytes:int -> unit
+(** Ensure [bytes] of log headroom, checkpointing now if needed — before
+    the commit window opens, because a checkpoint inside it would
+    truncate already-appended PREPAREs. Raises [Invalid_argument] if
+    [bytes] exceeds the log capacity outright. *)
+
+val append_prepare :
+  Ctx.t -> txn_id:int -> coordinator:int -> writes:write list -> unit
+(** Append and fence a participant's PREPARE record. Fires the
+    [Txn_prepare] chaos site first. *)
+
+val append_commit_marker : Ctx.t -> txn_id:int -> participants:int list -> unit
+(** Append the coordinator's informational COMMIT record (diagnostics:
+    [incll_fsck] uses it to distinguish decided from in-doubt txns in a
+    post-mortem image; recovery decides by watermark alone). *)
+
+val apply_committed :
+  Ctx.t -> Masstree.Tree.t -> txn_id:int -> coordinator:int -> write list -> unit
+(** Apply a committed write set through the tree with the normal
+    persistence hooks (used both at commit and at recovery redo). If the
+    tree's own logging forces a checkpoint mid-set — which persists the
+    applied prefix and truncates the PREPARE — a fresh PREPARE covering
+    the unapplied remainder is re-armed first, so the transaction stays
+    redoable across any crash point. *)
+
+(** {1 Recovery-side resolution} *)
+
+val resolve :
+  Ctx.t ->
+  Masstree.Tree.t ->
+  probe:(coordinator:int -> txn_id:int -> bool) ->
+  int * int
+(** Resolve surviving PREPARE records in log (= commit) order: redo the
+    write sets of transactions [probe] reports committed, discard the
+    rest (firing [Txn_rollback] per discard). Returns
+    [(redone, aborted)]. Run after the undo replay and tree reattach,
+    before the end-of-recovery checkpoint. *)

@@ -9,6 +9,7 @@ type t = {
   mutable epoch_start_ns : float;
   mutable advances : int;
   failed : (int, unit) Hashtbl.t;
+  mutable ranges : (int * int) list;  (* durable failed-set slots, in order *)
   mutable subscribers : (unit -> unit) list;  (* reversed *)
   h_epoch_len : Obs.Histogram.t;  (* completed epoch lengths, sim ns *)
   h_epoch_dirty : Obs.Histogram.t;  (* dirty lines flushed per checkpoint *)
@@ -44,44 +45,120 @@ let write_durable_epoch t e =
 let read_durable_epoch region =
   Int64.to_int (Nvm.Region.read_i64 region Nvm.Layout.off_durable_epoch)
 
+(* Each durable slot packs a range of consecutive failed epochs as
+   [lo * 2^16 + (hi - lo)]: repeated crash-during-recovery produces
+   strictly consecutive failed epochs, so an arbitrarily long crash storm
+   occupies a single slot (extended by an atomic one-word rewrite). *)
+let span_capacity = 0xffff
+
+let encode_range ~lo ~hi =
+  if hi < lo || hi - lo > span_capacity then invalid_arg "encode_range";
+  Int64.of_int ((lo lsl 16) lor (hi - lo))
+
+let decode_range v =
+  let v = Int64.to_int v in
+  let lo = v lsr 16 in
+  (lo, lo + (v land 0xffff))
+
+let write_slot t i v =
+  let slot = Nvm.Layout.failed_epoch_slot i in
+  Nvm.Region.write_i64 t.region slot v;
+  Nvm.Region.clwb t.region slot;
+  Nvm.Region.sfence t.region
+
+let write_count t n =
+  Nvm.Region.write_i64 t.region Nvm.Layout.off_failed_count (Int64.of_int n);
+  Nvm.Region.clwb t.region Nvm.Layout.off_failed_count;
+  Nvm.Region.sfence t.region
+
+let add_range_volatile t (lo, hi) =
+  for e = lo to hi do
+    Hashtbl.replace t.failed e ()
+  done
+
 let load_failed_set t =
   Hashtbl.reset t.failed;
+  t.ranges <- [];
   let n =
     Int64.to_int (Nvm.Region.read_i64 t.region Nvm.Layout.off_failed_count)
   in
   if n < 0 || n > Nvm.Layout.max_failed_epochs then
     failwith "Manager: corrupt failed-epoch count";
   for i = 0 to n - 1 do
-    let e =
-      Int64.to_int
-        (Nvm.Region.read_i64 t.region (Nvm.Layout.failed_epoch_slot i))
+    let r =
+      decode_range (Nvm.Region.read_i64 t.region (Nvm.Layout.failed_epoch_slot i))
     in
-    Hashtbl.replace t.failed e ()
+    t.ranges <- t.ranges @ [ r ];
+    add_range_volatile t r
   done
 
+let failed_slots t = List.length t.ranges
+
+let sweep_floor t =
+  Int64.to_int (Nvm.Region.read_i64 t.region Nvm.Layout.off_sweep_floor)
+
+let note_swept t ~floor =
+  Nvm.Region.write_i64 t.region Nvm.Layout.off_sweep_floor
+    (Int64.of_int floor);
+  Nvm.Region.clwb t.region Nvm.Layout.off_sweep_floor;
+  Nvm.Region.sfence t.region
+
+(* Drop ranges made dead by a completed eager sweep: every node was
+   re-stamped at the sweep's recovery marker, so no InCLL low-epoch can
+   alias an epoch below it and those ranges can never matter again. A
+   crash mid-rewrite leaves the old count with a prefix of live ranges
+   rewritten over their old positions — a superset of the live set, which
+   is always safe (being failed is conservative). *)
+let gc_failed t =
+  let floor = sweep_floor t in
+  let live = List.filter (fun (_, hi) -> hi >= floor) t.ranges in
+  if List.length live < List.length t.ranges then begin
+    List.iteri (fun i (lo, hi) -> write_slot t i (encode_range ~lo ~hi)) live;
+    write_count t (List.length live);
+    t.ranges <- live;
+    Hashtbl.reset t.failed;
+    List.iter (add_range_volatile t) live
+  end
+
 (* Durable append: persist the new entry strictly before the count that
-   makes it visible, so a crash mid-append can only lose the append. *)
+   makes it visible, so a crash mid-append can only lose the append.
+   Consecutive epochs (the crash-during-recovery storm) extend the last
+   range in place instead of consuming a slot; when slots do run out,
+   garbage-collect ranges below the sweep floor before giving up. *)
 let append_failed t e =
   if Hashtbl.mem t.failed e then ()
   else begin
-    let n = Hashtbl.length t.failed in
-    if n >= Nvm.Layout.max_failed_epochs then raise Failed_set_full;
-    let slot = Nvm.Layout.failed_epoch_slot n in
-    Nvm.Region.write_i64 t.region slot (Int64.of_int e);
-    Nvm.Region.clwb t.region slot;
-    Nvm.Region.sfence t.region;
-    Nvm.Region.write_i64 t.region Nvm.Layout.off_failed_count
-      (Int64.of_int (n + 1));
-    Nvm.Region.clwb t.region Nvm.Layout.off_failed_count;
-    Nvm.Region.sfence t.region;
-    Hashtbl.replace t.failed e ()
+    let n = List.length t.ranges in
+    let last = if n = 0 then None else Some (List.nth t.ranges (n - 1)) in
+    match last with
+    | Some (lo, hi) when e = hi + 1 && e - lo <= span_capacity ->
+        (* One-word rewrite: store-atomic under PCSO, so the slot always
+           decodes to either the old or the extended range. *)
+        write_slot t (n - 1) (encode_range ~lo ~hi:e);
+        t.ranges <-
+          List.mapi (fun i r -> if i = n - 1 then (lo, e) else r) t.ranges;
+        Hashtbl.replace t.failed e ()
+    | _ ->
+        let n =
+          if n >= Nvm.Layout.max_failed_epochs then begin
+            gc_failed t;
+            List.length t.ranges
+          end
+          else n
+        in
+        if n >= Nvm.Layout.max_failed_epochs then raise Failed_set_full;
+        write_slot t n (encode_range ~lo:e ~hi:e);
+        write_count t (n + 1);
+        t.ranges <- t.ranges @ [ (e, e) ];
+        Hashtbl.replace t.failed e ()
   end
 
 let clear_failed t =
   Nvm.Region.write_i64 t.region Nvm.Layout.off_failed_count 0L;
   Nvm.Region.clwb t.region Nvm.Layout.off_failed_count;
   Nvm.Region.sfence t.region;
-  Hashtbl.reset t.failed
+  Hashtbl.reset t.failed;
+  t.ranges <- []
 
 let observables region =
   let m = Nvm.Region.metrics region in
@@ -106,6 +183,7 @@ let create ?(epoch_len_ns = default_epoch_len_ns) region =
       epoch_start_ns = Nvm.Stats.sim_ns (Nvm.Region.stats region);
       advances = 0;
       failed = Hashtbl.create 8;
+      ranges = [];
       subscribers = [];
       h_epoch_len;
       h_epoch_dirty;
@@ -135,6 +213,7 @@ let open_after_crash ?(epoch_len_ns = default_epoch_len_ns) region =
       epoch_start_ns = Nvm.Stats.sim_ns (Nvm.Region.stats region);
       advances = 0;
       failed = Hashtbl.create 8;
+      ranges = [];
       subscribers = [];
       h_epoch_len;
       h_epoch_dirty;

@@ -24,8 +24,12 @@
 type t
 
 exception Failed_set_full
-(** The durable failed-epoch set is at capacity; the caller must run an
-    eager recovery sweep and then {!clear_failed}. *)
+(** The durable failed-epoch set is out of slots even after garbage
+    collection. Should be unreachable in practice: consecutive failed
+    epochs (repeated crash-during-recovery) share one range slot, and
+    slots below the sweep floor are reclaimed on demand — overflow needs
+    [max_failed_epochs] {e non}-consecutive crashes with no completed
+    eager sweep in between, which the eager-sweep trigger prevents. *)
 
 val create : ?epoch_len_ns:float -> Nvm.Region.t -> t
 (** Initialise epoch state on a freshly formatted region and durably set the
@@ -35,8 +39,8 @@ val open_after_crash : ?epoch_len_ns:float -> Nvm.Region.t -> t
 (** Attach to a region that was running when it crashed: load the failed
     set, durably add the crashed epoch to it, and durably enter the
     recovery-marker epoch (so a crash during recovery fails the marker
-    epoch and recovery re-runs). Raises {!Failed_set_full} when the set
-    would overflow. *)
+    epoch and recovery re-runs). Consecutive crashes extend the last
+    failed range in place, so crash storms of any length fit the set. *)
 
 val region : t -> Nvm.Region.t
 val current : t -> int
@@ -51,7 +55,14 @@ val crashed_epoch : t -> int option
     fresh system). The external log replays exactly this epoch's entries. *)
 
 val is_failed : t -> int -> bool
+
 val failed_count : t -> int
+(** Number of failed {e epochs} (not slots). *)
+
+val failed_slots : t -> int
+(** Number of occupied durable range slots, out of
+    [Nvm.Layout.max_failed_epochs]; the eager-sweep pressure signal. *)
+
 val failed_list : t -> int list
 
 val advance : t -> unit
@@ -76,6 +87,15 @@ val subscribe_post_advance : t -> (unit -> unit) -> unit
 val clear_failed : t -> unit
 (** Durably empty the failed-epoch set. Only legal after an eager recovery
     sweep has re-stamped every node (no lazy restores may remain). *)
+
+val note_swept : t -> floor:int -> unit
+(** Durably record that an eager sweep re-stamped every node at epoch
+    [floor] (the sweep's recovery marker). Failed ranges entirely below
+    [floor] become garbage and are collected when the set runs out of
+    slots. *)
+
+val sweep_floor : t -> int
+(** The durable floor last recorded by {!note_swept} (0 = never swept). *)
 
 (** {1 Epoch-number encodings used by the InCLL words (§4.1.3)} *)
 

@@ -1,7 +1,15 @@
 exception Log_full
 
 let entry_magic = 0xE10C_11E0_1234_5678L
-let header_bytes = 40
+let header_bytes = 48
+
+(* Entry kinds. [Node] entries are the §4.2 undo images replay copies
+   back; the txn kinds are WAL-style commit-protocol records that replay
+   must *not* copy anywhere (their addr field carries a txn id, not a
+   home address). *)
+let kind_node = 0
+let kind_txn_prepare = 1
+let kind_txn_commit = 2
 
 (* The first line of the log slice is a header holding the durable
    truncation epoch: the epoch current when the log was last logically
@@ -62,8 +70,8 @@ let truncate t ~epoch =
 
 (* Checksum: xor of the payload words folded with the header fields, so a
    torn entry (header persisted, payload not, or vice versa) is detected. *)
-let checksum region ~payload_off ~size ~epoch ~addr =
-  let acc = ref (Int64.of_int epoch) in
+let checksum region ~payload_off ~size ~kind ~epoch ~addr =
+  let acc = ref (Int64.of_int (epoch lxor (kind * 0x51ed))) in
   acc := Int64.logxor !acc (Int64.mul (Int64.of_int addr) 0x9E3779B97F4A7C15L);
   acc := Int64.logxor !acc (Int64.of_int size);
   for i = 0 to (size / 8) - 1 do
@@ -75,24 +83,20 @@ let checksum region ~payload_off ~size ~epoch ~addr =
   done;
   !acc
 
-let append t ~epoch ~addr ~size =
-  if size <= 0 || size land 7 <> 0 then
-    invalid_arg "Extlog.append: size must be a positive multiple of 8";
-  Chaos.Plan.fire Chaos.Site.Extlog_append;
-  let total = header_bytes + size in
-  if t.tail + total > t.len then raise Log_full;
-  let entry = t.off + t.tail in
+(* Shared tail-append: the payload writer has already placed [size] bytes
+   at [entry + header_bytes]; seal the entry (header + checksum), write
+   back every line, fence once. *)
+let seal_entry t ~entry ~kind ~epoch ~addr ~size =
   let payload_off = entry + header_bytes in
-  (* Payload first, then the header that makes the entry meaningful; the
-     checksum validates the pair, so one fence suffices. *)
-  Nvm.Region.blit_within t.region ~src:addr ~dst:payload_off ~len:size;
-  Nvm.Region.write_i64 t.region (entry + 8) (Int64.of_int epoch);
-  Nvm.Region.write_i64 t.region (entry + 16) (Int64.of_int addr);
-  Nvm.Region.write_i64 t.region (entry + 24) (Int64.of_int size);
-  Nvm.Region.write_i64 t.region (entry + 32)
-    (checksum t.region ~payload_off ~size ~epoch ~addr);
+  Nvm.Region.write_i64 t.region (entry + 8) (Int64.of_int kind);
+  Nvm.Region.write_i64 t.region (entry + 16) (Int64.of_int epoch);
+  Nvm.Region.write_i64 t.region (entry + 24) (Int64.of_int addr);
+  Nvm.Region.write_i64 t.region (entry + 32) (Int64.of_int size);
+  Nvm.Region.write_i64 t.region (entry + 40)
+    (checksum t.region ~payload_off ~size ~kind ~epoch ~addr);
   Nvm.Region.write_i64 t.region entry entry_magic;
   (* Write back every line of the entry, then one fence. *)
+  let total = header_bytes + size in
   let first_line = entry land lnot (Nvm.Config.line_size - 1) in
   let last = entry + total - 1 in
   let line = ref first_line in
@@ -102,11 +106,51 @@ let append t ~epoch ~addr ~size =
   done;
   Nvm.Region.sfence t.region;
   t.tail <- t.tail + total;
-  t.nodes_logged <- t.nodes_logged + 1;
   t.bytes_logged <- t.bytes_logged + size;
   incr t.c_appends;
   Obs.Histogram.record t.h_append_bytes (float_of_int size);
   Nvm.Region.trace_event t.region (Obs.Trace.Extlog_append { bytes = size })
+
+let append t ~epoch ~addr ~size =
+  if size <= 0 || size land 7 <> 0 then
+    invalid_arg "Extlog.append: size must be a positive multiple of 8";
+  Chaos.Plan.fire Chaos.Site.Extlog_append;
+  let total = header_bytes + size in
+  if t.tail + total > t.len then raise Log_full;
+  let entry = t.off + t.tail in
+  (* Payload first, then the header that makes the entry meaningful; the
+     checksum validates the pair, so one fence suffices. *)
+  Nvm.Region.blit_within t.region ~src:addr ~dst:(entry + header_bytes)
+    ~len:size;
+  seal_entry t ~entry ~kind:kind_node ~epoch ~addr ~size;
+  t.nodes_logged <- t.nodes_logged + 1
+
+(* Size an [append_record] call will consume, so a commit sequence can
+   reserve headroom up front and never hit [Log_full] mid-protocol. *)
+let record_bytes ~payload_bytes =
+  if payload_bytes < 0 then invalid_arg "Extlog.record_bytes";
+  let size = (payload_bytes + 7) land lnot 7 in
+  let size = if size = 0 then 8 else size in
+  header_bytes + size
+
+(* Txn-protocol record: the payload is volatile bytes (a serialized write
+   set), the addr field carries the txn id. Padded to 8 bytes with NULs
+   (the deserializer carries explicit lengths). *)
+let append_record t ~kind ~epoch ~txn_id ~payload =
+  if kind <> kind_txn_prepare && kind <> kind_txn_commit then
+    invalid_arg "Extlog.append_record: not a txn record kind";
+  if txn_id < 0 then invalid_arg "Extlog.append_record: negative txn id";
+  let size = (String.length payload + 7) land lnot 7 in
+  let size = if size = 0 then 8 else size in
+  let total = header_bytes + size in
+  if t.tail + total > t.len then raise Log_full;
+  let entry = t.off + t.tail in
+  let padded =
+    if size = String.length payload then payload
+    else payload ^ String.make (size - String.length payload) '\000'
+  in
+  Nvm.Region.write_string t.region (entry + header_bytes) padded;
+  seal_entry t ~entry ~kind ~epoch ~addr:txn_id ~size
 
 (* Walk the intact-entry prefix, calling [f] on each entry. *)
 let fold_entries t f =
@@ -117,25 +161,29 @@ let fold_entries t f =
       let entry = t.off + pos in
       if Nvm.Region.read_i64 t.region entry <> entry_magic then ()
       else begin
-        let epoch = Int64.to_int (Nvm.Region.read_i64 t.region (entry + 8)) in
-        let addr = Int64.to_int (Nvm.Region.read_i64 t.region (entry + 16)) in
-        let size = Int64.to_int (Nvm.Region.read_i64 t.region (entry + 24)) in
-        let sum = Nvm.Region.read_i64 t.region (entry + 32) in
+        let kind = Int64.to_int (Nvm.Region.read_i64 t.region (entry + 8)) in
+        let epoch = Int64.to_int (Nvm.Region.read_i64 t.region (entry + 16)) in
+        let addr = Int64.to_int (Nvm.Region.read_i64 t.region (entry + 24)) in
+        let size = Int64.to_int (Nvm.Region.read_i64 t.region (entry + 32)) in
+        let sum = Nvm.Region.read_i64 t.region (entry + 40) in
         let shape_ok =
           size > 0
           && size land 7 = 0
           && pos + header_bytes + size <= t.len
           && addr >= 0
-          && addr + size <= region_size
+          && (match kind with
+             | k when k = kind_node -> addr + size <= region_size
+             | k when k = kind_txn_prepare || k = kind_txn_commit -> true
+             | _ -> false)
         in
         if not shape_ok then ()
         else if
-          checksum t.region ~payload_off:(entry + header_bytes) ~size ~epoch
-            ~addr
+          checksum t.region ~payload_off:(entry + header_bytes) ~size ~kind
+            ~epoch ~addr
           <> sum
         then ()
         else begin
-          f ~epoch ~addr ~size ~payload_off:(entry + header_bytes);
+          f ~kind ~epoch ~addr ~size ~payload_off:(entry + header_bytes);
           loop (pos + header_bytes + size)
         end
       end
@@ -144,21 +192,51 @@ let fold_entries t f =
   loop 0
 
 let scan_entries t f =
-  fold_entries t (fun ~epoch ~addr ~size ~payload_off:_ -> f ~epoch ~addr ~size)
+  fold_entries t (fun ~kind ~epoch ~addr ~size ~payload_off:_ ->
+      f ~kind ~epoch ~addr ~size)
+
+(* The live prefix after a crash: intact entries at or above the durable
+   truncation floor that belong to a failed (rolled-back) epoch. Replayable
+   entries form a contiguous prefix; stop at the first stale or non-failed
+   entry. *)
+let fold_live t ~is_failed f =
+  let floor = truncation_epoch t in
+  let stop = ref false in
+  fold_entries t (fun ~kind ~epoch ~addr ~size ~payload_off ->
+      if (not !stop) && epoch >= floor && is_failed epoch then
+        f ~kind ~epoch ~addr ~size ~payload_off
+      else stop := true)
+
+(* Recovery appends (transaction redo) must not overwrite the live
+   prefix: a crash during recovery replays it again, so its entries have
+   to stay intact until the end-of-recovery checkpoint truncates them.
+   Park the cursor just past the prefix instead of at the start. *)
+let seek_live_end t ~is_failed =
+  let end_ = ref 0 in
+  fold_live t ~is_failed (fun ~kind:_ ~epoch:_ ~addr:_ ~size ~payload_off:_ ->
+      end_ := !end_ + header_bytes + size);
+  t.tail <- !end_
 
 let replay t ~is_failed =
   let applied = ref 0 in
-  let floor = truncation_epoch t in
-  (* Replayable entries form a contiguous prefix (see interface); stop at
-     the first stale or non-failed entry. *)
-  let stop = ref false in
-  fold_entries t (fun ~epoch ~addr ~size ~payload_off ->
-      if (not !stop) && epoch >= floor && is_failed epoch then begin
+  fold_live t ~is_failed (fun ~kind ~epoch:_ ~addr ~size ~payload_off ->
+      if kind = kind_node then begin
         Nvm.Region.blit_within t.region ~src:payload_off ~dst:addr ~len:size;
         incr applied
-      end
-      else stop := true);
+      end);
   t.c_replayed := !(t.c_replayed) + !applied;
   Nvm.Region.trace_event t.region
     (Obs.Trace.Extlog_replay { entries = !applied });
   !applied
+
+let fold_live_records t ~is_failed f =
+  fold_live t ~is_failed (fun ~kind ~epoch ~addr ~size ~payload_off ->
+      if kind = kind_txn_prepare || kind = kind_txn_commit then
+        f ~kind ~epoch ~txn_id:addr
+          ~payload:(Nvm.Region.read_string t.region payload_off ~len:size))
+
+let fold_all_records t f =
+  fold_entries t (fun ~kind ~epoch ~addr ~size ~payload_off ->
+      if kind = kind_txn_prepare || kind = kind_txn_commit then
+        f ~kind ~epoch ~txn_id:addr
+          ~payload:(Nvm.Region.read_string t.region payload_off ~len:size))

@@ -1,4 +1,4 @@
-(** The external undo log (§4.2).
+(** The external undo log (§4.2), extended with typed transaction records.
 
     An object-granularity undo log in its own slice of the persistent
     region. When a node must be logged, its {e entire current image} is
@@ -6,6 +6,12 @@
     the node is modified. A node is logged at most once per epoch (the
     caller tracks that via the node's logged-epoch field), so entries are
     mutually independent and can be replayed in any order (§4.3).
+
+    Every entry carries a {e kind}: [kind_node] entries are the paper's
+    undo images; [kind_txn_prepare] / [kind_txn_commit] entries are
+    WAL-style commit-protocol records (serialized write sets keyed by a
+    transaction id in the header's addr field) that {!replay} skips and
+    {!Incll.Txn} interprets during recovery.
 
     The log is logically discarded at every checkpoint: the append cursor is
     transient and truncation resets it to the start, which means the entries
@@ -17,8 +23,13 @@
 type t
 
 exception Log_full
-(** Raised by {!append} when the entry does not fit; the caller reacts by
-    forcing a checkpoint (which truncates the log) and retrying. *)
+(** Raised by {!append} / {!append_record} when the entry does not fit;
+    the caller reacts by forcing a checkpoint (which truncates the log)
+    and retrying. *)
+
+val kind_node : int
+val kind_txn_prepare : int
+val kind_txn_commit : int
 
 val attach : Nvm.Region.t -> t
 (** Attach to the region's log slice with the cursor at the start. Use after
@@ -29,6 +40,17 @@ val append : t -> epoch:int -> addr:int -> size:int -> unit
     the log, write the entry header, flush and fence. [size] must be a
     positive multiple of 8. After [append] returns, the entry is durable. *)
 
+val append_record : t -> kind:int -> epoch:int -> txn_id:int -> payload:string -> unit
+(** Append a txn-protocol record ([kind_txn_prepare] or [kind_txn_commit]):
+    [payload] is NUL-padded to 8 bytes, checksummed and fenced exactly like
+    a node entry. After it returns, the record is durable. *)
+
+val record_bytes : payload_bytes:int -> int
+(** Log bytes an {!append_record} with a payload of [payload_bytes] will
+    consume (header + padding included), so a commit sequence can reserve
+    headroom — force a checkpoint up front — instead of hitting
+    {!Log_full} mid-protocol. *)
+
 val truncate : t -> epoch:int -> unit
 (** Logically discard the log (run from a checkpoint subscriber): reset the
     cursor and durably record [epoch] as the truncation floor, so stale
@@ -38,18 +60,40 @@ val truncate : t -> epoch:int -> unit
 val truncation_epoch : t -> int
 
 val replay : t -> is_failed:(int -> bool) -> int
-(** Copy every intact entry belonging to a failed epoch at or above the
-    truncation floor back to its home address; returns the number of
-    entries applied. Idempotent, and writes are not flushed — if recovery
-    crashes, it simply runs again (§4.3). *)
+(** Copy every intact [kind_node] entry belonging to a failed epoch at or
+    above the truncation floor back to its home address; returns the number
+    of entries applied. Txn records in the same live prefix are skipped
+    (see {!fold_live_records}). Idempotent, and writes are not flushed — if
+    recovery crashes, it simply runs again (§4.3). *)
 
-val scan_entries : t -> (epoch:int -> addr:int -> size:int -> unit) -> unit
+val seek_live_end : t -> is_failed:(int -> bool) -> unit
+(** Park the append cursor just past the live prefix instead of at the
+    start. Recovery calls this before any recovery-time append
+    (transaction redo), because overwriting the live prefix would starve
+    a subsequent crash-during-recovery of the very entries it replays. *)
+
+val fold_live_records :
+  t ->
+  is_failed:(int -> bool) ->
+  (kind:int -> epoch:int -> txn_id:int -> payload:string -> unit) ->
+  unit
+(** Iterate the txn records of the same live prefix {!replay} applies:
+    intact, at or above the truncation floor, belonging to a failed epoch.
+    Recovery resolves these (redo or discard). *)
+
+val fold_all_records :
+  t -> (kind:int -> epoch:int -> txn_id:int -> payload:string -> unit) -> unit
+(** Iterate every intact txn record regardless of epoch (diagnostics:
+    [incll_fsck] dangling-PREPARE reporting). *)
+
+val scan_entries :
+  t -> (kind:int -> epoch:int -> addr:int -> size:int -> unit) -> unit
 (** Iterate the intact entry prefix (diagnostics and tests). *)
 
 (** {1 Statistics (Figure 7 measures logged-node counts)} *)
 
 val nodes_logged : t -> int
-(** Total successful appends since [attach]. *)
+(** Successful node-image appends since [attach] (txn records excluded). *)
 
 val bytes_logged : t -> int
 val capacity : t -> int

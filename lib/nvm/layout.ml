@@ -32,6 +32,15 @@ let alloc_class_free_line i =
 
 let alloc_class_limbo_line i = alloc_class_free_line i + 64
 
+(* Line 48: transaction metadata. The watermark is the id of the last
+   transaction whose commit decision was durably recorded with this region
+   as coordinator (0 = none); 2PC in-doubt resolution probes it. The sweep
+   floor is the recovery-marker epoch of the last completed eager sweep:
+   failed epochs below it can no longer alias any live InCLL low-epoch and
+   are garbage-collectable from the durable failed set. *)
+let off_txn_watermark = 3072
+let off_sweep_floor = 3080
+
 let extlog_off = superblock_bytes
 let heap_off (cfg : Config.t) = extlog_off + cfg.Config.extlog_bytes
 

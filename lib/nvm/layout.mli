@@ -27,11 +27,29 @@ val off_durable_epoch : int
     in its own line so the bump can be flushed independently. *)
 
 val off_failed_count : int
+(** Number of occupied failed-set slots. Each slot packs a {e range} of
+    consecutive failed epochs (see {!failed_epoch_slot}), so the set
+    survives arbitrarily many consecutive crash-during-recovery cycles in
+    one slot. *)
 
 val failed_epoch_slot : int -> int
-(** Offset of the i-th entry of the durable failed-epoch set. *)
+(** Offset of the i-th slot of the durable failed-epoch set. A slot packs
+    [lo * 2^16 + (hi - lo)]: the range of consecutive failed epochs
+    [lo..hi], with [hi - lo < 2^16]. *)
 
 val max_failed_epochs : int
+(** Capacity of the failed set, in slots (ranges). *)
+
+val off_txn_watermark : int
+(** Id of the last transaction whose commit decision was durably recorded
+    with this region as 2PC coordinator (0 = none). A single 8-byte word:
+    the simulated PCSO crash model is store-atomic, so no checksum is
+    needed. In-doubt PREPARE records are resolved against it. *)
+
+val off_sweep_floor : int
+(** Recovery-marker epoch of the last completed eager sweep. All InCLL
+    words were re-stamped at that marker, so failed epochs below it are
+    unreferenced and may be dropped from the durable failed set. *)
 
 val off_root : int
 (** Root pointer of the durable Masstree; its whole line is protected by the

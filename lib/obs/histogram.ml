@@ -44,6 +44,23 @@ let midpoint i =
     base +. (float_of_int sub *. width) +. (width /. 2.0)
   end
 
+(* Inclusive-lower bounds of bucket [i] (see the table at the top). *)
+let bucket_lo i =
+  if i = 0 then 0.0
+  else begin
+    let octave = (i - 1) / subs and sub = (i - 1) mod subs in
+    let base = Float.ldexp 1.0 octave in
+    base +. (float_of_int sub *. (base /. float_of_int subs))
+  end
+
+let bucket_hi i =
+  if i = 0 then 1.0
+  else begin
+    let octave = (i - 1) / subs and sub = (i - 1) mod subs in
+    let base = Float.ldexp 1.0 octave in
+    base +. (float_of_int (sub + 1) *. (base /. float_of_int subs))
+  end
+
 let record t v =
   let v = if v < 0.0 then 0.0 else v in
   t.buckets.(index_of v) <- t.buckets.(index_of v) + 1;
@@ -54,12 +71,15 @@ let record t v =
 
 let count t = t.count
 let sum t = t.sum
-let min_value t = if t.count = 0 then 0.0 else t.min_v
-let max_value t = if t.count = 0 then 0.0 else t.max_v
-let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+let min_value t = if t.count <= 0 || t.min_v = infinity then 0.0 else t.min_v
+
+let max_value t =
+  if t.count <= 0 || t.max_v = neg_infinity then 0.0 else t.max_v
+
+let mean t = if t.count <= 0 then 0.0 else t.sum /. float_of_int t.count
 
 let percentile t q =
-  if t.count = 0 then 0.0
+  if t.count <= 0 || t.min_v = infinity then 0.0
   else begin
     let q = Float.min 1.0 (Float.max 0.0 q) in
     let rank = max 1 (int_of_float (ceil (q *. float_of_int t.count))) in
@@ -92,6 +112,19 @@ let diff ~after ~before =
   Array.iteri (fun i n -> d.buckets.(i) <- d.buckets.(i) - n) before.buckets;
   d.count <- after.count - before.count;
   d.sum <- after.sum -. before.sum;
+  (* [after]'s running min/max span its whole lifetime; the window's
+     extremes must come from the window's own occupied buckets. Bucket
+     bounds are the tightest available estimate (exact values are not
+     retained per bucket). *)
+  d.min_v <- infinity;
+  d.max_v <- neg_infinity;
+  Array.iteri
+    (fun i n ->
+      if n > 0 then begin
+        if d.min_v = infinity then d.min_v <- bucket_lo i;
+        d.max_v <- bucket_hi i
+      end)
+    d.buckets;
   d
 
 let to_json t =

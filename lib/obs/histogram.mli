@@ -35,8 +35,10 @@ val merge_into : into:t -> t -> unit
 val diff : after:t -> before:t -> t
 (** Bucket-wise difference for window measurements ([before] must be a
     snapshot of the same histogram earlier in time). Quantiles of the
-    window are exact at bucket granularity; [min]/[max] are taken from
-    [after] (the all-time extremes, not the window's). *)
+    window are exact at bucket granularity; [min]/[max] are recomputed
+    from the window's occupied bucket boundaries (the tightest estimate
+    available — per-bucket exact extremes are not retained), never from
+    [after]'s all-time extremes. *)
 
 val copy : t -> t
 

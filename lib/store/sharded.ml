@@ -1,6 +1,12 @@
+(* A store-level transaction buffers its writes until commit
+   (last-write-wins), exactly like the single-system one. *)
+type txn_state = { id : int; mutable writes : (string * string option) list }
+
 type t = {
   variant : Incll.System.variant;
   mutable shards : Incll.System.t array;
+  mutable active_txn : txn_state option;
+  mutable next_txn_id : int;
 }
 
 let create ?config variant ~shards =
@@ -8,10 +14,17 @@ let create ?config variant ~shards =
   {
     variant;
     shards = Array.init shards (fun _ -> Incll.System.create ?config variant);
+    active_txn = None;
+    next_txn_id = 1;
   }
 
 let of_system sys =
-  { variant = Incll.System.variant sys; shards = [| sys |] }
+  {
+    variant = Incll.System.variant sys;
+    shards = [| sys |];
+    active_txn = None;
+    next_txn_id = Incll.Txn.watermark (Incll.System.region sys) + 1;
+  }
 
 let nshards t = Array.length t.shards
 let shard t i = t.shards.(i)
@@ -68,13 +81,151 @@ let scan_rev t ?bound ~n () =
   in
   gather start_shard bound [] n
 
+(* {1 Cross-shard transactions: two-phase commit}
+
+   Every participating shard gets a fenced PREPARE record carrying its
+   slice of the write set; the lowest participating shard index is the
+   coordinator, and durably advancing the coordinator's txn watermark is
+   the single store-atomic commit point for the whole store. The store
+   is sequential, so nothing advances any shard's epoch inside the
+   commit window: log headroom is reserved on every participant before
+   the first PREPARE, and the writes are applied through the trees
+   directly. A shard that crashes with a surviving PREPARE resolves it
+   at recovery by probing the coordinator shard's watermark. *)
+
+let txn_active t = Option.is_some t.active_txn
+let txn_id t = Option.map (fun txn -> txn.id) t.active_txn
+
+let txn_begin t =
+  if txn_active t then failwith "Sharded.txn_begin: transaction already active";
+  let id = t.next_txn_id in
+  t.next_txn_id <- id + 1;
+  t.active_txn <- Some { id; writes = [] }
+
+let active_exn t what =
+  match t.active_txn with
+  | Some txn -> txn
+  | None -> failwith (what ^ ": no active transaction")
+
+let txn_put t ~key ~value =
+  let txn = active_exn t "Sharded.txn_put" in
+  txn.writes <- (key, Some value) :: txn.writes
+
+let txn_remove t ~key =
+  let txn = active_exn t "Sharded.txn_remove" in
+  txn.writes <- (key, None) :: txn.writes
+
+let txn_get t ~key =
+  let txn = active_exn t "Sharded.txn_get" in
+  match List.assoc_opt key txn.writes with
+  | Some v -> v
+  | None -> get t ~key
+
+let txn_abort t =
+  ignore (active_exn t "Sharded.txn_abort" : txn_state);
+  t.active_txn <- None
+
+(* Last-write-wins flattening, preserving first-write order. *)
+let flatten_writes writes =
+  let seen = Hashtbl.create 8 in
+  List.fold_left
+    (fun acc (key, value) ->
+      if Hashtbl.mem seen key then acc
+      else begin
+        Hashtbl.add seen key ();
+        { Incll.Txn.key; value } :: acc
+      end)
+    [] writes
+
+let shard_ctx s =
+  match Incll.System.ctx s with
+  | Some ctx -> ctx
+  | None -> failwith "Sharded.txn_commit: variant has no logging context"
+
+let txn_commit t =
+  let txn = active_exn t "Sharded.txn_commit" in
+  t.active_txn <- None;
+  let writes = flatten_writes txn.writes in
+  if writes <> [] then begin
+    let n = Array.length t.shards in
+    let groups = Array.make n [] in
+    List.iter
+      (fun w ->
+        let s = shard_of_key t w.Incll.Txn.key in
+        groups.(s) <- w :: groups.(s))
+      (List.rev writes);
+    (* [writes] is oldest-first; the double reversal keeps each group
+       oldest-first too. *)
+    let participants = ref [] in
+    for s = n - 1 downto 0 do
+      if groups.(s) <> [] then participants := s :: !participants
+    done;
+    let participants = !participants in
+    let coordinator = List.hd participants in
+    (* Reserve on every participant before any record lands, so no
+       checkpoint can truncate an already-appended PREPARE. *)
+    List.iter
+      (fun s ->
+        let bytes =
+          Incll.Txn.prepare_bytes ~coordinator ~writes:groups.(s)
+          + if s = coordinator then Incll.Txn.commit_bytes ~participants
+            else 0
+        in
+        Incll.Txn.reserve (shard_ctx t.shards.(s)) ~bytes)
+      participants;
+    List.iter
+      (fun s ->
+        Incll.Txn.append_prepare (shard_ctx t.shards.(s)) ~txn_id:txn.id
+          ~coordinator ~writes:groups.(s))
+      participants;
+    (* The commit point: one fenced store on the coordinator. *)
+    Incll.Txn.advance_watermark
+      (Incll.System.region t.shards.(coordinator))
+      ~txn_id:txn.id;
+    (* Informational marker (post-mortem diagnostics; recovery decides
+       by watermark alone). *)
+    Incll.Txn.append_commit_marker
+      (shard_ctx t.shards.(coordinator))
+      ~txn_id:txn.id ~participants;
+    List.iter
+      (fun s ->
+        Incll.Txn.apply_committed
+          (shard_ctx t.shards.(s))
+          (Incll.System.tree t.shards.(s))
+          ~txn_id:txn.id ~coordinator groups.(s))
+      participants;
+    (* The usual per-op epoch cadence, now that the commit window is
+       closed: each participant may checkpoint if its epoch is due. *)
+    List.iter
+      (fun s ->
+        match Incll.System.epoch_manager t.shards.(s) with
+        | Some em -> ignore (Epoch.Manager.maybe_advance em : bool)
+        | None -> ())
+      participants
+  end
+
 let advance_epochs t = Array.iter Incll.System.advance_epoch t.shards
 let crash t rng = Array.iter (fun s -> Incll.System.crash s rng) t.shards
 
 (* In place: [shards] is mutable, so the old `{t with shards = ...}` copy
    left any alias of [t] still pointing at the pre-recovery shard array. *)
 let recover t =
-  t.shards <- Array.map Incll.System.recover t.shards;
+  (* In-doubt PREPAREs probe the coordinator shard's watermark. Regions
+     persist across recovery and the watermark word is fenced at commit,
+     so the probe is valid even for shards not yet re-attached. *)
+  let regions = Array.map Incll.System.region t.shards in
+  let txn_probe ~coordinator ~txn_id =
+    coordinator >= 0
+    && coordinator < Array.length regions
+    && txn_id <= Incll.Txn.watermark regions.(coordinator)
+  in
+  t.shards <- Array.map (Incll.System.recover ~txn_probe) t.shards;
+  t.active_txn <- None;
+  t.next_txn_id <-
+    1
+    + Array.fold_left
+        (fun a r -> max a (Incll.Txn.watermark r))
+        (t.next_txn_id - 1) regions;
   (* Merge the shards' per-phase breakdowns: sum durations per phase,
      phase order taken from first appearance (shards recover through the
      same procedure, so that is the procedure order). *)

@@ -37,6 +37,40 @@ val scan : t -> start:string -> n:int -> (string * string) list
 val scan_rev : t -> ?bound:string -> n:int -> unit -> (string * string) list
 (** Descending scan across shards from the largest key [<= bound]. *)
 
+(** {1 Cross-shard transactions}
+
+    Durable multi-key transactions with two-phase commit. Writes are
+    buffered until {!txn_commit} (reads inside the transaction see
+    them); commit appends a fenced PREPARE record per participating
+    shard, then durably advances the {e coordinator} shard's (lowest
+    participating index) txn watermark — the single store-atomic commit
+    point — and applies the writes. After any crash, recovery resolves
+    surviving PREPAREs against the coordinator's watermark, so the
+    transaction is either fully present or fully absent across all
+    shards. One transaction at a time (the store is a sequential
+    facade). *)
+
+val txn_begin : t -> unit
+val txn_active : t -> bool
+
+val txn_id : t -> int option
+(** Id of the active transaction (differential harnesses correlate it
+    with the durable watermark). *)
+
+val txn_put : t -> key:string -> value:string -> unit
+val txn_remove : t -> key:string -> unit
+
+val txn_get : t -> key:string -> string option
+(** Read-your-writes lookup: buffered writes shadow the shards. *)
+
+val txn_abort : t -> unit
+(** Discard the buffered writes; no shard was touched. *)
+
+val txn_commit : t -> unit
+(** Run the two-phase commit described above. An empty transaction
+    commits without touching any log. Requires a recoverable variant
+    ([Logging] / [Incll]). *)
+
 val advance_epochs : t -> unit
 (** Checkpoint every shard (the MT+ "global barrier" analogue). *)
 
@@ -45,8 +79,10 @@ val crash : t -> Util.Rng.t -> unit
 val recover : t -> (string * float) list
 (** Recover every shard, {e in place}: every alias of [t] observes the
     post-recovery shards (the shard array is mutable state, not a
-    functional view). Returns the per-phase time breakdown of the
-    recovery — [Incll.System.recover_stats.phases] summed over shards, in
+    functional view). In-doubt transaction records are resolved against
+    the coordinator shard's watermark (see the transactions section).
+    Returns the per-phase time breakdown of the recovery —
+    [Incll.System.recover_stats.phases] summed over shards, in
     simulated ns, in procedure order; the sum of the durations is the
     total simulated recovery time across shards. *)
 

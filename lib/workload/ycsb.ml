@@ -18,7 +18,8 @@ type op = Put of string * string | Get of string | Scan of string * int
 
 type spec = { mix : mix; dist : dist; nkeys : int }
 
-let scan_length = 10
+let max_scan_length = 100
+let insert_fraction_e = 0.05
 
 let key_of_rank r = Masstree.Key.of_int64 (Util.Scramble.key_of_rank r)
 
@@ -43,10 +44,22 @@ let generate spec rng ~n =
     | Some z -> Util.Zipf.next z rng
   in
   let wf = write_fraction spec.mix in
+  (* YCSB-E's 5% inserts append fresh records past the loaded range, in
+     order — the YCSB core "latest insert" pattern. *)
+  let next_fresh = ref spec.nkeys in
   Array.init n (fun _ ->
-      let key = key_of_rank (next_rank ()) in
       match spec.mix with
-      | E -> Scan (key, scan_length)
+      | E ->
+          if Util.Rng.float rng < insert_fraction_e then begin
+            let key = key_of_rank !next_fresh in
+            incr next_fresh;
+            Put (key, value_for key)
+          end
+          else
+            (* Scan length is drawn uniformly from [1, 100] per request,
+               per the YCSB core workload E definition. *)
+            Scan (key_of_rank (next_rank ()), 1 + Util.Rng.int rng max_scan_length)
       | _ ->
+          let key = key_of_rank (next_rank ()) in
           if wf > 0.0 && Util.Rng.float rng < wf then Put (key, value_for key)
           else Get key)

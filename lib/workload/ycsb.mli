@@ -3,7 +3,8 @@
     - YCSB_A: 50% puts / 50% reads ("write heavy")
     - YCSB_B: 5% puts / 95% reads ("read heavy")
     - YCSB_C: 100% reads
-    - YCSB_E: read-only scans of 10 keys
+    - YCSB_E: 95% scans (length uniform in [1, 100]) / 5% inserts of
+      fresh keys appended past the loaded range
 
     Keys are drawn from [\[0, nkeys)] either uniformly or from a Zipfian
     distribution with skew 0.99, then scrambled by an invertible 64-bit
@@ -37,5 +38,8 @@ val generate : spec -> Util.Rng.t -> n:int -> op array
 (** Pre-generate an operation stream so key-generation cost stays out of
     the measured window. *)
 
-val scan_length : int
-(** 10, per YCSB_E's description. *)
+val max_scan_length : int
+(** 100: YCSB_E scan lengths are uniform in [[1, max_scan_length]]. *)
+
+val insert_fraction_e : float
+(** 0.05: YCSB_E's insert share. *)

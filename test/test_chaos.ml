@@ -158,17 +158,18 @@ let torn_restore_is_visible () =
 
 let oracle_commit_boundaries () =
   let o = Oracle.create () in
-  Oracle.mark_epoch o ~epoch:10;
-  Oracle.record o (Oracle.Put { key = "a"; value = "1" });
-  Oracle.record o (Oracle.Put { key = "b"; value = "2" });
-  Oracle.mark_epoch o ~epoch:11;
-  Oracle.record o (Oracle.Remove { key = "a" });
+  Oracle.mark_epoch o ~shard:0 ~epoch:10;
+  Oracle.record o ~shard:0 (Oracle.Put { key = "a"; value = "1" });
+  Oracle.record o ~shard:0 (Oracle.Put { key = "b"; value = "2" });
+  Oracle.mark_epoch o ~shard:0 ~epoch:11;
+  Oracle.record o ~shard:0 (Oracle.Remove { key = "a" });
   (* Crash while epoch 11 is running: ops recorded after its start are
      rolled back. *)
-  check_int "rollback to epoch start" 2 (Oracle.committed_at o ~crashed_epoch:11);
+  check_int "rollback to epoch start" 2 (Oracle.boundary_at o ~shard:0 ~crashed_epoch:11);
   (* Crash in an unobserved epoch (advanced mid-op): everything counts. *)
-  check_int "unobserved epoch keeps all" 3 (Oracle.committed_at o ~crashed_epoch:12);
-  Oracle.truncate o 2;
+  check_int "unobserved epoch keeps all" 3
+    (Oracle.boundary_at o ~shard:0 ~crashed_epoch:12);
+  Oracle.compact o ~boundary:(fun _ -> 2) ~committed:(fun _ -> false);
   let tbl = Oracle.replay o in
   check_int "replay size" 2 (Hashtbl.length tbl);
   check "a survives" true (Hashtbl.find_opt tbl "a" = Some "1");
@@ -176,6 +177,39 @@ let oracle_commit_boundaries () =
     Oracle.check o ~get:(fun k -> Hashtbl.find_opt tbl k) ~cardinal:2
   in
   check "check accepts replay" true (ok = Ok 2)
+
+(* Shard-aware compaction with transactions: shard 1 rolls back past a
+   committed transaction's writes, which must be redone; an uncommitted
+   transaction's writes must vanish from every shard. *)
+let oracle_txn_compaction () =
+  let o = Oracle.create () in
+  Oracle.mark_epoch o ~shard:0 ~epoch:5;
+  Oracle.mark_epoch o ~shard:1 ~epoch:5;
+  Oracle.record o ~shard:0 (Oracle.Put { key = "a"; value = "1" });
+  Oracle.mark_epoch o ~shard:1 ~epoch:6;
+  (* txn 1 (committed) spans both shards; only shard 1 rolls it back. *)
+  Oracle.record o ~txn:1 ~shard:0 (Oracle.Put { key = "b"; value = "t1" });
+  Oracle.record o ~txn:1 ~shard:1 (Oracle.Put { key = "c"; value = "t1" });
+  (* txn 2 (uncommitted) also spans both shards. *)
+  Oracle.record o ~txn:2 ~shard:0 (Oracle.Put { key = "a"; value = "t2" });
+  Oracle.record o ~txn:2 ~shard:1 (Oracle.Put { key = "d"; value = "t2" });
+  (* plain op past shard 1's boundary: rolled back *)
+  Oracle.record o ~shard:1 (Oracle.Put { key = "e"; value = "gone" });
+  (* Shard 0 crashed in an unobserved epoch (keeps everything up to its
+     boundary = length); shard 1 rolls back to epoch 6's start (1 op). *)
+  let boundary = function 0 -> 4 | _ -> 1 in
+  Oracle.compact o ~boundary ~committed:(fun id -> id = 1);
+  let tbl = Oracle.replay o in
+  check "a: txn2 write on shard 0 dropped despite boundary" true
+    (Hashtbl.find_opt tbl "a" = Some "1");
+  check "b: committed txn kept on shard 0" true
+    (Hashtbl.find_opt tbl "b" = Some "t1");
+  check "c: committed txn redone past shard 1 boundary" true
+    (Hashtbl.find_opt tbl "c" = Some "t1");
+  check "d: uncommitted txn dropped on shard 1" true
+    (Hashtbl.find_opt tbl "d" = None);
+  check "e: plain op past boundary dropped" true
+    (Hashtbl.find_opt tbl "e" = None)
 
 (* --- torture runs with injection schedules ----------------------------- *)
 
@@ -249,6 +283,8 @@ let repro_json_roundtrip () =
       schedule_left = 1;
       recoveries = 2;
       verified = 99;
+      txns_committed = 0;
+      txns_in_doubt = 0;
       quarantined = 0;
       failure =
         Some
@@ -281,6 +317,7 @@ let tests =
       Alcotest.test_case "torn restore is visible" `Quick torn_restore_is_visible;
       Alcotest.test_case "oracle commit boundaries" `Quick
         oracle_commit_boundaries;
+      Alcotest.test_case "oracle txn compaction" `Quick oracle_txn_compaction;
       Alcotest.test_case "crash during recover.epoch_open" `Quick
         (crash_during_recovery "recover.epoch_open");
       Alcotest.test_case "crash during recover.extlog_replay" `Quick

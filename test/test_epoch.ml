@@ -117,17 +117,56 @@ let clear_failed_durable () =
   (* Only the newly crashed epoch is failed now. *)
   check_int "only new crash" 1 (Epoch.Manager.failed_count em2)
 
-let failed_set_overflow_raises () =
+let consecutive_crashes_share_one_slot () =
+  (* A crash storm (repeated crash-during-recovery) produces strictly
+     consecutive failed epochs: far more crashes than there are durable
+     slots must still fit, because consecutive epochs extend the last
+     range in place instead of consuming a new slot. *)
   let r = mk_region () in
   let em = ref (Epoch.Manager.create r) in
-  check "overflow raises" true
-    (try
-       for _ = 1 to Nvm.Layout.max_failed_epochs + 2 do
-         Nvm.Region.crash_persist_none r;
-         em := Epoch.Manager.open_after_crash r
-       done;
-       false
-     with Epoch.Manager.Failed_set_full -> true)
+  let crashes = Nvm.Layout.max_failed_epochs + 20 in
+  for _ = 1 to crashes do
+    Nvm.Region.crash_persist_none r;
+    em := Epoch.Manager.open_after_crash r
+  done;
+  check "all crashes recorded" true
+    (Epoch.Manager.failed_count !em >= crashes);
+  check "bounded slots" true (Epoch.Manager.failed_slots !em <= 2);
+  (* The range decoding round-trips across a re-open. *)
+  let before = Epoch.Manager.failed_list !em in
+  Nvm.Region.crash_persist_none r;
+  let em2 = Epoch.Manager.open_after_crash r in
+  check "ranges persisted" true
+    (List.for_all (fun e -> Epoch.Manager.is_failed em2 e) before)
+
+let sweep_floor_gc_reclaims_slots () =
+  (* Fill the slots with non-consecutive failed epochs, then record a
+     sweep floor above them: the next append that needs a slot collects
+     the dead ranges instead of raising. *)
+  let r = mk_region () in
+  let em = ref (Epoch.Manager.create r) in
+  (* Non-consecutive: complete a checkpoint between crashes so each
+     failed epoch is isolated (epoch jumps by 2 per iteration). *)
+  for _ = 1 to Nvm.Layout.max_failed_epochs do
+    Epoch.Manager.advance !em;
+    Nvm.Region.crash_persist_none r;
+    em := Epoch.Manager.open_after_crash r
+  done;
+  check_int "slots full" Nvm.Layout.max_failed_epochs
+    (Epoch.Manager.failed_slots !em);
+  (* An eager sweep happened: everything below the current marker is
+     unreferenced. *)
+  Epoch.Manager.note_swept !em
+    ~floor:(Epoch.Manager.first_epoch_of_run !em);
+  Epoch.Manager.advance !em;
+  Nvm.Region.crash_persist_none r;
+  em := Epoch.Manager.open_after_crash r;
+  check "gc made room" true
+    (Epoch.Manager.failed_slots !em < Nvm.Layout.max_failed_epochs);
+  check "new crash recorded" true
+    (match Epoch.Manager.crashed_epoch !em with
+    | Some e -> Epoch.Manager.is_failed !em e
+    | None -> false)
 
 let epoch_encoding_helpers () =
   let e = 0x12345_6789 in
@@ -156,7 +195,8 @@ let tests =
       Alcotest.test_case "subscribers run in new epoch" `Quick subscribers_run_in_new_epoch;
       Alcotest.test_case "maybe_advance follows sim clock" `Quick maybe_advance_follows_clock;
       Alcotest.test_case "clear_failed durable" `Quick clear_failed_durable;
-      Alcotest.test_case "failed-set overflow raises" `Quick failed_set_overflow_raises;
+      Alcotest.test_case "consecutive crashes share one slot" `Quick consecutive_crashes_share_one_slot;
+      Alcotest.test_case "sweep-floor gc reclaims slots" `Quick sweep_floor_gc_reclaims_slots;
       Alcotest.test_case "epoch encoding helpers" `Quick epoch_encoding_helpers;
       Alcotest.test_case "epochs elapsed" `Quick epochs_elapsed_counts;
     ] )

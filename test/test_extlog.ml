@@ -85,7 +85,7 @@ let torn_tail_entry_rejected () =
   fill r node_addr 256 11;
   Extlog.Log.append log ~epoch:5 ~addr:node_addr ~size:256;
   (* Corrupt one payload word directly, then rebuild the reader. *)
-  Nvm.Region.write_i64 r (Nvm.Layout.extlog_off + 64 + 40 + 16) 0xDEADL;
+  Nvm.Region.write_i64 r (Nvm.Layout.extlog_off + 64 + 48 + 16) 0xDEADL;
   Nvm.Region.wbinvd r;
   let log2 = Extlog.Log.attach r in
   check_int "rejected" 0 (Extlog.Log.replay log2 ~is_failed:(fun e -> e = 5))
@@ -154,7 +154,7 @@ let scan_lists_entries () =
   fill r (node_addr + 512) 128 2;
   Extlog.Log.append log ~epoch:7 ~addr:(node_addr + 512) ~size:128;
   let seen = ref [] in
-  Extlog.Log.scan_entries log (fun ~epoch ~addr ~size ->
+  Extlog.Log.scan_entries log (fun ~kind:_ ~epoch ~addr ~size ->
       seen := (epoch, addr, size) :: !seen);
   Alcotest.(check (list (triple int int int)))
     "entries"
@@ -178,6 +178,61 @@ let bad_sizes_rejected () =
        false
      with Invalid_argument _ -> true)
 
+let record_roundtrip () =
+  let _, log = mk () in
+  Extlog.Log.truncate log ~epoch:9;
+  Extlog.Log.append_record log ~kind:Extlog.Log.kind_txn_prepare ~epoch:9
+    ~txn_id:41 ~payload:"s0,s2";
+  Extlog.Log.append_record log ~kind:Extlog.Log.kind_txn_commit ~epoch:9
+    ~txn_id:41 ~payload:"";
+  let seen = ref [] in
+  Extlog.Log.fold_live_records log
+    ~is_failed:(fun e -> e = 9)
+    (fun ~kind ~epoch ~txn_id ~payload ->
+      seen := (kind, epoch, txn_id, payload) :: !seen);
+  match List.rev !seen with
+  | [ (k1, e1, id1, p1); (k2, e2, id2, p2) ] ->
+      check_int "prepare kind" Extlog.Log.kind_txn_prepare k1;
+      check_int "commit kind" Extlog.Log.kind_txn_commit k2;
+      check_int "prepare epoch" 9 e1;
+      check_int "commit epoch" 9 e2;
+      check_int "prepare id" 41 id1;
+      check_int "commit id" 41 id2;
+      (* Payloads are NUL-padded to 8 bytes; content must round-trip as a
+         prefix with only padding after it. *)
+      check "prepare payload prefix" true
+        (String.length p1 >= 5 && String.sub p1 0 5 = "s0,s2"
+        && String.for_all (fun c -> c = '\000')
+             (String.sub p1 5 (String.length p1 - 5)));
+      check "commit payload is padding" true
+        (String.for_all (fun c -> c = '\000') p2)
+  | l -> Alcotest.failf "expected 2 records, got %d" (List.length l)
+
+let replay_skips_txn_records () =
+  (* A txn record interleaved between node images must not be copied
+     anywhere by replay, and live-epoch filtering applies to records
+     exactly as to node entries. *)
+  let r, log = mk () in
+  Extlog.Log.truncate log ~epoch:4;
+  fill r node_addr 64 1;
+  let image = content r node_addr 64 in
+  Extlog.Log.append log ~epoch:4 ~addr:node_addr ~size:64;
+  Extlog.Log.append_record log ~kind:Extlog.Log.kind_txn_prepare ~epoch:4
+    ~txn_id:7 ~payload:"x";
+  fill r node_addr 64 2;
+  check_int "only the node entry applies" 1
+    (Extlog.Log.replay log ~is_failed:(fun e -> e = 4));
+  Alcotest.(check string) "node image restored" image (content r node_addr 64);
+  let live = ref 0 in
+  Extlog.Log.fold_live_records log
+    ~is_failed:(fun e -> e = 5)
+    (fun ~kind:_ ~epoch:_ ~txn_id:_ ~payload:_ -> incr live);
+  check_int "record of a non-failed epoch is not live" 0 !live;
+  let all = ref 0 in
+  Extlog.Log.fold_all_records log
+    (fun ~kind:_ ~epoch:_ ~txn_id:_ ~payload:_ -> incr all);
+  check_int "but fold_all still sees it" 1 !all
+
 let tests =
   ( "extlog",
     [
@@ -193,4 +248,6 @@ let tests =
       Alcotest.test_case "scan lists entries" `Quick scan_lists_entries;
       Alcotest.test_case "stats track appends" `Quick stats_track_appends;
       Alcotest.test_case "bad sizes rejected" `Quick bad_sizes_rejected;
+      Alcotest.test_case "txn record roundtrip" `Quick record_roundtrip;
+      Alcotest.test_case "replay skips txn records" `Quick replay_skips_txn_records;
     ] )

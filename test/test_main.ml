@@ -22,4 +22,5 @@ let () =
       Test_image.tests;
       Test_listing3.tests;
       Test_chaos.tests;
+      Test_txn.tests;
     ]

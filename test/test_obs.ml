@@ -140,6 +140,35 @@ let histogram_merge_and_diff () =
   (* The window's quantiles come from the window's buckets only. *)
   check "diff p50 in b's range" true (Obs.Histogram.percentile d 0.5 >= 90.0)
 
+let histogram_diff_window_extremes () =
+  (* The all-time min (1.0) and max (800.0) both land outside the
+     window; the window's min/max must be rebuilt from its own occupied
+     buckets, not copied from [after]. *)
+  let before = Obs.Histogram.create () in
+  List.iter (Obs.Histogram.record before) [ 1.0; 800.0 ];
+  let after = Obs.Histogram.copy before in
+  List.iter (Obs.Histogram.record after) [ 100.0; 200.0 ];
+  let d = Obs.Histogram.diff ~after ~before in
+  check_int "window count" 2 (Obs.Histogram.count d);
+  let mn = Obs.Histogram.min_value d and mx = Obs.Histogram.max_value d in
+  (* Bucket bounds: at most ~12.5% away from the true extremes, and
+     never as wide as the lifetime range. *)
+  check (Printf.sprintf "window min ~100 (got %.1f)" mn) true
+    (mn > 80.0 && mn <= 100.0);
+  check (Printf.sprintf "window max ~200 (got %.1f)" mx) true
+    (mx >= 200.0 && mx < 250.0);
+  (* Quantiles clamp to the window's extremes, not the lifetime's. *)
+  let p100 = Obs.Histogram.percentile d 1.0 in
+  check (Printf.sprintf "window p100 below 250 (got %.1f)" p100) true
+    (p100 < 250.0);
+  (* An empty window stays quiet even though [after] is not empty. *)
+  let e = Obs.Histogram.diff ~after ~before:after in
+  check_int "empty window count" 0 (Obs.Histogram.count e);
+  Alcotest.(check (float 0.0)) "empty window min" 0.0 (Obs.Histogram.min_value e);
+  Alcotest.(check (float 0.0)) "empty window max" 0.0 (Obs.Histogram.max_value e);
+  Alcotest.(check (float 0.0)) "empty window p50" 0.0
+    (Obs.Histogram.percentile e 0.5)
+
 (* --- registry ----------------------------------------------------------- *)
 
 let registry_handles_are_stable () =
@@ -475,6 +504,8 @@ let tests =
       Alcotest.test_case "histogram percentiles" `Quick histogram_percentiles_approximate;
       Alcotest.test_case "histogram empty" `Quick histogram_empty_is_quiet;
       Alcotest.test_case "histogram merge/diff" `Quick histogram_merge_and_diff;
+      Alcotest.test_case "histogram diff window extremes" `Quick
+        histogram_diff_window_extremes;
       Alcotest.test_case "registry stable handles" `Quick registry_handles_are_stable;
       Alcotest.test_case "registry merges shards" `Quick registry_merge_sums_shards;
       Alcotest.test_case "registry snapshot/diff" `Quick registry_snapshot_diff_windows;

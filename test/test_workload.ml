@@ -24,8 +24,32 @@ let mix_fractions () =
   check "B ~5% puts" true (b > 0.03 && b < 0.07);
   check "C read-only" true (frac_puts (gen Y.C) = 0.0);
   let e = gen Y.E in
-  check "E all scans" true
-    (Array.for_all (function Y.Scan (_, n) -> n = Y.scan_length | _ -> false) e)
+  let e_puts = frac_puts e in
+  check "E ~5% inserts" true (e_puts > 0.03 && e_puts < 0.07);
+  check "E rest is scans with lengths in [1,100]" true
+    (Array.for_all
+       (function
+         | Y.Scan (_, n) -> n >= 1 && n <= Y.max_scan_length
+         | Y.Put _ -> true
+         | Y.Get _ -> false)
+       e);
+  (* Scan lengths are uniform, not constant: both halves of the range
+     must occur. *)
+  let short = ref false and long = ref false in
+  Array.iter
+    (function
+      | Y.Scan (_, n) when n <= 50 -> short := true
+      | Y.Scan (_, n) when n > 50 -> long := true
+      | _ -> ())
+    e;
+  check "E scan lengths spread" true (!short && !long);
+  (* Inserts target fresh keys beyond the loaded range, never load keys. *)
+  let loaded = Hashtbl.create 1024 in
+  Array.iter (fun k -> Hashtbl.replace loaded k ()) (Y.load_keys ~nkeys:10_000);
+  check "E inserts are fresh keys" true
+    (Array.for_all
+       (function Y.Put (k, _) -> not (Hashtbl.mem loaded k) | _ -> true)
+       e)
 
 let keys_are_scrambled_8_bytes () =
   let ks = Y.load_keys ~nkeys:1000 in
