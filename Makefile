@@ -5,7 +5,7 @@
 # environment; the flag passed here wins).
 BENCH_THRESHOLD ?= 0.10
 
-.PHONY: all build test check chaos chaos-txn bench bench-gate microbench clean
+.PHONY: all build test check chaos chaos-txn bench bench-gate latency microbench clean
 
 # Chaos-run shape: the four historically-bad seeds (the limbo-chain bug,
 # now fixed and regression-gated here) plus four fresh ones.
@@ -22,11 +22,12 @@ test:
 
 # Build + unit tests + a smoke benchmark run whose JSON report must diff
 # cleanly against itself through bin/bench_compare (exercises the --json
-# schema, the parser and the regression gate end to end) + a wall-clock
+# schema, the parser and the regression gate end to end) + the
+# tail-latency gate against the committed baseline + a wall-clock
 # microbench smoke run (exercises the simulator fast paths and the
 # --min-mops gate plumbing; the bar is deliberately tiny — real
 # comparisons are two --json reports on the same machine).
-check: build test bench-gate microbench
+check: build test bench-gate latency microbench
 
 # Crash-chaos gate: random-crash torture over the known-bad + fresh seed
 # matrix, a deterministic schedule that crashes inside recovery at three
@@ -65,6 +66,23 @@ bench-gate:
 	  --threads 2 --ops 2000 --json _build/bench_check.json --date check
 	dune exec bin/bench_compare.exe -- --threshold $(BENCH_THRESHOLD) \
 	  _build/bench_check.json _build/bench_check.json
+
+# Tail-latency gate: regenerate the latency report under the exact
+# committed-baseline conditions — fixed seed, flush-heavy 1 ms epochs,
+# and a fixed open-loop arrival rate chosen just under the closed-loop
+# capacity so epoch flushes build real queues — then diff it against the
+# committed baseline. Every gated cell (closed/open p50/p99/p999 of the
+# per-op latency histogram, per-cause stalled time) is simulated-clock,
+# hence machine-independent and bit-deterministic; only a code change
+# can move them. Regenerate the baseline by copying
+# _build/bench_latency.json over BENCH_latency.json when a change
+# legitimately shifts the tail.
+latency: build
+	dune exec bench/main.exe -- --latency --scale 0.001 --threads 2 \
+	  --ops 20000 --epoch-ms 1 --arrival-rate 10600000 --seed 1 \
+	  --date baseline --json _build/bench_latency.json
+	dune exec bin/bench_compare.exe -- --threshold $(BENCH_THRESHOLD) \
+	  BENCH_latency.json _build/bench_latency.json
 
 microbench:
 	dune exec bin/microbench.exe -- --stores 200000 --spans 50000 \

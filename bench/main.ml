@@ -25,6 +25,8 @@ type opts = {
   mutable json_file : string option;
   mutable trace_file : string option;
   mutable date : string option;  (* stamped into --json meta *)
+  mutable arrival_rate : float option;  (* open-loop offered ops/sim-s *)
+  mutable latency_threshold_ns : float;  (* attribution threshold *)
 }
 
 let opts =
@@ -41,6 +43,8 @@ let opts =
     json_file = None;
     trace_file = None;
     date = None;
+    arrival_rate = None;
+    latency_threshold_ns = Bench_harness.Runner.default_latency_threshold_ns;
   }
 
 let tracing () = opts.trace_file <> None
@@ -59,7 +63,10 @@ let maybe_write_trace (r : R.result) =
   match opts.trace_file with
   | None -> ()
   | Some path ->
-      let json = Obs.Perfetto.export ~series:r.R.series ~tracks:r.R.traces () in
+      let json =
+        Obs.Perfetto.export ~series:r.R.series ~stalls:r.R.stalls
+          ~tracks:r.R.traces ()
+      in
       let oc = open_out path in
       output_string oc (Obs.Json.to_string_pretty json);
       output_char oc '\n';
@@ -650,6 +657,234 @@ let micro () =
         ols)
     tests
 
+(* -------------------------------------------------------------- latency *)
+
+(* Per-mode JSON for the report's top-level "latency" section (schema v3).
+   bench_compare gates the simulated-clock percentiles of "merged" and the
+   per-cause "stall_totals" — both deterministic given seed and config —
+   and ignores the wall histograms, which are host noise. *)
+let latency_json : (string * Obs.Json.t) list ref = ref []
+
+let op_name = function '\000' -> "put" | '\001' -> "get" | _ -> "scan"
+
+(* Cross-shard per-cause (count, total stalled ns) from the ledgers. *)
+let stall_sums (r : R.result) =
+  List.map
+    (fun c ->
+      let count =
+        List.fold_left
+          (fun a (_, l) -> a + List.assoc c (Obs.Stall.counts l))
+          0 r.R.stalls
+      and total =
+        List.fold_left
+          (fun a (_, l) -> a +. List.assoc c (Obs.Stall.totals_ns l))
+          0.0 r.R.stalls
+      in
+      (c, count, total))
+    Obs.Stall.all_causes
+
+(* (over-threshold ops, attributed ops, per-cause attributed counts). *)
+let attribution (r : R.result) =
+  let over = Obs.Registry.counter_value r.R.metrics "latency.over_threshold" in
+  let per_cause =
+    List.map
+      (fun c ->
+        ( c,
+          Obs.Registry.counter_value r.R.metrics
+            ("latency.attributed." ^ Obs.Stall.cause_name c) ))
+      Obs.Stall.all_causes
+  in
+  let attributed = List.fold_left (fun a (_, n) -> a + n) 0 per_cause in
+  (over, attributed, per_cause)
+
+let spike_json (s : R.spike) =
+  Obs.Json.Obj
+    [
+      ("shard", Obs.Json.Int s.R.sp_shard);
+      ("index", Obs.Json.Int s.R.sp_index);
+      ("op", Obs.Json.String (op_name s.R.sp_tag));
+      ("start_ns", Obs.Json.Float s.R.sp_start_ns);
+      ("lat_ns", Obs.Json.Float s.R.sp_lat_ns);
+      ("wall_ns", Obs.Json.Float s.R.sp_wall_ns);
+      ( "stalls",
+        Obs.Json.List
+          (List.map
+             (fun (e : Obs.Stall.entry) ->
+               Obs.Json.Obj
+                 [
+                   ("cause", Obs.Json.String (Obs.Stall.cause_name e.Obs.Stall.cause));
+                   ("start_ns", Obs.Json.Float e.Obs.Stall.start_ns);
+                   ("dur_ns", Obs.Json.Float e.Obs.Stall.dur_ns);
+                   ("epoch", Obs.Json.Int e.Obs.Stall.epoch);
+                 ])
+             s.R.sp_stalls) );
+    ]
+
+let latency_mode_json (r : R.result) =
+  let hist name reg =
+    match Obs.Registry.find_histogram reg name with
+    | Some h -> Obs.Histogram.to_json h
+    | None -> Obs.Json.Null
+  in
+  let over, _, per_cause = attribution r in
+  Obs.Json.Obj
+    [
+      ("open_loop", Obs.Json.Bool r.R.open_loop);
+      ( "arrival_rate",
+        match r.R.arrival_rate with
+        | Some x -> Obs.Json.Float x
+        | None -> Obs.Json.Null );
+      ("threshold_ns", Obs.Json.Float r.R.latency_threshold_ns);
+      ("mops_sim", Obs.Json.Float r.R.mops_sim);
+      ("merged", hist "op.latency_ns" r.R.metrics);
+      ("wall", hist "op.latency_wall_ns" r.R.metrics);
+      ( "shards",
+        Obs.Json.List
+          (Array.to_list
+             (Array.map (hist "op.latency_ns") r.R.shard_metrics)) );
+      ("over_threshold", Obs.Json.Int over);
+      ( "attributed",
+        Obs.Json.Obj
+          (List.map
+             (fun (c, n) -> (Obs.Stall.cause_name c, Obs.Json.Int n))
+             per_cause
+          @ [
+              ( "none",
+                Obs.Json.Int
+                  (Obs.Registry.counter_value r.R.metrics
+                     "latency.attributed.none") );
+            ]) );
+      ( "stall_totals",
+        Obs.Json.Obj
+          (List.map
+             (fun (c, count, total) ->
+               ( Obs.Stall.cause_name c,
+                 Obs.Json.Obj
+                   [
+                     ("count", Obs.Json.Int count);
+                     ("total_ns", Obs.Json.Float total);
+                   ] ))
+             (stall_sums r)) );
+      ("spikes", Obs.Json.List (List.map spike_json r.R.spikes));
+    ]
+
+let print_spikes mode (r : R.result) =
+  let rec take n = function
+    | x :: tl when n > 0 -> x :: take (n - 1) tl
+    | _ -> []
+  in
+  List.iter
+    (fun (s : R.spike) ->
+      let ev =
+        match s.R.sp_stalls with
+        | [] -> "no overlapping stall"
+        | l ->
+            String.concat ", "
+              (List.map
+                 (fun (e : Obs.Stall.entry) ->
+                   Printf.sprintf "%s %.0fus"
+                     (Obs.Stall.cause_name e.Obs.Stall.cause)
+                     (e.Obs.Stall.dur_ns /. 1e3))
+                 (take 3 l))
+      in
+      line "    [%s] shard%d %s lat=%.0fus  <- %s" mode s.R.sp_shard
+        (op_name s.R.sp_tag)
+        (s.R.sp_lat_ns /. 1e3)
+        ev)
+    (take 5 r.R.spikes)
+
+let latency () =
+  line "";
+  line "=== Tail latency: per-op latency with stall attribution (INCLL, YCSB_A zipfian) ===";
+  line "    beyond the paper: closed loop, then open loop with";
+  line "    coordinated-omission-corrected latency from intended arrivals";
+  let keys = nkeys () in
+  let threads = opts.threads in
+  let run_mode ?arrival_rate () =
+    note_metrics
+      (R.run ~seed:opts.seed ~threads ~ops_per_thread:opts.ops
+         ~chunk:opts.chunk
+         ~config:(config ~keys ~threads ())
+         ~trace:(tracing ()) ?arrival_rate
+         ~latency_threshold_ns:opts.latency_threshold_ns ~variant:Sys_.Incll
+         ~mix:Y.A ~dist:Y.Zipfian ~nkeys:keys ())
+  in
+  let closed = run_mode () in
+  (* Offered open-loop rate: just under the closed-loop capacity, so the
+     queue stays stable but every flush builds a backlog whose wait the
+     CO correction charges to the delayed ops. Deterministic either way —
+     closed-loop capacity is itself a pure function of seed and config. *)
+  let rate =
+    match opts.arrival_rate with
+    | Some r -> r
+    | None -> 0.9 *. closed.R.mops_sim *. 1e6
+  in
+  let open_ = run_mode ~arrival_rate:rate () in
+  line "    open-loop offered rate: %.0f ops/s (sim); threshold %.0f us" rate
+    (opts.latency_threshold_ns /. 1e3);
+  let t =
+    Util.Table.create
+      ~columns:
+        [
+          "mode"; "p50 us"; "p99 us"; "p999 us"; "p9999 us"; "max us";
+          "over thr"; "attributed";
+        ]
+  in
+  let row mode (r : R.result) =
+    let h = Obs.Registry.find_histogram r.R.metrics "op.latency_ns" in
+    let p q = match h with
+      | Some h -> Obs.Histogram.percentile h q /. 1e3
+      | None -> 0.0
+    in
+    let over, attributed, _ = attribution r in
+    Util.Table.add_row t
+      [
+        mode;
+        Util.Table.cell_float (p 0.5);
+        Util.Table.cell_float (p 0.99);
+        Util.Table.cell_float (p 0.999);
+        Util.Table.cell_float (p 0.9999);
+        Util.Table.cell_float
+          ((match h with Some h -> Obs.Histogram.max_value h | None -> 0.0)
+          /. 1e3);
+        Util.Table.cell_int over;
+        (if over = 0 then "n/a"
+         else
+           Printf.sprintf "%.1f%%"
+             (100.0 *. float_of_int attributed /. float_of_int over));
+      ]
+  in
+  row "closed" closed;
+  row "open" open_;
+  emit "latency" t;
+  let st =
+    Util.Table.create
+      ~columns:[ "mode"; "cause"; "stalls"; "total ms"; "attributed ops" ]
+  in
+  let stall_rows mode (r : R.result) =
+    let _, _, per_cause = attribution r in
+    List.iter
+      (fun (c, count, total) ->
+        if count > 0 then
+          Util.Table.add_row st
+            [
+              mode;
+              Obs.Stall.cause_name c;
+              Util.Table.cell_int count;
+              Util.Table.cell_float (total /. 1e6);
+              Util.Table.cell_int (List.assoc c per_cause);
+            ])
+      (stall_sums r)
+  in
+  stall_rows "closed" closed;
+  stall_rows "open" open_;
+  emit "latency_stalls" st;
+  line "    slowest ops and the stalls that overlapped them:";
+  print_spikes "closed" closed;
+  print_spikes "open" open_;
+  latency_json :=
+    [ ("open", latency_mode_json open_); ("closed", latency_mode_json closed) ]
+
 (* ----------------------------------------------------------------- main *)
 
 let all_benches =
@@ -666,6 +901,7 @@ let all_benches =
     ("ablation_epoch", ablation_epoch);
     ("ablation_valincll", ablation_valincll);
     ("ablation_internal", ablation_internal);
+    ("latency", latency);
     ("micro", micro);
   ]
 
@@ -673,7 +909,16 @@ let usage () =
   print_endline
     "Usage: bench/main.exe [options]\n\
      \  --only NAMES   comma-separated subset (fig2..fig8, flushcost, recovery,\n\
-     \                 ablation_epoch, ablation_valincll, ablation_internal, micro)\n\
+     \                 ablation_epoch, ablation_valincll, ablation_internal,\n\
+     \                 latency, micro)\n\
+     \  --latency      shorthand for --only latency: closed- and open-loop\n\
+     \                 per-op latency percentiles with stall attribution\n\
+     \  --arrival-rate R  open-loop offered load for the latency bench, in ops\n\
+     \                 per simulated second (default: 90% of the measured\n\
+     \                 closed-loop throughput)\n\
+     \  --latency-threshold-us F  attribution threshold: ops slower than this\n\
+     \                 (simulated) are matched against the stall ledger\n\
+     \                 (default 50)\n\
      \  --scale F      fraction of the paper's 20M keys (default 0.01)\n\
      \  --threads N    worker domains / shards (default 8)\n\
      \  --ops N        operations per thread (default 50000)\n\
@@ -734,6 +979,20 @@ let parse_args () =
     | "--date" :: v :: rest ->
         opts.date <- Some v;
         go rest
+    | "--latency" :: rest ->
+        opts.only <- "latency" :: opts.only;
+        go rest
+    | "--arrival-rate" :: v :: rest ->
+        let r = float_of_string v in
+        if r <= 0.0 then begin
+          prerr_endline "--arrival-rate must be positive";
+          exit 2
+        end;
+        opts.arrival_rate <- Some r;
+        go rest
+    | "--latency-threshold-us" :: v :: rest ->
+        opts.latency_threshold_ns <- float_of_string v *. 1e3;
+        go rest
     | ("--help" | "-h") :: _ -> usage ()
     | x :: _ ->
         prerr_endline ("unknown argument: " ^ x);
@@ -753,8 +1012,9 @@ let table_json t =
     ]
 
 (* Bumped whenever the report layout changes incompatibly;
-   bench_compare refuses to diff reports with different versions. *)
-let json_schema_version = 2
+   bench_compare refuses to diff reports with different versions.
+   v3 added the top-level "latency" section and its meta fields. *)
+let json_schema_version = 3
 
 let date_string () =
   match opts.date with
@@ -778,6 +1038,11 @@ let write_json_report path =
         ("epoch_ms", Obs.Json.Float opts.epoch_ms);
         ("seed", Obs.Json.Int opts.seed);
         ("repeats", Obs.Json.Int opts.repeats);
+        ( "arrival_rate",
+          match opts.arrival_rate with
+          | Some r -> Obs.Json.Float r
+          | None -> Obs.Json.Null );
+        ("latency_threshold_ns", Obs.Json.Float opts.latency_threshold_ns);
         ( "variants",
           Obs.Json.List
             (List.map
@@ -787,13 +1052,18 @@ let write_json_report path =
   in
   let report =
     Obs.Json.Obj
-      [
-        ("meta", meta_json);
-        ( "tables",
-          Obs.Json.Obj
-            (List.rev_map (fun (name, t) -> (name, table_json t)) !json_tables) );
-        ("metrics", Obs.Registry.to_json global_metrics);
-      ]
+      ([
+         ("meta", meta_json);
+         ( "tables",
+           Obs.Json.Obj
+             (List.rev_map (fun (name, t) -> (name, table_json t)) !json_tables)
+         );
+         ("metrics", Obs.Registry.to_json global_metrics);
+       ]
+      @
+      match !latency_json with
+      | [] -> []
+      | modes -> [ ("latency", Obs.Json.Obj (List.rev modes)) ])
   in
   match open_out path with
   | oc ->

@@ -8,6 +8,10 @@
    variant) gate the exit code: lower-is-worse, and a drop beyond the
    threshold (default 10%) is a regression.
 
+   Schema-v3 reports additionally carry a top-level "latency" section
+   (from `bench --only latency`); its simulated-clock p50/p99/p999 and
+   per-cause stall totals are gated higher-is-worse.
+
    Exit codes: 0 no regression, 1 regression(s) found, 2 usage error,
    3 unreadable/incompatible reports. *)
 
@@ -107,7 +111,7 @@ let check_meta a b =
         else None)
       [
         "schema_version"; "scale"; "keys"; "threads"; "ops_per_thread";
-        "epoch_ms";
+        "epoch_ms"; "arrival_rate"; "latency_threshold_ns";
       ]
   in
   if mismatches <> [] then begin
@@ -214,6 +218,105 @@ let compare_tables a b =
     ta;
   (!compared, List.rev !regressions)
 
+(* ------------------------------------------------------------- latency *)
+
+(* Schema v3: gate the top-level "latency" section — the simulated-clock
+   percentiles of the merged per-op histogram and the per-cause stalled
+   time, both higher-is-worse (they are tail sizes, not throughput). The
+   wall histograms are host noise and ignored. A pair where only one
+   report has the section means the schema (or the bench selection)
+   drifted; refuse rather than silently passing an ungated report. *)
+let latency_percentiles = [ "p50"; "p99"; "p999" ]
+
+let compare_latency a b =
+  match (J.find a "latency", J.find b "latency") with
+  | None, None -> (0, [])
+  | Some _, None | None, Some _ ->
+      if !force then begin
+        prerr_endline
+          "bench_compare: latency section present in only one report \
+           (continuing, --force)";
+        (0, [])
+      end
+      else
+        fail_input
+          "latency section present in only one report; regenerate both with \
+           the same bench selection or pass --force"
+  | Some la, Some lb ->
+      let regressions = ref [] and compared = ref 0 in
+      let modes = match la with J.Obj kvs -> List.map fst kvs | _ -> [] in
+      List.iter
+        (fun mode ->
+          let num side path =
+            Option.bind (J.find_path side (mode :: path)) J.to_float_opt
+          in
+          let gate label va vb =
+            incr compared;
+            let delta = if va = 0.0 then 0.0 else (vb -. va) /. va in
+            let flag =
+              if delta > !threshold then begin
+                regressions :=
+                  Printf.sprintf "latency | %s | %s: %.0f -> %.0f ns (%+.1f%%)"
+                    mode label va vb (delta *. 100.0)
+                  :: !regressions;
+                "  << REGRESSION"
+              end
+              else ""
+            in
+            Printf.printf
+              "latency | %-28s | %-14s %10.0f -> %10.0f  %+6.1f%%%s\n" mode
+              label va vb (delta *. 100.0) flag
+          in
+          List.iter
+            (fun p ->
+              match (num la [ "merged"; p ], num lb [ "merged"; p ]) with
+              | Some va, Some vb -> gate p va vb
+              | _ -> ())
+            latency_percentiles;
+          (* Per-shard p99 deltas localize a merged regression to one
+             shard before the workload gets the blame; informational. *)
+          (match
+             ( J.find_path la [ mode; "shards" ],
+               J.find_path lb [ mode; "shards" ] )
+           with
+          | Some (J.List sa), Some (J.List sb)
+            when List.length sa = List.length sb ->
+              List.iteri
+                (fun i (ha, hb) ->
+                  match
+                    ( Option.bind (J.find ha "p99") J.to_float_opt,
+                      Option.bind (J.find hb "p99") J.to_float_opt )
+                  with
+                  | Some va, Some vb when va > 0.0 ->
+                      Printf.printf
+                        "latency | %s | shard%d p99: %.0f -> %.0f ns (%+.1f%%)\n"
+                        mode i va vb
+                        ((vb -. va) /. va *. 100.0)
+                  | _ -> ())
+                (List.combine sa sb)
+          | _ -> ());
+          (* Per-cause stalled time: a cause that grows (or appears) must
+             not slip through just because throughput held up. *)
+          match J.find_path la [ mode; "stall_totals" ] with
+          | Some (J.Obj causes) ->
+              List.iter
+                (fun (cause, _) ->
+                  match
+                    ( num la [ "stall_totals"; cause; "total_ns" ],
+                      num lb [ "stall_totals"; cause; "total_ns" ] )
+                  with
+                  | Some va, Some vb ->
+                      if va > 0.0 then gate ("stall." ^ cause) va vb
+                      else if vb > 0.0 then
+                        Printf.printf
+                          "latency | %s | stall.%s appeared: 0 -> %.0f ns\n"
+                          mode cause vb
+                  | _ -> ())
+                causes
+          | _ -> ())
+        modes;
+      (!compared, List.rev !regressions)
+
 let () =
   let files = ref [] in
   let rec parse = function
@@ -239,11 +342,14 @@ let () =
   | [ base; next ] ->
       let a = read_report base and b = read_report next in
       check_meta a b;
-      let compared, regressions = compare_tables a b in
+      let compared_t, reg_t = compare_tables a b in
+      let compared_l, reg_l = compare_latency a b in
+      let compared = compared_t + compared_l in
+      let regressions = reg_t @ reg_l in
       if compared = 0 then
-        fail_input "no comparable throughput cells found (wrong files?)";
-      Printf.printf "%d throughput cell(s) compared, threshold %.0f%%\n"
-        compared (!threshold *. 100.0);
+        fail_input "no comparable gated cells found (wrong files?)";
+      Printf.printf "%d gated cell(s) compared, threshold %.0f%%\n" compared
+        (!threshold *. 100.0);
       if regressions = [] then print_endline "no regressions"
       else begin
         Printf.printf "%d regression(s):\n" (List.length regressions);

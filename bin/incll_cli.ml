@@ -26,6 +26,7 @@ let usage =
                           per-phase time breakdown)
   stats                   persistence-event counters
   stats --json            the same plus histograms/metrics, as JSON
+  stats --prom            merged metrics in Prometheus text exposition
   trace on|off            enable/disable the persistence-event trace ring
   trace dump              print buffered trace events (JSON; non-destructive)
   trace clear             empty the trace ring(s)
@@ -217,6 +218,8 @@ let () =
                         ("shards", Obs.Json.List shards);
                         ("metrics", Obs.Registry.to_json (S.metrics !store));
                       ]))
+          | [ "stats"; "--prom" ] when not !crashed ->
+              print_string (Obs.Registry.to_prometheus (S.metrics !store))
           | [ "trace"; ("on" | "off") as sw ] ->
               for i = 0 to S.nshards !store - 1 do
                 Obs.Trace.set_enabled

@@ -117,24 +117,29 @@ let find_tail t head =
    inside the new epoch, so every store is first-touch logged and a crash
    rolls the merge back atomically with the rest of the epoch. *)
 let merge_limbo t () =
+  let stalls = Nvm.Region.stalls t.region in
   for cls = 0 to Size_class.count - 1 do
     let lhead = Meta_line.head t.region ~line:(limbo_line cls) in
     if lhead <> 0 then begin
       Chaos.Plan.fire Chaos.Site.Merge_limbo;
-      match
-        if t.limbo_tails.(cls) <> 0 then Ok t.limbo_tails.(cls)
-        else
-          (* Transient tail lost in a crash: walk the chain. *)
-          try Ok (find_tail t lhead)
-          with Corrupt_chain _ as e -> Error e
-      with
+      Obs.Stall.enter stalls Obs.Stall.Limbo_merge
+        ~now:(Nvm.Stats.sim_ns (Nvm.Region.stats t.region));
+      (match
+         if t.limbo_tails.(cls) <> 0 then Ok t.limbo_tails.(cls)
+         else
+           (* Transient tail lost in a crash: walk the chain. *)
+           try Ok (find_tail t lhead)
+           with Corrupt_chain _ as e -> Error e
+       with
       | Ok tail ->
           let fhead = Meta_line.head t.region ~line:(free_line cls) in
           touch_chunk t tail;
           Chunk_header.write_next t.region ~chunk:tail ~next:fhead;
           set_meta_head t ~line:(free_line cls) lhead;
           set_meta_head t ~line:(limbo_line cls) 0
-      | Error e -> quarantine_chain t ~line:(limbo_line cls) e
+      | Error e -> quarantine_chain t ~line:(limbo_line cls) e);
+      Obs.Stall.exit stalls
+        ~now:(Nvm.Stats.sim_ns (Nvm.Region.stats t.region))
     end;
     t.limbo_tails.(cls) <- 0
   done
@@ -203,9 +208,15 @@ let alloc ?(aligned = false) t ~size =
     let bump = Meta_line.head t.region ~line:bump_line in
     let sz = Size_class.chunk_size cls in
     if bump + sz > t.heap_end then raise Heap_full;
+    (* Bump slow path: carving and initializing a fresh chunk header is
+       first-touch logged, markedly slower than the freelist pop. *)
+    let stalls = Nvm.Region.stalls t.region in
+    Obs.Stall.enter stalls Obs.Stall.Alloc_slow
+      ~now:(Nvm.Stats.sim_ns (Nvm.Region.stats t.region));
     set_meta_head t ~line:bump_line (bump + sz);
     Chunk_header.init t.region ~chunk:bump ~epoch:(current t) ~cls;
     t.bump_allocs <- t.bump_allocs + 1;
+    Obs.Stall.exit stalls ~now:(Nvm.Stats.sim_ns (Nvm.Region.stats t.region));
     Size_class.payload_of_chunk ~chunk:bump ~aligned
   end
 

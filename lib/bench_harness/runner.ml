@@ -1,3 +1,13 @@
+type spike = {
+  sp_shard : int;
+  sp_index : int;  (* position in the shard's encoded stream *)
+  sp_tag : char;  (* '\000' put, '\001' get, '\002' scan *)
+  sp_start_ns : float;  (* intended arrival (open loop) / dispatch *)
+  sp_lat_ns : float;  (* simulated latency, CO-corrected in open loop *)
+  sp_wall_ns : float;  (* wall service time (dispatch -> completion) *)
+  sp_stalls : Obs.Stall.entry list;  (* ledger entries overlapping the op *)
+}
+
 type result = {
   ops : int;
   wall_s : float;
@@ -16,6 +26,12 @@ type result = {
   incll_first_touches : int;
   incll_val_uses : int;
   metrics : Obs.Registry.t;
+  shard_metrics : Obs.Registry.t array;
+  stalls : (string * Obs.Stall.t) list;
+  spikes : spike list;
+  open_loop : bool;
+  arrival_rate : float option;
+  latency_threshold_ns : float;
   traces : (string * Obs.Trace.t) list;
   series : (string * Obs.Series.t) list;
 }
@@ -54,6 +70,12 @@ type encoded = {
   keys : string array;
   values : string array;  (* put payload; "" for get/scan *)
   scan_ns : int array;  (* scan length; 0 for put/get *)
+  arrivals : float array;
+      (* Open loop only (length 0 in closed loop): intended arrival of
+         each op, ns offsets from the measured phase's start on the
+         simulated clock. Assigned in global stream order before shard
+         routing, so the whole store is offered a fixed rate and each
+         shard's sub-schedule stays strictly increasing. *)
 }
 
 let encode ops =
@@ -64,6 +86,7 @@ let encode ops =
       keys = Array.make n "";
       values = Array.make n "";
       scan_ns = Array.make n 0;
+      arrivals = [||];
     }
   in
   Array.iteri
@@ -83,24 +106,115 @@ let encode ops =
     ops;
   enc
 
+(* Top-k slowest ops, kept per shard as a short descending list. *)
+let spike_k = 16
+
+let insert_spike buf s =
+  let rec ins = function
+    | [] -> [ s ]
+    | x :: _ as l when s.sp_lat_ns > x.sp_lat_ns -> s :: l
+    | x :: tl -> x :: ins tl
+  in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: tl -> x :: take (k - 1) tl
+  in
+  buf := take spike_k (ins !buf)
+
+(* Attribute an over-threshold op to the overlapping ledger entry cause
+   with the largest total overlap; [None] when nothing overlaps. *)
+let dominant_cause entries ~t0 ~t1 =
+  let sums = List.map (fun c -> (c, ref 0.0)) Obs.Stall.all_causes in
+  List.iter
+    (fun (e : Obs.Stall.entry) ->
+      let o =
+        Float.min t1 (e.Obs.Stall.start_ns +. e.Obs.Stall.dur_ns)
+        -. Float.max t0 e.Obs.Stall.start_ns
+      in
+      if o > 0.0 then
+        let r = List.assoc e.Obs.Stall.cause sums in
+        r := !r +. o)
+    entries;
+  List.fold_left
+    (fun best (c, r) ->
+      if !r <= 0.0 then best
+      else
+        match best with
+        | Some (_, b) when b >= !r -> best
+        | _ -> Some (c, !r))
+    None sums
+  |> Option.map fst
+
 (* Apply [enc] in chunks of [chunk] ops. The shard handle, arrays and the
    stats record are all hoisted out of the inner loop; between chunks the
    wall-clock throughput of the finished chunk is offered to the shard's
    ["bench.chunk_wall_mops"] series (timestamped on the simulated clock,
-   like every other series). *)
-let run_encoded sys enc ~chunk =
+   like every other series).
+
+   Every op's latency is recorded on both clocks into the shard registry
+   (["op.latency_ns"] simulated, ["op.latency_wall_ns"] wall). In open
+   loop the simulated latency is measured from the op's {e intended
+   arrival}, not its dispatch — the coordinated-omission correction: an
+   op delayed behind an epoch flush is charged the queueing it actually
+   suffered, and the shard's clock idles forward to the arrival when it
+   is early. Ops slower than [threshold] are correlated against the
+   shard's stall ledger and counted under
+   ["latency.attributed.<cause>"] (or [".none"]); the top-k slowest are
+   returned as spikes with their overlapping stalls. *)
+let run_encoded sys ~shard enc ~chunk ~threshold =
   let region = Incll.System.region sys in
   let series = Nvm.Region.series region "bench.chunk_wall_mops" in
   let stats = Nvm.Region.stats region in
+  let stalls = Nvm.Region.stalls region in
+  let m = Nvm.Region.metrics region in
+  let h_lat = Obs.Registry.histogram m "op.latency_ns" in
+  let h_wall = Obs.Registry.histogram m "op.latency_wall_ns" in
+  let c_over = Obs.Registry.counter m "latency.over_threshold" in
+  let c_none = Obs.Registry.counter m "latency.attributed.none" in
+  let attr =
+    List.map
+      (fun c ->
+        ( c,
+          Obs.Registry.counter m
+            ("latency.attributed." ^ Obs.Stall.cause_name c) ))
+      Obs.Stall.all_causes
+  in
   let n = Array.length enc.keys in
   let tags = enc.tags and keys = enc.keys in
   let values = enc.values and scan_ns = enc.scan_ns in
+  let arrivals = enc.arrivals in
+  let open_loop = Array.length arrivals > 0 in
+  let base_ns = Nvm.Stats.sim_ns stats in
+  let spikes = ref [] in
+  (* Start of the shard's current busy period: the last instant it was
+     caught up with the arrival schedule. An open-loop op that queues
+     behind a backlog inherits delay from stalls anywhere in the busy
+     period — a flush that ended before the op even arrived still caused
+     its wait — so attribution searches from here, not from the op's own
+     arrival. Closed loop has no queue; its window is the op itself. *)
+  let busy_start = ref base_ns in
   let pos = ref 0 in
   while !pos < n do
     let stop = min n (!pos + chunk) in
     let t0 = Unix.gettimeofday () in
     for i = !pos to stop - 1 do
-      match Bytes.unsafe_get tags i with
+      let t_disp = Nvm.Stats.sim_ns stats in
+      let t_start =
+        if open_loop then begin
+          let a = base_ns +. Array.unsafe_get arrivals i in
+          (* Early: idle the simulated clock up to the arrival. Late: the
+             difference is queueing delay and stays in the latency. *)
+          if t_disp < a then begin
+            Nvm.Region.advance_clock region (a -. t_disp);
+            busy_start := a
+          end;
+          a
+        end
+        else t_disp
+      in
+      let w0 = Unix.gettimeofday () in
+      (match Bytes.unsafe_get tags i with
       | '\000' ->
           Incll.System.put sys ~key:(Array.unsafe_get keys i)
             ~value:(Array.unsafe_get values i)
@@ -113,14 +227,38 @@ let run_encoded sys enc ~chunk =
             (Incll.System.scan sys
                ~start:(Array.unsafe_get keys i)
                ~n:(Array.unsafe_get scan_ns i)
-              : (string * string) list)
+              : (string * string) list));
+      let w1 = Unix.gettimeofday () in
+      let t_end = Nvm.Stats.sim_ns stats in
+      let lat = t_end -. t_start in
+      Obs.Histogram.record h_lat lat;
+      Obs.Histogram.record h_wall ((w1 -. w0) *. 1e9);
+      if lat > threshold then begin
+        incr c_over;
+        let a0 = if open_loop then Float.min !busy_start t_start else t_start in
+        let over = Obs.Stall.overlapping stalls ~t0:a0 ~t1:t_end in
+        (match dominant_cause over ~t0:a0 ~t1:t_end with
+        | Some c -> incr (List.assoc c attr)
+        | None -> incr c_none);
+        insert_spike spikes
+          {
+            sp_shard = shard;
+            sp_index = i;
+            sp_tag = Bytes.unsafe_get tags i;
+            sp_start_ns = t_start;
+            sp_lat_ns = lat;
+            sp_wall_ns = (w1 -. w0) *. 1e9;
+            sp_stalls = over;
+          }
+      end
     done;
     let dt = Unix.gettimeofday () -. t0 in
     if dt > 0.0 then
       Obs.Series.sample series ~ts_ns:(Nvm.Stats.sim_ns stats)
         ~value:(float_of_int (stop - !pos) /. dt /. 1e6);
     pos := stop
-  done
+  done;
+  !spikes
 
 let in_domains jobs =
   match jobs with
@@ -150,14 +288,22 @@ type prepared = {
   chunk : int;
   shard_ops : encoded array;
   shard_op_count : int;
+  arrival_rate : float option;
+  latency_threshold_ns : float;
 }
 
 let default_chunk = 4096
+let default_latency_threshold_ns = 50_000.0
 
 let prepare ?(seed = 1) ?(threads = 1) ?(ops_per_thread = 100_000)
-    ?(chunk = default_chunk) ?config ?(trace = false) ~variant ~mix ~dist
-    ~nkeys () =
+    ?(chunk = default_chunk) ?config ?(trace = false) ?arrival_rate
+    ?(latency_threshold_ns = default_latency_threshold_ns) ~variant ~mix
+    ~dist ~nkeys () =
   if chunk <= 0 then invalid_arg "Runner.prepare: chunk must be positive";
+  (match arrival_rate with
+  | Some r when r <= 0.0 ->
+      invalid_arg "Runner.prepare: arrival rate must be positive"
+  | _ -> ());
   let config =
     match config with
     | Some c -> c
@@ -194,8 +340,14 @@ let prepare ?(seed = 1) ?(threads = 1) ?(ops_per_thread = 100_000)
   let spec = { Workload.Ycsb.mix; dist; nkeys } in
   let stream = Workload.Ycsb.generate spec rng ~n:(threads * ops_per_thread) in
   let ops_by_shard = Array.make threads [] in
-  Array.iter
-    (fun op ->
+  (* Open loop: op [j] of the global stream is scheduled to arrive at
+     [j * interval] on the simulated clock, fixing the offered rate
+     regardless of how the keys route across shards. *)
+  let interval =
+    match arrival_rate with Some r -> 1e9 /. r | None -> 0.0
+  in
+  Array.iteri
+    (fun j op ->
       let key =
         match op with
         | Workload.Ycsb.Put (k, _) | Workload.Ycsb.Get k
@@ -203,20 +355,52 @@ let prepare ?(seed = 1) ?(threads = 1) ?(ops_per_thread = 100_000)
             k
       in
       let s = Store.Sharded.shard_of_key store key in
-      ops_by_shard.(s) <- op :: ops_by_shard.(s))
+      ops_by_shard.(s) <- (op, float_of_int j *. interval) :: ops_by_shard.(s))
     stream;
   let shard_ops =
-    Array.map (fun l -> encode (Array.of_list (List.rev l))) ops_by_shard
+    Array.map
+      (fun l ->
+        let arr = Array.of_list (List.rev l) in
+        let enc = encode (Array.map fst arr) in
+        if arrival_rate = None then enc
+        else { enc with arrivals = Array.map snd arr })
+      ops_by_shard
   in
   let shard_op_count =
     Array.fold_left (fun a e -> a + Array.length e.keys) 0 shard_ops
   in
-  { store; threads; chunk; shard_ops; shard_op_count }
+  { store; threads; chunk; shard_ops; shard_op_count; arrival_rate;
+    latency_threshold_ns }
 
-let measure { store; threads; chunk; shard_ops; shard_op_count } =
+let measure
+    {
+      store;
+      threads;
+      chunk;
+      shard_ops;
+      shard_op_count;
+      arrival_rate;
+      latency_threshold_ns;
+    } =
   (* Clean start: checkpoint, then snapshot. *)
   Store.Sharded.advance_epochs store;
+  let regions =
+    Array.init threads (fun i ->
+        Incll.System.region (Store.Sharded.shard store i))
+  in
+  (* Fresh stall ledgers for the measured window (populate-phase stalls
+     must not attract attributions), filtered so per-op fences cannot
+     wrap the interesting entries out of the ring. *)
+  Array.iter
+    (fun r ->
+      let s = Nvm.Region.stalls r in
+      Obs.Stall.clear s;
+      Obs.Stall.set_min_dur_ns s (latency_threshold_ns /. 4.0))
+    regions;
   let metrics_before = Obs.Registry.snapshot (Store.Sharded.metrics store) in
+  let shard_before =
+    Array.map (fun r -> Obs.Registry.snapshot (Nvm.Region.metrics r)) regions
+  in
   let before = Array.init threads (snapshot_shard store) in
   let epochs_before = Array.init threads (epochs_of store) in
   let counters_before = Array.init threads (counters_of store) in
@@ -225,12 +409,15 @@ let measure { store; threads; chunk; shard_ops; shard_op_count } =
         Incll.System.nodes_logged (Store.Sharded.shard store i))
   in
   let wall0 = Unix.gettimeofday () in
-  ignore
-    (in_domains
-       (Array.init threads (fun i ->
-            let sys = Store.Sharded.shard store i in
-            let enc = shard_ops.(i) in
-            fun () -> run_encoded sys enc ~chunk)));
+  let shard_spikes =
+    in_domains
+      (Array.init threads (fun i ->
+           let sys = Store.Sharded.shard store i in
+           let enc = shard_ops.(i) in
+           fun () ->
+             run_encoded sys ~shard:i enc ~chunk
+               ~threshold:latency_threshold_ns))
+  in
   let wall1 = Unix.gettimeofday () in
   let after = Array.init threads (snapshot_shard store) in
   let diff =
@@ -288,6 +475,31 @@ let measure { store; threads; chunk; shard_ops; shard_op_count } =
       Obs.Registry.diff
         ~after:(Store.Sharded.metrics store)
         ~before:metrics_before;
+    shard_metrics =
+      Array.mapi
+        (fun i r ->
+          Obs.Registry.diff ~after:(Nvm.Region.metrics r)
+            ~before:shard_before.(i))
+        regions;
+    stalls =
+      Array.to_list
+        (Array.mapi
+           (fun i r -> (Printf.sprintf "shard%d" i, Nvm.Region.stalls r))
+           regions);
+    spikes =
+      (let all = Array.fold_left (fun a l -> a @ l) [] shard_spikes in
+       let sorted =
+         List.sort
+           (fun a b ->
+             match compare b.sp_lat_ns a.sp_lat_ns with
+             | 0 -> compare (a.sp_shard, a.sp_index) (b.sp_shard, b.sp_index)
+             | c -> c)
+           all
+       in
+       List.filteri (fun i _ -> i < spike_k) sorted);
+    open_loop = arrival_rate <> None;
+    arrival_rate;
+    latency_threshold_ns;
     traces =
       List.init threads (fun i ->
           ( Printf.sprintf "shard%d" i,
@@ -304,11 +516,11 @@ let measure { store; threads; chunk; shard_ops; shard_op_count } =
                (Nvm.Region.all_series region)));
   }
 
-let run ?seed ?threads ?ops_per_thread ?chunk ?config ?trace ~variant ~mix
-    ~dist ~nkeys () =
+let run ?seed ?threads ?ops_per_thread ?chunk ?config ?trace ?arrival_rate
+    ?latency_threshold_ns ~variant ~mix ~dist ~nkeys () =
   measure
-    (prepare ?seed ?threads ?ops_per_thread ?chunk ?config ?trace ~variant
-       ~mix ~dist ~nkeys ())
+    (prepare ?seed ?threads ?ops_per_thread ?chunk ?config ?trace
+       ?arrival_rate ?latency_threshold_ns ~variant ~mix ~dist ~nkeys ())
 
 let run_latency_sweep ?seed ?threads ?ops_per_thread ?chunk ?config ?trace
     ~variant ~mix ~dist ~nkeys ~latencies () =

@@ -8,6 +8,21 @@
     simulator's own host-CPU overhead. Wall-clock throughput is reported
     alongside for reference. *)
 
+type spike = {
+  sp_shard : int;
+  sp_index : int;  (** Position in the shard's encoded stream. *)
+  sp_tag : char;  (** ['\000'] put, ['\001'] get, ['\002'] scan. *)
+  sp_start_ns : float;
+      (** Simulated start of the op's latency window: its intended
+          arrival in open loop, its dispatch in closed loop. *)
+  sp_lat_ns : float;  (** Simulated latency (CO-corrected in open loop). *)
+  sp_wall_ns : float;  (** Wall service time, dispatch to completion. *)
+  sp_stalls : Obs.Stall.entry list;
+      (** Ledger entries overlapping the op's latency window — the
+          evidence for the attribution. *)
+}
+(** One of the top-k slowest ops of a run, with its overlapping stalls. *)
+
 type result = {
   ops : int;
   wall_s : float;
@@ -28,8 +43,25 @@ type result = {
   metrics : Obs.Registry.t;
       (** Merged-over-shards registry delta for the measured phase:
           sfence/wbinvd latency histograms, epoch length and dirty-line
-          distributions, external-log counters, and the
-          [incll_hit]/[incll_fallback] split (Figure 7's quantity). *)
+          distributions, external-log counters, the
+          [incll_hit]/[incll_fallback] split (Figure 7's quantity), the
+          per-op [op.latency_ns] / [op.latency_wall_ns] histograms, the
+          [stall.<cause>_ns] histograms and the
+          [latency.attributed.<cause>] counters. *)
+  shard_metrics : Obs.Registry.t array;
+      (** The same window delta, per shard — so a latency regression can
+          be localized to one shard before blaming the workload. *)
+  stalls : (string * Obs.Stall.t) list;
+      (** Each shard's stall ledger (cleared at the start of the
+          measured phase), labelled ["shard<i>"]. Feed to
+          {!Obs.Perfetto.export} as the [stalls] tracks. *)
+  spikes : spike list;
+      (** Top-k slowest ops across all shards, slowest first. *)
+  open_loop : bool;
+  arrival_rate : float option;
+      (** Offered load in ops per {e simulated} second (open loop). *)
+  latency_threshold_ns : float;
+      (** Attribution threshold the run used (simulated ns). *)
   traces : (string * Obs.Trace.t) list;
       (** Each shard's live event ring, labelled ["shard<i>"]. Empty
           rings unless the run was prepared with [~trace:true]. Feed to
@@ -52,6 +84,10 @@ val config_for :
 val default_chunk : int
 (** Default measured-loop batch size (4096 ops). *)
 
+val default_latency_threshold_ns : float
+(** Attribution threshold when none is given (50 µs simulated — well
+    above a normal op, well below an epoch flush). *)
+
 val run :
   ?seed:int ->
   ?threads:int ->
@@ -59,6 +95,8 @@ val run :
   ?chunk:int ->
   ?config:Incll.System.config ->
   ?trace:bool ->
+  ?arrival_rate:float ->
+  ?latency_threshold_ns:float ->
   variant:Incll.System.variant ->
   mix:Workload.Ycsb.mix ->
   dist:Workload.Ycsb.dist ->
@@ -75,7 +113,23 @@ val run :
     time and applied in batches of [chunk] ops (default 4096): the hot
     loop dispatches on a byte tag with the shard handle hoisted, and each
     finished chunk's wall-clock throughput is sampled into the shard's
-    ["bench.chunk_wall_mops"] series. *)
+    ["bench.chunk_wall_mops"] series.
+
+    Every op's latency is recorded on both clocks (see {!result.metrics});
+    ops slower than [latency_threshold_ns] are attributed against the
+    stall ledger.
+
+    [arrival_rate] switches the run from the default closed loop (next op
+    dispatches the instant the previous completes) to an {e open loop}:
+    op [j] of the global pre-generated stream is scheduled to arrive at
+    [j / arrival_rate] seconds on the simulated clock, a shard idles its
+    clock forward when it is ahead of schedule, and each op's simulated
+    latency is measured from its {e intended arrival} — the
+    coordinated-omission correction, so queueing behind an epoch flush is
+    charged to every op it delays, not just the one that met the flush.
+    Simulated throughput then reports the offered rate whenever the store
+    keeps up. Wall latency stays dispatch-to-completion in both modes (a
+    wall-clock schedule would race the simulated one). *)
 
 val run_latency_sweep :
   ?seed:int ->

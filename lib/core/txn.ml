@@ -132,39 +132,68 @@ let watermark region =
    InCLL rollback ever moves it backwards. *)
 let advance_watermark region ~txn_id =
   Chaos.Plan.fire Chaos.Site.Txn_commit_record;
+  let stalls = Nvm.Region.stalls region in
+  Obs.Stall.enter stalls Obs.Stall.Txn_fence
+    ~now:(Nvm.Stats.sim_ns (Nvm.Region.stats region));
   Nvm.Region.write_i64 region Nvm.Layout.off_txn_watermark
     (Int64.of_int txn_id);
   Nvm.Region.clwb region Nvm.Layout.off_txn_watermark;
-  Nvm.Region.sfence region
+  Nvm.Region.sfence region;
+  Obs.Stall.exit stalls ~now:(Nvm.Stats.sim_ns (Nvm.Region.stats region))
 
 (* {1 Commit-window log appends} *)
 
 (* Make room for [bytes] of upcoming records before the window opens; a
    checkpoint here is safe (nothing of the txn is in the log yet) whereas
    one inside the window would truncate earlier PREPAREs. *)
+(* A checkpoint forced by log pressure is an extlog-wrap stall, not an
+   ordinary periodic epoch advance; scope it so attribution says why. *)
+let wrap_advance ctx =
+  let region = ctx.Ctx.region in
+  let stalls = Nvm.Region.stalls region in
+  Obs.Stall.enter stalls Obs.Stall.Extlog
+    ~now:(Nvm.Stats.sim_ns (Nvm.Region.stats region));
+  Epoch.Manager.advance ctx.Ctx.em;
+  Obs.Stall.exit stalls ~now:(Nvm.Stats.sim_ns (Nvm.Region.stats region))
+
+(* Txn-fence scope around a protocol step: swallows the nested extlog
+   append / watermark fence so the whole step is one attributed stall. *)
+let txn_scope ctx f =
+  let region = ctx.Ctx.region in
+  let stalls = Nvm.Region.stalls region in
+  Obs.Stall.enter stalls Obs.Stall.Txn_fence
+    ~now:(Nvm.Stats.sim_ns (Nvm.Region.stats region));
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Stall.exit stalls
+        ~now:(Nvm.Stats.sim_ns (Nvm.Region.stats region)))
+    f
+
 let reserve ctx ~bytes =
   if bytes > Extlog.Log.capacity ctx.Ctx.log then
     invalid_arg "Txn.reserve: write set exceeds log capacity";
   if Extlog.Log.used ctx.Ctx.log + bytes > Extlog.Log.capacity ctx.Ctx.log
-  then Epoch.Manager.advance ctx.Ctx.em
+  then wrap_advance ctx
 
 let append_prepare ctx ~txn_id ~coordinator ~writes =
   Chaos.Plan.fire Chaos.Site.Txn_prepare;
-  Extlog.Log.append_record ctx.Ctx.log ~kind:Extlog.Log.kind_txn_prepare
-    ~epoch:(Epoch.Manager.current ctx.Ctx.em)
-    ~txn_id
-    ~payload:(encode_prepare ~coordinator ~writes)
+  txn_scope ctx (fun () ->
+      Extlog.Log.append_record ctx.Ctx.log ~kind:Extlog.Log.kind_txn_prepare
+        ~epoch:(Epoch.Manager.current ctx.Ctx.em)
+        ~txn_id
+        ~payload:(encode_prepare ~coordinator ~writes))
 
 let append_commit_marker ctx ~txn_id ~participants =
-  Extlog.Log.append_record ctx.Ctx.log ~kind:Extlog.Log.kind_txn_commit
-    ~epoch:(Epoch.Manager.current ctx.Ctx.em)
-    ~txn_id
-    ~payload:(encode_commit ~participants)
+  txn_scope ctx (fun () ->
+      Extlog.Log.append_record ctx.Ctx.log ~kind:Extlog.Log.kind_txn_commit
+        ~epoch:(Epoch.Manager.current ctx.Ctx.em)
+        ~txn_id
+        ~payload:(encode_commit ~participants))
 
 let rec append_prepare_retry ctx ~txn_id ~coordinator ~writes =
   try append_prepare ctx ~txn_id ~coordinator ~writes
   with Extlog.Log.Log_full ->
-    Epoch.Manager.advance ctx.Ctx.em;
+    wrap_advance ctx;
     append_prepare_retry ctx ~txn_id ~coordinator ~writes
 
 let apply_one tree { key; value } =
@@ -184,7 +213,7 @@ let ensure_headroom ctx =
   if
     Extlog.Log.capacity log - Extlog.Log.used log < write_headroom
     && Extlog.Log.used log > 0
-  then Epoch.Manager.advance ctx.Ctx.em
+  then wrap_advance ctx
 
 (* Apply a committed write set through the tree (normal hooks, so the
    old images are InCLL- or extlog-protected exactly like untransacted

@@ -193,6 +193,7 @@ let create ?(epoch_len_ns = default_epoch_len_ns) region =
     }
   in
   write_durable_epoch t 2;
+  Obs.Stall.set_epoch (Nvm.Region.stalls region) t.current;
   t.epoch_start_ns <- Nvm.Stats.sim_ns (Nvm.Region.stats region);
   t
 
@@ -228,6 +229,7 @@ let open_after_crash ?(epoch_len_ns = default_epoch_len_ns) region =
      the marker epoch is added to the failed set by the next run and the
      (idempotent) recovery simply repeats. *)
   write_durable_epoch t t.current;
+  Obs.Stall.set_epoch (Nvm.Region.stalls region) t.current;
   t
 
 let advance t =
@@ -250,11 +252,19 @@ let advance t =
     (Obs.Trace.Epoch_advance { epoch = t.current + 1 });
   let spans = Nvm.Region.spans t.region in
   Obs.Span.begin_ spans "checkpoint";
+  (* The stop-the-world window: every in-flight op waits for the flush
+     and the durable-epoch fence. The scope swallows the wbinvd/sfence
+     leaf recordings; subscribers (limbo merge, log truncation) run in
+     the new epoch and attribute their own stalls. *)
+  let stalls = Nvm.Region.stalls t.region in
+  Obs.Stall.enter stalls Obs.Stall.Epoch_advance ~now;
   Nvm.Region.wbinvd t.region;
   write_durable_epoch t (t.current + 1);
+  Obs.Stall.exit stalls ~now:(Nvm.Stats.sim_ns (Nvm.Region.stats t.region));
   ignore (Obs.Span.end_ spans "checkpoint" : float);
   t.current <- t.current + 1;
   t.advances <- t.advances + 1;
+  Obs.Stall.set_epoch stalls t.current;
   t.epoch_start_ns <- Nvm.Stats.sim_ns (Nvm.Region.stats t.region);
   Chaos.Plan.fire Chaos.Site.Post_checkpoint;
   run_subscribers t

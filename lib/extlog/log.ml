@@ -60,13 +60,15 @@ let truncation_epoch t =
 let truncate t ~epoch =
   (* Log growth over the ending epoch — sampled before the reset, one
      point per checkpoint (the §6.3 worst-case-recovery quantity). *)
-  Obs.Series.sample t.s_used
-    ~ts_ns:(Nvm.Stats.sim_ns (Nvm.Region.stats t.region))
-    ~value:(float_of_int t.tail);
+  let now = Nvm.Stats.sim_ns (Nvm.Region.stats t.region) in
+  Obs.Series.sample t.s_used ~ts_ns:now ~value:(float_of_int t.tail);
+  let stalls = Nvm.Region.stalls t.region in
+  Obs.Stall.enter stalls Obs.Stall.Extlog ~now;
   t.tail <- 0;
   Nvm.Region.write_i64 t.region Nvm.Layout.extlog_off (Int64.of_int epoch);
   Nvm.Region.clwb t.region Nvm.Layout.extlog_off;
-  Nvm.Region.sfence t.region
+  Nvm.Region.sfence t.region;
+  Obs.Stall.exit stalls ~now:(Nvm.Stats.sim_ns (Nvm.Region.stats t.region))
 
 (* Checksum: xor of the payload words folded with the header fields, so a
    torn entry (header persisted, payload not, or vice versa) is detected. *)
@@ -117,13 +119,17 @@ let append t ~epoch ~addr ~size =
   Chaos.Plan.fire Chaos.Site.Extlog_append;
   let total = header_bytes + size in
   if t.tail + total > t.len then raise Log_full;
+  let stalls = Nvm.Region.stalls t.region in
+  Obs.Stall.enter stalls Obs.Stall.Extlog
+    ~now:(Nvm.Stats.sim_ns (Nvm.Region.stats t.region));
   let entry = t.off + t.tail in
   (* Payload first, then the header that makes the entry meaningful; the
      checksum validates the pair, so one fence suffices. *)
   Nvm.Region.blit_within t.region ~src:addr ~dst:(entry + header_bytes)
     ~len:size;
   seal_entry t ~entry ~kind:kind_node ~epoch ~addr ~size;
-  t.nodes_logged <- t.nodes_logged + 1
+  t.nodes_logged <- t.nodes_logged + 1;
+  Obs.Stall.exit stalls ~now:(Nvm.Stats.sim_ns (Nvm.Region.stats t.region))
 
 (* Size an [append_record] call will consume, so a commit sequence can
    reserve headroom up front and never hit [Log_full] mid-protocol. *)
@@ -144,13 +150,17 @@ let append_record t ~kind ~epoch ~txn_id ~payload =
   let size = if size = 0 then 8 else size in
   let total = header_bytes + size in
   if t.tail + total > t.len then raise Log_full;
+  let stalls = Nvm.Region.stalls t.region in
+  Obs.Stall.enter stalls Obs.Stall.Extlog
+    ~now:(Nvm.Stats.sim_ns (Nvm.Region.stats t.region));
   let entry = t.off + t.tail in
   let padded =
     if size = String.length payload then payload
     else payload ^ String.make (size - String.length payload) '\000'
   in
   Nvm.Region.write_string t.region (entry + header_bytes) padded;
-  seal_entry t ~entry ~kind ~epoch ~addr:txn_id ~size
+  seal_entry t ~entry ~kind ~epoch ~addr:txn_id ~size;
+  Obs.Stall.exit stalls ~now:(Nvm.Stats.sim_ns (Nvm.Region.stats t.region))
 
 (* Walk the intact-entry prefix, calling [f] on each entry. *)
 let fold_entries t f =

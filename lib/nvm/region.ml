@@ -30,6 +30,7 @@ type t = {
   trace : Obs.Trace.t;
   spans : Obs.Span.t;
   series_tbl : (string, Obs.Series.t) Hashtbl.t;
+  stalls : Obs.Stall.t;  (* attributed stall intervals, simulated clock *)
   h_sfence : Obs.Histogram.t;  (* per-sfence latency, ns *)
   h_wbinvd : Obs.Histogram.t;  (* per-wbinvd latency, ns *)
   mutable sfence_extra_ns : float;  (* runtime-adjustable emulated latency *)
@@ -86,6 +87,7 @@ let create (cfg : Config.t) =
     trace;
     spans;
     series_tbl = Hashtbl.create 8;
+    stalls = Obs.Stall.create ~registry:metrics ();
     h_sfence = Obs.Registry.histogram metrics "nvm.sfence_ns";
     h_wbinvd = Obs.Registry.histogram metrics "nvm.wbinvd_ns";
     sfence_extra_ns = cfg.cost.Config.sfence_extra_ns;
@@ -97,6 +99,7 @@ let create (cfg : Config.t) =
 let config t = t.cfg
 let stats t = t.stats
 let metrics t = t.metrics
+let stalls t = t.stalls
 let trace t = t.trace
 let spans t = t.spans
 
@@ -425,6 +428,11 @@ let sfence t =
   let cost = c.Config.sfence_ns +. t.sfence_extra_ns in
   Stats.add_ns t.stats cost;
   Obs.Histogram.record t.h_sfence cost;
+  (* A free-standing fence is a clwb-sweep stall; inside a coarser scope
+     (epoch flush, extlog seal, txn fence) the scope owns this time. *)
+  Obs.Stall.leaf t.stalls Obs.Stall.Clwb_sweep
+    ~start_ns:(Stats.sim_ns t.stats -. cost)
+    ~dur_ns:cost;
   trace_event t (Obs.Trace.Sfence { drained; dur_ns = cost })
 
 let release_fence t =
@@ -454,6 +462,9 @@ let wbinvd t =
   in
   Stats.add_ns t.stats cost;
   Obs.Histogram.record t.h_wbinvd cost;
+  Obs.Stall.leaf t.stalls Obs.Stall.Epoch_advance
+    ~start_ns:(Stats.sim_ns t.stats -. cost)
+    ~dur_ns:cost;
   trace_event t (Obs.Trace.Wbinvd { lines = ndirty; dur_ns = cost })
 
 let charge_op t =

@@ -34,6 +34,14 @@ val metrics : t -> Obs.Registry.t
     layers (epoch manager, external log, InCLL hooks) register their own
     counters and histograms here, so one registry describes the shard. *)
 
+val stalls : t -> Obs.Stall.t
+(** The region's stall ledger (simulated clock). The region itself
+    records {!Obs.Stall.Clwb_sweep} leaves for free-standing sfences and
+    an {!Obs.Stall.Epoch_advance} leaf for a bare [wbinvd]; upper layers
+    open outermost-wins scopes around their own stalls (epoch advance,
+    extlog append/wrap, limbo merge, txn fences, recovery) so each
+    stalled interval lands under exactly one cause. *)
+
 val trace : t -> Obs.Trace.t
 (** The region's bounded event ring (disabled by default; capacity from
     [Config.trace_capacity]). The region records {!Obs.Trace.Clwb},

@@ -34,16 +34,6 @@ let index_of v =
     1 + (octave * subs) + sub
   end
 
-(* Midpoint of bucket [i] — the value reported for ranks landing there. *)
-let midpoint i =
-  if i = 0 then 0.5
-  else begin
-    let octave = (i - 1) / subs and sub = (i - 1) mod subs in
-    let base = Float.ldexp 1.0 octave in
-    let width = base /. float_of_int subs in
-    base +. (float_of_int sub *. width) +. (width /. 2.0)
-  end
-
 (* Inclusive-lower bounds of bucket [i] (see the table at the top). *)
 let bucket_lo i =
   if i = 0 then 0.0
@@ -83,12 +73,25 @@ let percentile t q =
   else begin
     let q = Float.min 1.0 (Float.max 0.0 q) in
     let rank = max 1 (int_of_float (ceil (q *. float_of_int t.count))) in
+    (* Walk to the bucket holding [rank], then interpolate by rank within
+       it. The midpoint answer over-reports extreme ranks (p999/p9999):
+       in a wide log-scale bucket the max-rank percentile sits wherever
+       the last samples landed, and assuming the middle of the bucket can
+       be off by half a bucket width (~6%) in the direction that always
+       inflates the tail. Linear-by-rank within the final occupied bucket
+       is exact when samples are uniform there and clamped to the observed
+       extremes either way. *)
     let i = ref 0 and seen = ref 0 in
-    while !seen < rank && !i < nbuckets do
+    while !seen + t.buckets.(!i) < rank && !i < nbuckets - 1 do
       seen := !seen + t.buckets.(!i);
-      if !seen < rank then incr i
+      incr i
     done;
-    Float.min t.max_v (Float.max t.min_v (midpoint !i))
+    let n = t.buckets.(!i) in
+    let lo = bucket_lo !i and hi = bucket_hi !i in
+    let frac =
+      if n <= 0 then 1.0 else float_of_int (rank - !seen) /. float_of_int n
+    in
+    Float.min t.max_v (Float.max t.min_v (lo +. ((hi -. lo) *. frac)))
   end
 
 let merge_into ~into src =
@@ -138,4 +141,6 @@ let to_json t =
       ("p50", Json.Float (percentile t 0.50));
       ("p90", Json.Float (percentile t 0.90));
       ("p99", Json.Float (percentile t 0.99));
+      ("p999", Json.Float (percentile t 0.999));
+      ("p9999", Json.Float (percentile t 0.9999));
     ]

@@ -26,8 +26,11 @@ val mean : t -> float
 (** 0.0 when empty. *)
 
 val percentile : t -> float -> float
-(** [percentile t q] for [q] in [0,1]: the bucket midpoint at that rank,
-    clamped to the exact observed [min]/[max]. 0.0 when empty. *)
+(** [percentile t q] for [q] in [0,1]: linear interpolation by rank
+    within the bucket holding that rank (exact for uniform in-bucket
+    placement; the old bucket-midpoint answer over-reported extreme
+    ranks like p999 by up to half a bucket width), clamped to the exact
+    observed [min]/[max]. 0.0 when empty. *)
 
 val merge_into : into:t -> t -> unit
 (** Add [src]'s buckets and totals into [into]; [src] is unchanged. *)
@@ -43,4 +46,4 @@ val diff : after:t -> before:t -> t
 val copy : t -> t
 
 val to_json : t -> Json.t
-(** [{count, sum, mean, min, max, p50, p90, p99}]. *)
+(** [{count, sum, mean, min, max, p50, p90, p99, p999, p9999}]. *)

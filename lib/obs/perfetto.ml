@@ -125,7 +125,18 @@ let counter_events ~pid ~name series =
         ])
     (Series.points series)
 
-let export ?(pid = 1) ?(series = []) ~tracks () =
+(* One stall ledger -> complete slices (named by cause) on a dedicated
+   tid, so a shard's stalls line up under its main track in the UI. *)
+let events_of_stalls ~pid ~tid ledger =
+  List.map
+    (fun { Stall.cause; start_ns; dur_ns; epoch } ->
+      complete
+        ~name:(Stall.cause_name cause)
+        ~cat:"stall" ~ts:(start_ns +. dur_ns) ~dur_ns ~pid ~tid
+        [ ("epoch", Json.Int epoch) ])
+    (Stall.entries ledger)
+
+let export ?(pid = 1) ?(series = []) ?(stalls = []) ~tracks () =
   let track_events =
     List.concat
       (List.mapi
@@ -133,11 +144,22 @@ let export ?(pid = 1) ?(series = []) ~tracks () =
            thread_name ~pid ~tid label :: events_of_trace ~pid ~tid trace)
          tracks)
   in
+  (* Stall tracks take tids above the trace tracks. *)
+  let base = List.length tracks in
+  let stall_events =
+    List.concat
+      (List.mapi
+         (fun i (label, ledger) ->
+           let tid = base + i in
+           thread_name ~pid ~tid (label ^ " stalls")
+           :: events_of_stalls ~pid ~tid ledger)
+         stalls)
+  in
   let series_events =
     List.concat_map (fun (name, s) -> counter_events ~pid ~name s) series
   in
   Json.Obj
     [
-      ("traceEvents", Json.List (track_events @ series_events));
+      ("traceEvents", Json.List (track_events @ stall_events @ series_events));
       ("displayTimeUnit", Json.String "ns");
     ]

@@ -20,11 +20,18 @@
 val export :
   ?pid:int ->
   ?series:(string * Series.t) list ->
+  ?stalls:(string * Stall.t) list ->
   tracks:(string * Trace.t) list ->
   unit ->
   Json.t
 (** One track (tid) per named trace ring — shards pass one ring each.
-    Track names appear via [thread_name] metadata events. *)
+    Track names appear via [thread_name] metadata events. Each named
+    {!Stall} ledger becomes its own dedicated track (tids above the trace
+    tracks) of complete slices named by {!Stall.cause_name}, so a shard's
+    stalls read side by side with its op timeline. *)
+
+val events_of_stalls : pid:int -> tid:int -> Stall.t -> Json.t list
+(** The raw slice list for one stall ledger (no metadata, no wrapper). *)
 
 val events_of_trace : pid:int -> tid:int -> Trace.t -> Json.t list
 (** The raw event list for one ring (no wrapper object). *)

@@ -75,6 +75,51 @@ let diff ~after ~before =
     before.hist;
   d
 
+(* Prometheus metric names allow [a-zA-Z0-9_:]; our dotted names map '.'
+   (and anything else) to '_', with a leading '_' for an initial digit. *)
+let prom_name name =
+  let b = Buffer.create (String.length name + 8) in
+  Buffer.add_string b "incll_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let prom_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let to_prometheus t =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      Printf.bprintf b "# TYPE %s counter\n%s %d\n" n n v)
+    (counters t);
+  List.iter
+    (fun (name, h) ->
+      let n = prom_name name in
+      Printf.bprintf b "# TYPE %s summary\n" n;
+      List.iter
+        (fun (label, q) ->
+          Printf.bprintf b "%s{quantile=\"%s\"} %s\n" n label
+            (prom_float (Histogram.percentile h q)))
+        [
+          ("0.5", 0.5);
+          ("0.9", 0.9);
+          ("0.99", 0.99);
+          ("0.999", 0.999);
+          ("0.9999", 0.9999);
+        ];
+      Printf.bprintf b "%s_sum %s\n" n (prom_float (Histogram.sum h));
+      Printf.bprintf b "%s_count %d\n" n (Histogram.count h))
+    (histograms t);
+  Buffer.contents b
+
 let to_json t =
   Json.Obj
     [

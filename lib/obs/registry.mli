@@ -43,4 +43,10 @@ val diff : after:t -> before:t -> t
     disappeared is itself a delta worth seeing). *)
 
 val to_json : t -> Json.t
-(** [{"counters": {...}, "histograms": {name: {count,...,p99}}}]. *)
+(** [{"counters": {...}, "histograms": {name: {count,...,p9999}}}]. *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition: counters as [counter] metrics, histograms
+    as [summary] metrics with p50/p90/p99/p999/p9999 quantile samples plus
+    [_sum]/[_count]. Names are prefixed [incll_] and sanitized ('.' →
+    '_'), so snapshots can be scraped without a JSON parser. *)

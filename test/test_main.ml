@@ -23,4 +23,5 @@ let () =
       Test_listing3.tests;
       Test_chaos.tests;
       Test_txn.tests;
+      Test_latency.tests;
     ]
