@@ -5,7 +5,9 @@
 # environment; the flag passed here wins).
 BENCH_THRESHOLD ?= 0.10
 
-.PHONY: all build test check chaos chaos-txn bench bench-gate latency microbench clean
+.PHONY: all build test check chaos chaos-txn bench bench-gate latency \
+  latency-throughput latency-latency latency-rto latency-improve \
+  microbench clean
 
 # Chaos-run shape: the four historically-bad seeds (the limbo-chain bug,
 # now fixed and regression-gated here) plus four fresh ones.
@@ -41,6 +43,11 @@ chaos: build
 	  --schedule "merge_limbo:1,recover.epoch_open:1,recover.extlog_replay:1,recover.alloc_chains:1,recover.checkpoint:1" \
 	  --json _build/chaos_sched.json --save-image _build/chaos_final.nvm
 	dune exec bin/incll_fsck.exe -- _build/chaos_final.nvm
+	dune exec bin/chaos.exe -- --seeds $(CHAOS_SEEDS) --ops $(CHAOS_OPS) \
+	  --policy latency --json _build/chaos_latency.json
+	dune exec bin/chaos.exe -- --seeds 4 --ops 10000 --policy latency \
+	  --schedule "epoch.sweep_partial:1,epoch.sweep_partial:2,post_checkpoint:1,epoch.sweep_partial:1" \
+	  --json _build/chaos_sweep_sched.json
 	$(MAKE) chaos-txn
 
 # Transaction torture: multi-key transactions interleaved with random
@@ -71,18 +78,43 @@ bench-gate:
 # committed-baseline conditions — fixed seed, flush-heavy 1 ms epochs,
 # and a fixed open-loop arrival rate chosen just under the closed-loop
 # capacity so epoch flushes build real queues — then diff it against the
-# committed baseline. Every gated cell (closed/open p50/p99/p999 of the
-# per-op latency histogram, per-cause stalled time) is simulated-clock,
-# hence machine-independent and bit-deterministic; only a code change
-# can move them. Regenerate the baseline by copying
-# _build/bench_latency.json over BENCH_latency.json when a change
-# legitimately shifts the tail.
-latency: build
-	dune exec bench/main.exe -- --latency --scale 0.001 --threads 2 \
-	  --ops 20000 --epoch-ms 1 --arrival-rate 10600000 --seed 1 \
-	  --date baseline --json _build/bench_latency.json
+# committed baseline, once per checkpoint policy. Every gated cell
+# (closed/open p50/p99/p999 of the per-op latency histogram, per-cause
+# stalled time) is simulated-clock, hence machine-independent and
+# bit-deterministic; only a code change can move them. Regenerate a
+# baseline by copying the matching _build/bench_latency*.json over its
+# BENCH_latency*.json when a change legitimately shifts the tail.
+LATENCY_FLAGS = --latency --scale 0.001 --threads 2 --ops 20000 \
+  --epoch-ms 1 --arrival-rate 10600000 --seed 1 --date baseline
+
+latency-throughput: build
+	dune exec bench/main.exe -- $(LATENCY_FLAGS) \
+	  --json _build/bench_latency.json
 	dune exec bin/bench_compare.exe -- --threshold $(BENCH_THRESHOLD) \
 	  BENCH_latency.json _build/bench_latency.json
+
+latency-latency: build
+	dune exec bench/main.exe -- $(LATENCY_FLAGS) --policy latency \
+	  --json _build/bench_latency_latency.json
+	dune exec bin/bench_compare.exe -- --threshold $(BENCH_THRESHOLD) \
+	  BENCH_latency_latency.json _build/bench_latency_latency.json
+
+latency-rto: build
+	dune exec bench/main.exe -- $(LATENCY_FLAGS) --policy rto \
+	  --json _build/bench_latency_rto.json
+	dune exec bin/bench_compare.exe -- --threshold $(BENCH_THRESHOLD) \
+	  BENCH_latency_rto.json _build/bench_latency_rto.json
+
+# Cross-policy improvement gate: the incremental-sweep latency policy
+# must beat the committed stop-the-world baseline by >= 2x on the
+# open-loop p999 and must not have grown the epoch_advance stalled time
+# (the sweep's whole point is moving that stall out of the op path).
+latency-improve: latency-throughput latency-latency
+	dune exec bin/bench_compare.exe -- \
+	  --improve open:p999:2.0 --improve-stall open:epoch_advance:1.0 \
+	  _build/bench_latency.json _build/bench_latency_latency.json
+
+latency: latency-throughput latency-latency latency-rto latency-improve
 
 microbench:
 	dune exec bin/microbench.exe -- --stores 200000 --spans 50000 \

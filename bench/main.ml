@@ -27,6 +27,7 @@ type opts = {
   mutable date : string option;  (* stamped into --json meta *)
   mutable arrival_rate : float option;  (* open-loop offered ops/sim-s *)
   mutable latency_threshold_ns : float;  (* attribution threshold *)
+  mutable policy : Nvm.Config.policy;  (* checkpoint scheduler under test *)
 }
 
 let opts =
@@ -45,6 +46,7 @@ let opts =
     date = None;
     arrival_rate = None;
     latency_threshold_ns = Bench_harness.Runner.default_latency_threshold_ns;
+    policy = Nvm.Config.Throughput;
   }
 
 let tracing () = opts.trace_file <> None
@@ -93,11 +95,13 @@ let selected name =
 
 let line fmt = Printf.printf (fmt ^^ "\n%!")
 
-let config ?(sfence_extra_ns = 0.0) ?(val_incll = true) ~keys ~threads () =
+let config ?(sfence_extra_ns = 0.0) ?(val_incll = true) ?policy ~keys
+    ~threads () =
+  let policy = Option.value policy ~default:opts.policy in
   let cfg =
     R.config_for ~sfence_extra_ns
       ~epoch_len_ns:(opts.epoch_ms *. 1e6)
-      ~val_incll
+      ~val_incll ~policy
       ~nkeys_per_shard:((keys / threads) + 1)
       ()
   in
@@ -885,6 +889,108 @@ let latency () =
   latency_json :=
     [ ("open", latency_mode_json open_); ("closed", latency_mode_json closed) ]
 
+(* The recovery-time / throughput / tail-latency tradeoff the adaptive
+   scheduler exposes (DESIGN.md §15): one row per policy over the same
+   workload. Closed-loop capacity and the open-loop tail come from the
+   harness (Counting mode); the recovery window from a Precise-mode
+   system crashed mid-epoch and recovered. Every cell is simulated-clock
+   and bit-deterministic. *)
+let policies () =
+  line "";
+  line
+    "=== beyond the paper: checkpoint policy tradeoff (INCLL, YCSB_A \
+     zipfian) ===";
+  line "    throughput = fixed-period stop-the-world wbinvd (the paper)";
+  line "    latency    = pressure-driven epochs + bounded incremental sweep";
+  line "    rto        = short epochs + aggressive pressure triggers";
+  let keys = nkeys () in
+  let threads = opts.threads in
+  let t =
+    Util.Table.create
+      ~columns:
+        [
+          "policy"; "Mops (sim)"; "open p999 us"; "epoch_advance ms";
+          "clwb_sweep ms"; "epochs"; "replayed"; "recovery sim ms";
+        ]
+  in
+  List.iter
+    (fun policy ->
+      let run_mode ?arrival_rate () =
+        R.run ~seed:opts.seed ~threads ~ops_per_thread:opts.ops
+          ~chunk:opts.chunk
+          ~config:(config ~policy ~keys ~threads ())
+          ?arrival_rate ~latency_threshold_ns:opts.latency_threshold_ns
+          ~variant:Sys_.Incll ~mix:Y.A ~dist:Y.Zipfian ~nkeys:keys ()
+      in
+      let closed = run_mode () in
+      let rate =
+        match opts.arrival_rate with
+        | Some r -> r
+        | None -> 0.9 *. closed.R.mops_sim *. 1e6
+      in
+      let open_ = run_mode ~arrival_rate:rate () in
+      let p999 =
+        match Obs.Registry.find_histogram open_.R.metrics "op.latency_ns" with
+        | Some h -> Obs.Histogram.percentile h 0.999 /. 1e3
+        | None -> 0.0
+      in
+      let stall cause =
+        List.fold_left
+          (fun a (c, _, total) -> if c = cause then a +. total else a)
+          0.0 (stall_sums open_)
+        /. 1e6
+      in
+      (* Recovery window: load, run a mixed tail so the crash lands
+         mid-epoch, crash, recover. RTO-style policies checkpoint more
+         often, so less work sits in the failed epoch. *)
+      let rkeys = max 2_000 (keys / 4) in
+      let cfg =
+        {
+          Sys_.nvm =
+            Nvm.Config.with_policy
+              {
+                Nvm.Config.default with
+                Nvm.Config.size_bytes = (rkeys * 400) + (48 * 1024 * 1024);
+                extlog_bytes = 8 * 1024 * 1024;
+                crash_support = Nvm.Config.Precise;
+              }
+              policy;
+          epoch_len_ns = opts.epoch_ms *. 1e6;
+          val_incll = true;
+        }
+      in
+      let s = Sys_.create ~config:cfg Sys_.Incll in
+      let rng = Util.Rng.create ~seed:opts.seed in
+      for i = 0 to rkeys - 1 do
+        Sys_.put s ~key:(Y.key_of_rank i) ~value:"12345678"
+      done;
+      for _ = 1 to rkeys / 2 do
+        let k = Y.key_of_rank (Util.Rng.int rng rkeys) in
+        if Util.Rng.bool rng then Sys_.put s ~key:k ~value:"abcdefgh"
+        else ignore (Sys_.get s ~key:k : string option)
+      done;
+      Sys_.crash s rng;
+      let s = Sys_.recover s in
+      let replayed, rec_ms =
+        match Sys_.last_recover_stats s with
+        | Some st ->
+            (st.Sys_.replayed_entries, st.Sys_.recovery_sim_ns /. 1e6)
+        | None -> (0, 0.0)
+      in
+      Util.Table.add_row t
+        [
+          Nvm.Config.policy_name policy;
+          Util.Table.cell_float closed.R.mops_sim;
+          Util.Table.cell_float p999;
+          Util.Table.cell_float (stall Obs.Stall.Epoch_advance);
+          Util.Table.cell_float (stall Obs.Stall.Clwb_sweep);
+          Util.Table.cell_int open_.R.epochs;
+          Util.Table.cell_int replayed;
+          Util.Table.cell_float rec_ms;
+        ])
+    [ Nvm.Config.Throughput; Nvm.Config.Latency; Nvm.Config.Rto ];
+  emit "policies" t
+
 (* ----------------------------------------------------------------- main *)
 
 let all_benches =
@@ -902,6 +1008,7 @@ let all_benches =
     ("ablation_valincll", ablation_valincll);
     ("ablation_internal", ablation_internal);
     ("latency", latency);
+    ("policies", policies);
     ("micro", micro);
   ]
 
@@ -910,7 +1017,7 @@ let usage () =
     "Usage: bench/main.exe [options]\n\
      \  --only NAMES   comma-separated subset (fig2..fig8, flushcost, recovery,\n\
      \                 ablation_epoch, ablation_valincll, ablation_internal,\n\
-     \                 latency, micro)\n\
+     \                 latency, policies, micro)\n\
      \  --latency      shorthand for --only latency: closed- and open-loop\n\
      \                 per-op latency percentiles with stall attribution\n\
      \  --arrival-rate R  open-loop offered load for the latency bench, in ops\n\
@@ -919,6 +1026,11 @@ let usage () =
      \  --latency-threshold-us F  attribution threshold: ops slower than this\n\
      \                 (simulated) are matched against the stall ledger\n\
      \                 (default 50)\n\
+     \  --policy P     checkpoint-scheduling policy: throughput (fixed-period\n\
+     \                 stop-the-world wbinvd, the paper's scheduler; default),\n\
+     \                 latency (pressure-driven epochs + bounded incremental\n\
+     \                 clwb sweep) or rto (short epochs, aggressive pressure\n\
+     \                 triggers; bounds the recovery window)\n\
      \  --scale F      fraction of the paper's 20M keys (default 0.01)\n\
      \  --threads N    worker domains / shards (default 8)\n\
      \  --ops N        operations per thread (default 50000)\n\
@@ -993,6 +1105,13 @@ let parse_args () =
     | "--latency-threshold-us" :: v :: rest ->
         opts.latency_threshold_ns <- float_of_string v *. 1e3;
         go rest
+    | "--policy" :: v :: rest ->
+        (match Nvm.Config.policy_of_string v with
+        | p -> opts.policy <- p
+        | exception Invalid_argument _ ->
+            prerr_endline "--policy must be throughput, latency or rto";
+            exit 2);
+        go rest
     | ("--help" | "-h") :: _ -> usage ()
     | x :: _ ->
         prerr_endline ("unknown argument: " ^ x);
@@ -1043,6 +1162,7 @@ let write_json_report path =
           | Some r -> Obs.Json.Float r
           | None -> Obs.Json.Null );
         ("latency_threshold_ns", Obs.Json.Float opts.latency_threshold_ns);
+        ("policy", Obs.Json.String (Nvm.Config.policy_name opts.policy));
         ( "variants",
           Obs.Json.List
             (List.map

@@ -12,6 +12,12 @@
    (from `bench --only latency`); its simulated-clock p50/p99/p999 and
    per-cause stall totals are gated higher-is-worse.
 
+   With --improve / --improve-stall the tool runs in improvement-gate
+   mode instead: regression gating is skipped (the reports are expected
+   to differ — e.g. different checkpoint policies) and the exit code
+   demands that the named latency percentile / stall total got at least
+   FACTOR times better in the new report.
+
    Exit codes: 0 no regression, 1 regression(s) found, 2 usage error,
    3 unreadable/incompatible reports. *)
 
@@ -34,13 +40,28 @@ let threshold =
 
 let force = ref false
 
+(* --improve MODE:PCTL:FACTOR / --improve-stall MODE:CAUSE:FACTOR specs:
+   improvement-gate mode, checked instead of the regression gates. *)
+let improves : (string * string * float) list ref = ref []
+let improve_stalls : (string * string * float) list ref = ref []
+
 let usage_exit () =
   prerr_endline
-    "usage: bench_compare [--threshold F] [--force] BASELINE.json NEW.json\n\
+    "usage: bench_compare [--threshold F] [--force]\n\
+     \       [--improve MODE:PCTL:FACTOR] [--improve-stall MODE:CAUSE:FACTOR]\n\
+     \       BASELINE.json NEW.json\n\
      \  --threshold F  relative throughput drop that fails the gate\n\
      \                 (default: $BENCH_COMPARE_THRESHOLD if set, else\n\
      \                 0.10 = 10%)\n\
-     \  --force        compare even when the run metadata is incompatible";
+     \  --force        compare even when the run metadata is incompatible\n\
+     \  --improve MODE:PCTL:FACTOR\n\
+     \                 improvement-gate mode (repeatable; disables the\n\
+     \                 regression gates): the latency section's merged PCTL\n\
+     \                 (e.g. p999) of MODE (open/closed) must be at least\n\
+     \                 FACTOR x smaller in NEW than in BASELINE\n\
+     \  --improve-stall MODE:CAUSE:FACTOR\n\
+     \                 same, for the per-cause stalled time (e.g.\n\
+     \                 open:epoch_advance:1.0 = must not grow)";
   exit 2
 
 let fail_input fmt =
@@ -125,7 +146,12 @@ let check_meta a b =
   (* A different seed is a different workload stream: comparable, but
      noisier — worth a note, not a refusal. *)
   if meta_field a "seed" <> meta_field b "seed" then
-    prerr_endline "bench_compare: note: seeds differ (different workload streams)"
+    prerr_endline "bench_compare: note: seeds differ (different workload streams)";
+  (* Different checkpoint policies are deliberately comparable (the
+     improvement gates exist exactly for that); pre-policy baselines
+     have no field at all. Note, don't refuse. *)
+  if meta_field a "policy" <> meta_field b "policy" then
+    prerr_endline "bench_compare: note: checkpoint policies differ"
 
 (* -------------------------------------------------------------- tables *)
 
@@ -317,6 +343,64 @@ let compare_latency a b =
         modes;
       (!compared, List.rev !regressions)
 
+
+(* ------------------------------------------------- improvement gates *)
+
+let parse_improve_spec flag v =
+  match String.split_on_char ':' v with
+  | [ mode; what; factor ] -> (
+      match float_of_string_opt factor with
+      | Some f when f > 0.0 -> (mode, what, f)
+      | _ ->
+          prerr_endline
+            (Printf.sprintf "bench_compare: bad FACTOR in %s %s" flag v);
+          usage_exit ())
+  | _ ->
+      prerr_endline
+        (Printf.sprintf "bench_compare: %s expects MODE:WHAT:FACTOR, got %s"
+           flag v);
+      usage_exit ()
+
+(* Improvement-gate mode: each spec demands NEW <= BASELINE / FACTOR on a
+   latency-section cell. Used to enforce "the latency policy makes the
+   open-loop p999 at least 2x better than the committed default-policy
+   baseline" — a cross-policy comparison where the regression gates
+   would misfire by design (stalled time deliberately moves from
+   epoch_advance to clwb_sweep). *)
+let check_improvements a b =
+  let failures = ref [] and compared = ref 0 in
+  let cell report mode path =
+    Option.bind (J.find_path report ("latency" :: mode :: path)) J.to_float_opt
+  in
+  let gate label mode path factor =
+    match (cell a mode path, cell b mode path) with
+    | Some va, Some vb ->
+        incr compared;
+        let ratio = if vb > 0.0 then va /. vb else infinity in
+        let ok = vb <= (va /. factor) +. 1e-9 in
+        Printf.printf
+          "improve | %-6s | %-22s %12.0f -> %12.0f  (%.2fx, need >= %.2fx)%s\n"
+          mode label va vb ratio factor
+          (if ok then "" else "  << NOT MET");
+        if not ok then
+          failures :=
+            Printf.sprintf "%s %s: %.0f -> %.0f (%.2fx < %.2fx)" mode label va
+              vb ratio factor
+            :: !failures
+    | _ ->
+        failures :=
+          Printf.sprintf "%s %s: missing in one report" mode label
+          :: !failures
+  in
+  List.iter
+    (fun (mode, pctl, factor) -> gate pctl mode [ "merged"; pctl ] factor)
+    !improves;
+  List.iter
+    (fun (mode, cause, factor) ->
+      gate ("stall." ^ cause) mode [ "stall_totals"; cause; "total_ns" ] factor)
+    !improve_stalls;
+  (!compared, List.rev !failures)
+
 let () =
   let files = ref [] in
   let rec parse = function
@@ -328,6 +412,12 @@ let () =
         parse rest
     | "--force" :: rest ->
         force := true;
+        parse rest
+    | "--improve" :: v :: rest ->
+        improves := parse_improve_spec "--improve" v :: !improves;
+        parse rest
+    | "--improve-stall" :: v :: rest ->
+        improve_stalls := parse_improve_spec "--improve-stall" v :: !improve_stalls;
         parse rest
     | ("--help" | "-h") :: _ -> usage_exit ()
     | x :: _ when String.length x > 1 && x.[0] = '-' ->
@@ -341,19 +431,37 @@ let () =
   match List.rev !files with
   | [ base; next ] ->
       let a = read_report base and b = read_report next in
-      check_meta a b;
-      let compared_t, reg_t = compare_tables a b in
-      let compared_l, reg_l = compare_latency a b in
-      let compared = compared_t + compared_l in
-      let regressions = reg_t @ reg_l in
-      if compared = 0 then
-        fail_input "no comparable gated cells found (wrong files?)";
-      Printf.printf "%d gated cell(s) compared, threshold %.0f%%\n" compared
-        (!threshold *. 100.0);
-      if regressions = [] then print_endline "no regressions"
+      if !improves <> [] || !improve_stalls <> [] then begin
+        (* Cross-policy comparisons are expected to differ in the policy
+           meta field; everything else must still match. *)
+        check_meta a b;
+        let compared, failures = check_improvements a b in
+        if compared = 0 && failures = [] then
+          fail_input "no improvement cells found (wrong files?)";
+        Printf.printf "%d improvement cell(s) checked\n" compared;
+        if failures = [] then print_endline "all improvement gates met"
+        else begin
+          Printf.printf "%d improvement gate(s) NOT met:\n"
+            (List.length failures);
+          List.iter (fun r -> print_endline ("  " ^ r)) failures;
+          exit 1
+        end
+      end
       else begin
-        Printf.printf "%d regression(s):\n" (List.length regressions);
-        List.iter (fun r -> print_endline ("  " ^ r)) regressions;
-        exit 1
+        check_meta a b;
+        let compared_t, reg_t = compare_tables a b in
+        let compared_l, reg_l = compare_latency a b in
+        let compared = compared_t + compared_l in
+        let regressions = reg_t @ reg_l in
+        if compared = 0 then
+          fail_input "no comparable gated cells found (wrong files?)";
+        Printf.printf "%d gated cell(s) compared, threshold %.0f%%\n" compared
+          (!threshold *. 100.0);
+        if regressions = [] then print_endline "no regressions"
+        else begin
+          Printf.printf "%d regression(s):\n" (List.length regressions);
+          List.iter (fun r -> print_endline ("  " ^ r)) regressions;
+          exit 1
+        end
       end
   | _ -> usage_exit ()

@@ -15,6 +15,7 @@ let usage () =
   prerr_endline
     "usage: chaos.exe [--seeds S1,S2,..] [--ops N] [--nkeys N]\n\
     \       [--crash-period N] [--shards N] [--txn-period N] [--txn-writes N]\n\
+    \       [--policy throughput|latency|rto]\n\
     \       [--schedule SITE[:HIT],..] [--json FILE]\n\
     \       [--save-image FILE] [--minimize] [--repro FILE]\n\
     \       [--replay FILE] [--sites] [--verbose]";
@@ -28,6 +29,7 @@ let () =
   let shards = ref T.default.T.shards in
   let txn_period = ref T.default.T.txn_period in
   let txn_writes = ref T.default.T.txn_writes in
+  let policy = ref T.default.T.policy in
   let schedule = ref [] in
   let json_out = ref None in
   let save_image = ref None in
@@ -60,6 +62,9 @@ let () =
         parse rest
     | "--txn-writes" :: v :: rest ->
         txn_writes := int_of_string v;
+        parse rest
+    | "--policy" :: v :: rest ->
+        policy := Nvm.Config.policy_of_string v;
         parse rest
     | "--schedule" :: v :: rest ->
         schedule := Chaos.Plan.parse v;
@@ -102,6 +107,7 @@ let () =
       shards = !shards;
       txn_period = !txn_period;
       txn_writes = !txn_writes;
+      policy = !policy;
       schedule = !schedule;
       verbose = !verbose;
     }
@@ -142,7 +148,10 @@ let () =
   let runs =
     List.map
       (fun cfg ->
-        Printf.printf "chaos: seed %d, %d ops%s%s...%!" cfg.T.seed cfg.T.ops
+        Printf.printf "chaos: seed %d, %d ops%s%s%s...%!" cfg.T.seed cfg.T.ops
+          (match cfg.T.policy with
+          | Nvm.Config.Throughput -> ""
+          | p -> ", policy " ^ Nvm.Config.policy_name p)
           (if cfg.T.shards > 1 || cfg.T.txn_period > 0 then
              Printf.sprintf ", %d shards, txn 1/%d" cfg.T.shards
                cfg.T.txn_period

@@ -1,7 +1,8 @@
 (* A small interactive/scripted shell over a durable store — handy for
    poking at the system and for demos.
 
-   Run with: dune exec bin/incll_cli.exe [-- --variant INCLL --shards 2]
+   Run with: dune exec bin/incll_cli.exe
+     [-- --variant INCLL --shards 2 --policy latency]
    Then type `help` at the prompt, or pipe a script on stdin. *)
 
 module S = Store.Sharded
@@ -37,21 +38,24 @@ let usage =
   help                    this text
   quit                    exit|}
 
-let config =
+let config_for policy =
   {
     Sys_.default_config with
     Sys_.nvm =
-      {
-        Nvm.Config.default with
-        Nvm.Config.size_bytes = 64 * 1024 * 1024;
-        extlog_bytes = 4 * 1024 * 1024;
-      };
+      Nvm.Config.with_policy
+        {
+          Nvm.Config.default with
+          Nvm.Config.size_bytes = 64 * 1024 * 1024;
+          extlog_bytes = 4 * 1024 * 1024;
+        }
+        policy;
     epoch_len_ns = 16.0e6;
   }
 
 let () =
   let variant = ref Sys_.Incll in
   let shards = ref 1 in
+  let policy = ref Nvm.Config.Throughput in
   let rec parse = function
     | [] -> ()
     | "--variant" :: v :: rest ->
@@ -60,16 +64,26 @@ let () =
     | "--shards" :: v :: rest ->
         shards := int_of_string v;
         parse rest
+    | "--policy" :: v :: rest ->
+        (match Nvm.Config.policy_of_string v with
+        | p -> policy := p
+        | exception Invalid_argument _ ->
+            prerr_endline
+              ("unknown policy " ^ v ^ " (throughput|latency|rto)");
+            exit 2);
+        parse rest
     | x :: _ ->
         prerr_endline ("unknown argument " ^ x);
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
+  let config = config_for !policy in
   let store = ref (S.create ~config !variant ~shards:!shards) in
   let crashed = ref false in
-  Printf.printf "incll shell — %s, %d shard(s). Type `help`.\n%!"
+  Printf.printf "incll shell — %s, %d shard(s), %s policy. Type `help`.\n%!"
     (Sys_.variant_name !variant)
-    !shards;
+    !shards
+    (Nvm.Config.policy_name !policy);
   let interactive = Unix.isatty Unix.stdin in
   (try
      while true do

@@ -37,7 +37,7 @@ type result = {
 }
 
 let config_for ?(sfence_extra_ns = 0.0) ?(epoch_len_ns = 64.0e6)
-    ?(val_incll = true) ~nkeys_per_shard () =
+    ?(val_incll = true) ?(policy = Nvm.Config.Throughput) ~nkeys_per_shard () =
   (* ~150 bytes of steady-state NVM per key (value chunk + amortised node),
      plus slack for epoch churn and the log. *)
   let heap = (nkeys_per_shard * 320) + (24 * 1024 * 1024) in
@@ -52,6 +52,7 @@ let config_for ?(sfence_extra_ns = 0.0) ?(epoch_len_ns = 64.0e6)
         { Nvm.Config.default_cost_model with Nvm.Config.sfence_extra_ns };
     }
   in
+  let nvm = Nvm.Config.with_policy nvm policy in
   { Incll.System.nvm; epoch_len_ns; val_incll }
 
 let apply_op sys op =

@@ -75,11 +75,14 @@ val config_for :
   ?sfence_extra_ns:float ->
   ?epoch_len_ns:float ->
   ?val_incll:bool ->
+  ?policy:Nvm.Config.policy ->
   nkeys_per_shard:int ->
   unit ->
   Incll.System.config
 (** Size the region (Counting mode — throughput runs never crash) to the
-    working set, leaving head-room for the external log and churn. *)
+    working set, leaving head-room for the external log and churn.
+    [policy] selects the checkpoint scheduler (default
+    [Nvm.Config.Throughput], the paper's fixed-period wbinvd). *)
 
 val default_chunk : int
 (** Default measured-loop batch size (4096 ops). *)

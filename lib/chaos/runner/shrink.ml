@@ -33,6 +33,7 @@ let repro_to_json (cfg : Torture.config) (out : Torture.outcome) =
       ("ops", J.Int cfg.Torture.ops);
       ("nkeys", J.Int cfg.Torture.nkeys);
       ("epoch_len_ns", J.Float cfg.Torture.epoch_len_ns);
+      ("policy", J.String (Nvm.Config.policy_name cfg.Torture.policy));
       ("size_bytes", J.Int cfg.Torture.size_bytes);
       ("extlog_bytes", J.Int cfg.Torture.extlog_bytes);
       ("crash_period", J.Int cfg.Torture.crash_period);
@@ -78,6 +79,10 @@ let config_of_json j =
     nkeys = int "nkeys" d.Torture.nkeys;
     seed = int "seed" d.Torture.seed;
     epoch_len_ns = flt "epoch_len_ns" d.Torture.epoch_len_ns;
+    policy =
+      (match J.find j "policy" with
+      | Some (J.String s) -> Nvm.Config.policy_of_string s
+      | _ -> d.Torture.policy);
     size_bytes = int "size_bytes" d.Torture.size_bytes;
     extlog_bytes = int "extlog_bytes" d.Torture.extlog_bytes;
     crash_period = int "crash_period" d.Torture.crash_period;

@@ -6,6 +6,7 @@ type config = {
   nkeys : int;
   seed : int;
   epoch_len_ns : float;
+  policy : Nvm.Config.policy;
   size_bytes : int;
   extlog_bytes : int;
   crash_period : int;
@@ -39,6 +40,7 @@ let default =
     nkeys = 1_000;
     seed = 7;
     epoch_len_ns = 0.2e6;  (* short epochs -> many checkpoints *)
+    policy = Nvm.Config.Throughput;
     size_bytes = 32 * 1024 * 1024;
     extlog_bytes = 2 * 1024 * 1024;
     crash_period = 2_000;
@@ -75,11 +77,13 @@ let run ?save_image cfg =
     {
       Sys_.default_config with
       Sys_.nvm =
-        {
-          Nvm.Config.default with
-          Nvm.Config.size_bytes = cfg.size_bytes;
-          extlog_bytes = cfg.extlog_bytes;
-        };
+        Nvm.Config.with_policy
+          {
+            Nvm.Config.default with
+            Nvm.Config.size_bytes = cfg.size_bytes;
+            extlog_bytes = cfg.extlog_bytes;
+          }
+          cfg.policy;
       epoch_len_ns = cfg.epoch_len_ns;
     }
   in

@@ -17,6 +17,11 @@ type config = {
   nkeys : int;
   seed : int;
   epoch_len_ns : float;
+  policy : Nvm.Config.policy;
+      (** checkpoint-scheduling policy under test (default
+          [Throughput] = the paper's stop-the-world wbinvd; [Latency] /
+          [Rto] exercise the incremental sweep and its
+          [epoch.sweep_partial] crash site) *)
   size_bytes : int;
   extlog_bytes : int;
   crash_period : int;

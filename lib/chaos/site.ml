@@ -14,6 +14,7 @@ type t =
   | Recover_txn_resolve
   | Recover_eager_sweep
   | Recover_checkpoint
+  | Sweep_partial
 
 let all =
   [
@@ -32,6 +33,7 @@ let all =
     Recover_txn_resolve;
     Recover_eager_sweep;
     Recover_checkpoint;
+    Sweep_partial;
   ]
 
 let index = function
@@ -50,12 +52,14 @@ let index = function
   | Recover_txn_resolve -> 12
   | Recover_eager_sweep -> 13
   | Recover_checkpoint -> 14
+  | Sweep_partial -> 15
 
 let count = List.length all
 
 let to_string = function
   | Epoch_advance -> "epoch_advance"
   | Post_checkpoint -> "post_checkpoint"
+  | Sweep_partial -> "epoch.sweep_partial"
   | Sfence -> "sfence"
   | Merge_limbo -> "merge_limbo"
   | Extlog_append -> "extlog_append"
@@ -83,6 +87,6 @@ let is_recovery = function
   | Recover_image_scan | Recover_txn_resolve | Recover_eager_sweep
   | Recover_checkpoint | Txn_rollback ->
       true
-  | Epoch_advance | Post_checkpoint | Sfence | Merge_limbo | Extlog_append
-  | Txn_prepare | Txn_commit_record ->
+  | Epoch_advance | Post_checkpoint | Sweep_partial | Sfence | Merge_limbo
+  | Extlog_append | Txn_prepare | Txn_commit_record ->
       false

@@ -41,6 +41,12 @@ type t =
           their coordinator's watermark (redo or rollback) *)
   | Recover_eager_sweep  (** recovery, before an eager sweep (if any) *)
   | Recover_checkpoint  (** recovery, before the final checkpoint *)
+  | Sweep_partial
+      (** inside an in-progress incremental checkpoint sweep, before the
+          next bounded [Region.flush_some] quantum — some of the open
+          epoch's lines already persisted, the rest still dirty, the
+          durable epoch word not yet advanced. Recovery must treat this
+          torn sweep exactly like a torn [wbinvd]. *)
 
 val all : t list
 (** Every site, in declaration order. *)

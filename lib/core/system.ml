@@ -75,6 +75,14 @@ let subscribe_log_truncation em log =
   Epoch.Manager.subscribe_post_advance em (fun () ->
       Extlog.Log.truncate log ~epoch:(Epoch.Manager.current em))
 
+(* Feed the adaptive scheduler's log-pressure trigger (DESIGN.md §15):
+   checkpointing early when the log nears capacity converts synchronous
+   log-wrap advances on the op path into scheduled ones. *)
+let subscribe_log_pressure em log =
+  Epoch.Manager.set_log_pressure em (fun () ->
+      float_of_int (Extlog.Log.used log)
+      /. float_of_int (max 1 (Extlog.Log.capacity log)))
+
 let create ?(config = default_config) variant =
   let region = Nvm.Region.create config.nvm in
   Nvm.Superblock.format region;
@@ -120,6 +128,7 @@ let create ?(config = default_config) variant =
       let log = Extlog.Log.attach region in
       Extlog.Log.truncate log ~epoch:(Epoch.Manager.current em);
       subscribe_log_truncation em log;
+      subscribe_log_pressure em log;
       let ctx = Ctx.make em log in
       let tree =
         Masstree.Tree.create region
@@ -340,6 +349,7 @@ let recover_region ?txn_probe ~variant ~config region =
     phase "recover.alloc_chains" (fun () -> Alloc.Durable.open_after_crash em)
   in
   subscribe_log_truncation em log;
+  subscribe_log_pressure em log;
   let ctx = Ctx.make em log in
   let hooks = hooks_for variant config ctx in
   (* Scan the persisted image for the tree root and reattach; leaves are

@@ -3,6 +3,14 @@ exception Failed_set_full
 type t = {
   region : Nvm.Region.t;
   epoch_len_ns : float;
+  (* Adaptive-scheduler knobs, copied from the region's [Nvm.Config]
+     (DESIGN.md §15). [sweep_budget > 0] selects the incremental-sweep
+     drain; 0 is the paper's stop-the-world wbinvd. *)
+  sweep_budget : int;
+  dirty_trigger : int;  (* advance early at this many dirty lines; 0 = off *)
+  log_trigger_frac : float;  (* advance early at this extlog fill; 0. = off *)
+  mutable log_pressure : unit -> float;  (* extlog fill fraction, 0..1 *)
+  mutable sweeping : bool;  (* a boundary is recorded, quanta in flight *)
   mutable current : int;
   mutable first_epoch_of_run : int;
   mutable crashed_epoch : int option;
@@ -14,6 +22,9 @@ type t = {
   h_epoch_len : Obs.Histogram.t;  (* completed epoch lengths, sim ns *)
   h_epoch_dirty : Obs.Histogram.t;  (* dirty lines flushed per checkpoint *)
   c_advances : int ref;  (* "epoch.advances" registry counter *)
+  c_adv_timer : int ref;  (* boundaries started by the period timer *)
+  c_adv_dirty : int ref;  (* boundaries started by dirty-line pressure *)
+  c_adv_log : int ref;  (* boundaries started by extlog pressure *)
   s_dirty : Obs.Series.t;  (* dirty-line occupancy at each boundary *)
   s_pending : Obs.Series.t;  (* pending write-back depth at each boundary *)
 }
@@ -165,18 +176,44 @@ let observables region =
   ( Obs.Registry.histogram m "epoch.len_ns",
     Obs.Registry.histogram m "epoch.dirty_lines",
     Obs.Registry.counter m "epoch.advances",
+    Obs.Registry.counter m "epoch.advance.timer",
+    Obs.Registry.counter m "epoch.advance.pressure_dirty",
+    Obs.Registry.counter m "epoch.advance.pressure_log",
     Nvm.Region.series region "epoch.dirty_lines",
     Nvm.Region.series region "epoch.pending_wb" )
 
+let no_log_pressure () = 0.0
+
+let scheduler_knobs region ~epoch_len_ns =
+  let cfg = Nvm.Region.config region in
+  let epoch_len_ns =
+    match cfg.Nvm.Config.policy with
+    | Nvm.Config.Rto -> epoch_len_ns /. Nvm.Config.rto_epoch_divisor
+    | Nvm.Config.Throughput | Nvm.Config.Latency -> epoch_len_ns
+  in
+  ( epoch_len_ns,
+    cfg.Nvm.Config.sweep_budget_lines,
+    cfg.Nvm.Config.dirty_trigger_lines,
+    cfg.Nvm.Config.log_trigger_frac )
+
 let create ?(epoch_len_ns = default_epoch_len_ns) region =
   Nvm.Superblock.check region;
-  let h_epoch_len, h_epoch_dirty, c_advances, s_dirty, s_pending =
+  let h_epoch_len, h_epoch_dirty, c_advances, c_adv_timer, c_adv_dirty,
+      c_adv_log, s_dirty, s_pending =
     observables region
+  in
+  let epoch_len_ns, sweep_budget, dirty_trigger, log_trigger_frac =
+    scheduler_knobs region ~epoch_len_ns
   in
   let t =
     {
       region;
       epoch_len_ns;
+      sweep_budget;
+      dirty_trigger;
+      log_trigger_frac;
+      log_pressure = no_log_pressure;
+      sweeping = false;
       current = 2;
       first_epoch_of_run = 2;
       crashed_epoch = None;
@@ -188,6 +225,9 @@ let create ?(epoch_len_ns = default_epoch_len_ns) region =
       h_epoch_len;
       h_epoch_dirty;
       c_advances;
+      c_adv_timer;
+      c_adv_dirty;
+      c_adv_log;
       s_dirty;
       s_pending;
     }
@@ -201,13 +241,22 @@ let open_after_crash ?(epoch_len_ns = default_epoch_len_ns) region =
   Nvm.Superblock.check region;
   let crashed = read_durable_epoch region in
   if crashed < 2 then failwith "Manager: corrupt durable epoch index";
-  let h_epoch_len, h_epoch_dirty, c_advances, s_dirty, s_pending =
+  let h_epoch_len, h_epoch_dirty, c_advances, c_adv_timer, c_adv_dirty,
+      c_adv_log, s_dirty, s_pending =
     observables region
+  in
+  let epoch_len_ns, sweep_budget, dirty_trigger, log_trigger_frac =
+    scheduler_knobs region ~epoch_len_ns
   in
   let t =
     {
       region;
       epoch_len_ns;
+      sweep_budget;
+      dirty_trigger;
+      log_trigger_frac;
+      log_pressure = no_log_pressure;
+      sweeping = false;
       current = crashed + 1;  (* the recovery-marker epoch *)
       first_epoch_of_run = crashed + 1;
       crashed_epoch = Some crashed;
@@ -219,6 +268,9 @@ let open_after_crash ?(epoch_len_ns = default_epoch_len_ns) region =
       h_epoch_len;
       h_epoch_dirty;
       c_advances;
+      c_adv_timer;
+      c_adv_dirty;
+      c_adv_log;
       s_dirty;
       s_pending;
     }
@@ -232,11 +284,18 @@ let open_after_crash ?(epoch_len_ns = default_epoch_len_ns) region =
   Obs.Stall.set_epoch (Nvm.Region.stalls region) t.current;
   t
 
-let advance t =
+(* Record the epoch boundary: fault hook, boundary observability, the
+   open "checkpoint" span. Under the stop-the-world scheduler this is
+   immediately followed by [finalize]; under the incremental sweep it
+   starts the sweep window and quanta run between ops until the dirty
+   set is drained. *)
+let record_boundary t =
   (* Fault-injection hooks: [Epoch_advance] kills the checkpoint before
-     anything was flushed; [Post_checkpoint] (below) kills it after the
-     new durable epoch is fenced but before the subscribers (limbo
-     merge, log truncation) have run in the new epoch. *)
+     anything was flushed; [Sweep_partial] (in [sweep_step]) kills it
+     mid-sweep with part of the epoch persisted; [Post_checkpoint] (in
+     [finalize]) kills it after the new durable epoch is fenced but
+     before the subscribers (limbo merge, log truncation) have run in
+     the new epoch. *)
   Chaos.Plan.fire Chaos.Site.Epoch_advance;
   let now = Nvm.Stats.sim_ns (Nvm.Region.stats t.region) in
   Obs.Histogram.record t.h_epoch_len (now -. t.epoch_start_ns);
@@ -250,18 +309,51 @@ let advance t =
   incr t.c_advances;
   Nvm.Region.trace_event t.region
     (Obs.Trace.Epoch_advance { epoch = t.current + 1 });
-  let spans = Nvm.Region.spans t.region in
-  Obs.Span.begin_ spans "checkpoint";
-  (* The stop-the-world window: every in-flight op waits for the flush
-     and the durable-epoch fence. The scope swallows the wbinvd/sfence
-     leaf recordings; subscribers (limbo merge, log truncation) run in
-     the new epoch and attribute their own stalls. *)
+  Obs.Span.begin_ (Nvm.Region.spans t.region) "checkpoint"
+
+(* Complete the checkpoint whose boundary [record_boundary] recorded.
+
+   Ordering invariant (the durability argument of §3/§4): the store to
+   the durable epoch word is ISSUED only after every epoch-[e] line —
+   including the failed-set slots and the sweep-floor word at
+   [Layout.off_sweep_floor] — has been committed to the persisted image
+   by the drain. That issue-after-drain ordering is what makes the word
+   trustworthy: under PCSO a crash may persist the word's pending store
+   even before its own clwb+sfence complete, so the fence after the word
+   does NOT order it against the data flush — it only bounds when
+   recovery observes [e+1] rather than [e] (both are complete
+   checkpoints, hence both are legal recovery points). The asserts spell
+   the invariant out for the incremental sweep, where the drain is
+   spread over many quanta instead of one wbinvd. *)
+let finalize t =
   let stalls = Nvm.Region.stalls t.region in
-  Obs.Stall.enter stalls Obs.Stall.Epoch_advance ~now;
-  Nvm.Region.wbinvd t.region;
+  (* The stop-the-world remainder: every in-flight op waits for the
+     drain and the durable-epoch fence. The scope swallows the
+     wbinvd/sweep/sfence leaf recordings; subscribers (limbo merge, log
+     truncation) run in the new epoch and attribute their own stalls.
+     Under the incremental sweep only the final drain remainder (usually
+     zero lines) and the epoch-word fence land here — the bulk of the
+     flush was already attributed to [clwb_sweep] quanta. *)
+  Obs.Stall.enter stalls Obs.Stall.Epoch_advance
+    ~now:(Nvm.Stats.sim_ns (Nvm.Region.stats t.region));
+  if t.sweep_budget > 0 then begin
+    while Nvm.Region.dirty_line_count t.region > 0 do
+      ignore (Nvm.Region.flush_some t.region ~budget_lines:t.sweep_budget : int)
+    done;
+    (* Mirror wbinvd's post-flush state: every line is committed, so the
+       pending write-back set holds only stale (already-clean) entries. *)
+    Nvm.Region.clear_pending_wb t.region;
+    assert (Nvm.Region.dirty_line_count t.region = 0);
+    assert (
+      not
+        (Nvm.Region.is_dirty_line t.region
+           (Nvm.Region.line_of_addr Nvm.Layout.off_sweep_floor)))
+  end
+  else Nvm.Region.wbinvd t.region;
   write_durable_epoch t (t.current + 1);
   Obs.Stall.exit stalls ~now:(Nvm.Stats.sim_ns (Nvm.Region.stats t.region));
-  ignore (Obs.Span.end_ spans "checkpoint" : float);
+  ignore (Obs.Span.end_ (Nvm.Region.spans t.region) "checkpoint" : float);
+  t.sweeping <- false;
   t.current <- t.current + 1;
   t.advances <- t.advances + 1;
   Obs.Stall.set_epoch stalls t.current;
@@ -269,13 +361,65 @@ let advance t =
   Chaos.Plan.fire Chaos.Site.Post_checkpoint;
   run_subscribers t
 
-let maybe_advance t =
-  let now = Nvm.Stats.sim_ns (Nvm.Region.stats t.region) in
-  if now -. t.epoch_start_ns >= t.epoch_len_ns then begin
-    advance t;
+let advance t =
+  (* Forced synchronous checkpoint (extlog wrap, recovery, explicit
+     callers): if a sweep is mid-flight, drain and fence it now rather
+     than starting a second boundary. *)
+  if not t.sweeping then record_boundary t;
+  finalize t
+
+(* One interleaved sweep quantum; returns true iff this quantum drained
+   the dirty set and fenced the boundary. *)
+let sweep_step t =
+  Chaos.Plan.fire Chaos.Site.Sweep_partial;
+  let remaining = Nvm.Region.flush_some t.region ~budget_lines:t.sweep_budget in
+  if remaining = 0 then begin
+    finalize t;
     true
   end
   else false
+
+let sweeping t = t.sweeping
+
+let set_log_pressure t f = t.log_pressure <- f
+
+let maybe_advance t =
+  let now = Nvm.Stats.sim_ns (Nvm.Region.stats t.region) in
+  if t.sweeping then
+    (* Convergence guard: ops keep dirtying lines while the sweep runs;
+       the budget normally outpaces them, but if a sweep somehow lingers
+       a whole extra period past the boundary it is drained
+       synchronously rather than left open forever. *)
+    if now -. t.epoch_start_ns >= 2.0 *. t.epoch_len_ns then begin
+      finalize t;
+      true
+    end
+    else sweep_step t
+  else begin
+    let trigger =
+      if now -. t.epoch_start_ns >= t.epoch_len_ns then Some t.c_adv_timer
+      else if
+        t.dirty_trigger > 0
+        && Nvm.Region.dirty_line_count t.region >= t.dirty_trigger
+      then Some t.c_adv_dirty
+      else if t.log_trigger_frac > 0.0 && t.log_pressure () >= t.log_trigger_frac
+      then Some t.c_adv_log
+      else None
+    in
+    match trigger with
+    | None -> false
+    | Some cause ->
+        incr cause;
+        if t.sweep_budget > 0 then begin
+          record_boundary t;
+          t.sweeping <- true;
+          sweep_step t
+        end
+        else begin
+          advance t;
+          true
+        end
+  end
 
 let lower16 e = e land 0xffff
 let higher e = e lsr 16

@@ -5,10 +5,26 @@
     default, like the paper's Masstree reclamation interval). Advancing from
     epoch [e] to [e+1] is the checkpoint:
 
-    + [wbinvd] — every modification of epoch [e] reaches NVM;
+    + drain — every modification of epoch [e] reaches NVM, either via the
+      paper's stop-the-world [wbinvd] or via bounded incremental
+      [Region.flush_some] quanta interleaved with op execution (the
+      adaptive scheduler of DESIGN.md §15, selected by
+      [Nvm.Config.policy]);
     + the durable epoch index is set to [e+1] and flushed;
     + subscribers run in the new epoch (external-log truncation, allocator
       limbo merging).
+
+    Ordering: the epoch-word store is {e issued} strictly after the drain
+    completes — that issue ordering, not the fence that follows the word,
+    is what makes the index trustworthy. Under PCSO a crash can persist
+    an issued store before its clwb+sfence retire, so the word's fence
+    cannot order it against the data flush; it only bounds when recovery
+    observes [e+1] instead of [e] (both are completed checkpoints, hence
+    both legal recovery points). The incremental sweep preserves the same
+    invariant — the word is issued only once the dirty set (including the
+    failed-epoch slots and the sweep-floor word) is fully committed, and
+    [advance] asserts it — so a crash mid-sweep recovers exactly like a
+    crash mid-wbinvd: durable index still [e], epoch [e] rolled back.
 
     If a crash happens while the durable index reads [f], recovery adds [f]
     to the durable failed-epoch set and rolls the structures back to the
@@ -66,11 +82,37 @@ val failed_slots : t -> int
 val failed_list : t -> int list
 
 val advance : t -> unit
-(** Perform a checkpoint now. *)
+(** Perform a checkpoint now, synchronously. If an incremental sweep is
+    mid-flight (see {!maybe_advance}), its remainder is drained and the
+    same boundary fenced — a forced advance (extlog wrap, recovery) never
+    starts a second boundary. *)
 
 val maybe_advance : t -> bool
-(** Checkpoint iff the simulated clock has moved [epoch_len_ns] past the
-    current epoch's start; returns whether it advanced. *)
+(** The adaptive scheduler's per-op hook; returns whether the epoch
+    advanced (a completed, fenced checkpoint — in-flight sweep quanta
+    return [false]).
+
+    Under the stop-the-world drain ([sweep_budget_lines = 0]):
+    checkpoint iff the simulated clock has moved [epoch_len_ns] past the
+    current epoch's start (plus the pressure triggers below), exactly as
+    before.
+
+    Under the incremental sweep ([sweep_budget_lines > 0]): a trigger —
+    period elapsed, [dirty_trigger_lines] dirty lines, or the external
+    log [log_trigger_frac] full — records the epoch boundary and starts
+    the sweep; each subsequent call runs one bounded
+    [Region.flush_some] quantum, so no single stall exceeds the budget;
+    the quantum that drains the dirty set fences the durable epoch word
+    and completes the checkpoint. A sweep that lingers a whole extra
+    period is completed synchronously (convergence guard). *)
+
+val sweeping : t -> bool
+(** Whether a boundary is recorded with its sweep still in flight. *)
+
+val set_log_pressure : t -> (unit -> float) -> unit
+(** Provide the external-log fill fraction (0..1) consulted by the
+    [log_trigger_frac] pressure trigger ([Incll.System] wires this to
+    [Extlog.Log.used / capacity]; default constant 0). *)
 
 val epoch_len_ns : t -> float
 val epochs_elapsed : t -> int

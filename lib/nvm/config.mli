@@ -50,6 +50,28 @@ type crash_support =
   | Precise  (** Additionally keep per-line pending-write logs and a
                  persisted image, enabling PCSO-faithful crash injection. *)
 
+(** Checkpoint-scheduling policy (DESIGN.md §15). Selects how the epoch
+    manager drains the dirty set at a checkpoint and when it decides to
+    start one; durability semantics are identical under every policy. *)
+type policy =
+  | Throughput
+      (** The paper's scheduler: fixed-period epochs, stop-the-world
+          [wbinvd] flush. Default; bit-identical to the pre-policy
+          behaviour. *)
+  | Latency
+      (** Tail-optimised: incremental bounded clwb sweep interleaved with
+          op execution (no single stall exceeds the sweep budget), with
+          dirty-line and extlog pressure starting checkpoints early. *)
+  | Rto
+      (** Recovery-time-optimised: short epochs (period divided by
+          {!rto_epoch_divisor}) and aggressive pressure triggers bound the
+          rollback window and the replayable log at a throughput cost. *)
+
+val policy_name : policy -> string
+val policy_of_string : string -> policy
+(** Inverse of {!policy_name}; raises [Invalid_argument] on anything
+    else. *)
+
 type t = {
   size_bytes : int;  (** Size of the persistent region. *)
   extlog_bytes : int;  (** Size of the external-log slice of the region. *)
@@ -69,6 +91,19 @@ type t = {
       (** Capacity (events) of the region's trace ring. The default 4096
           suffices for interactive poking; timeline exports
           ([bench --trace]) raise it so whole epochs survive the ring. *)
+  policy : policy;
+  sweep_budget_lines : int;
+      (** Max dirty lines committed per incremental sweep quantum
+          ({!Region.flush_some}); 0 = stop-the-world [wbinvd] at the
+          checkpoint (the {!Throughput} scheduler). *)
+  dirty_trigger_lines : int;
+      (** Start a checkpoint early once this many lines are dirty
+          (0 = timer only). *)
+  log_trigger_frac : float;
+      (** Start a checkpoint early once the external log is this full
+          (fraction of capacity; 0.0 = timer only). Truncation at the
+          checkpoint reclaims the log, so this trigger averts synchronous
+          log-wrap advances on the op path. *)
   cost : cost_model;
 }
 
@@ -78,3 +113,10 @@ val with_size : t -> int -> t
 val with_crash_support : t -> crash_support -> t
 val with_sfence_extra_ns : t -> float -> t
 val with_max_dirty_lines : t -> int option -> t
+
+val with_policy : t -> policy -> t
+(** Set [policy] and reset the sweep/pressure knobs to that policy's
+    presets (override individual fields afterwards for custom shapes). *)
+
+val rto_epoch_divisor : float
+(** Epoch-period divisor applied by the epoch manager under {!Rto}. *)

@@ -33,6 +33,7 @@ type t = {
   stalls : Obs.Stall.t;  (* attributed stall intervals, simulated clock *)
   h_sfence : Obs.Histogram.t;  (* per-sfence latency, ns *)
   h_wbinvd : Obs.Histogram.t;  (* per-wbinvd latency, ns *)
+  h_sweep : Obs.Histogram.t;  (* per-sweep-quantum latency, ns *)
   mutable sfence_extra_ns : float;  (* runtime-adjustable emulated latency *)
   (* Direct-mapped LLC tag array: models capacity misses so locality has a
      price. Tag slots hold line ids (+1; 0 = empty). *)
@@ -90,6 +91,7 @@ let create (cfg : Config.t) =
     stalls = Obs.Stall.create ~registry:metrics ();
     h_sfence = Obs.Registry.histogram metrics "nvm.sfence_ns";
     h_wbinvd = Obs.Registry.histogram metrics "nvm.wbinvd_ns";
+    h_sweep = Obs.Registry.histogram metrics "nvm.sweep_ns";
     sfence_extra_ns = cfg.cost.Config.sfence_extra_ns;
     (* 2^18 slots x 64 B = a 16 MiB simulated LLC. *)
     llc_tags = Array.make 262144 0;
@@ -466,6 +468,46 @@ let wbinvd t =
     ~start_ns:(Stats.sim_ns t.stats -. cost)
     ~dur_ns:cost;
   trace_event t (Obs.Trace.Wbinvd { lines = ndirty; dur_ns = cost })
+
+(* One bounded quantum of the incremental epoch flush (DESIGN.md §15):
+   commit up to [budget_lines] dirty lines via clwb and drain them with
+   one fence, instead of the stop-the-world [wbinvd]. Draining from the
+   back of [dirty_list] costs O(budget) regardless of how many lines are
+   dirty. Committing an epoch-[e] line before the epoch boundary is
+   always legal — capacity evictions already do exactly that, and
+   recovery rolls the whole failed epoch back regardless of how much of
+   it persisted. A committed line may still sit in the pending-wb set
+   from an earlier clwb; the later fence re-commits it as a no-op
+   ([commit_line] checks the dirty byte), so no separate bookkeeping is
+   needed. Returns the number of dirty lines remaining. *)
+let flush_some t ~budget_lines =
+  if budget_lines <= 0 then invalid_arg "Region.flush_some: budget_lines";
+  let n = min budget_lines (dirty_line_count t) in
+  if n = 0 then 0
+  else begin
+    for _ = 1 to n do
+      let line = Util.Ivec.get t.dirty_list (dirty_line_count t - 1) in
+      commit_line t line
+    done;
+    t.stats.Stats.clwb <- t.stats.Stats.clwb + n;
+    t.stats.Stats.sfence <- t.stats.Stats.sfence + 1;
+    t.stats.Stats.sweep_quanta <- t.stats.Stats.sweep_quanta + 1;
+    t.stats.Stats.sweep_lines <- t.stats.Stats.sweep_lines + n;
+    let c = t.cfg.Config.cost in
+    let cost =
+      (float_of_int n *. t.clwb_ns) +. c.Config.sfence_ns +. t.sfence_extra_ns
+    in
+    Stats.add_ns t.stats cost;
+    Obs.Histogram.record t.h_sweep cost;
+    (* The quantum is the clwb-sweep stall the cause enum reserved; when a
+       forced synchronous advance drains inside the Epoch_advance scope,
+       the leaf is suppressed and the scope owns the time. *)
+    Obs.Stall.leaf t.stalls Obs.Stall.Clwb_sweep
+      ~start_ns:(Stats.sim_ns t.stats -. cost)
+      ~dur_ns:cost;
+    trace_event t (Obs.Trace.Sweep { lines = n; dur_ns = cost });
+    dirty_line_count t
+  end
 
 let charge_op t =
   let st = t.stats in

@@ -137,6 +137,24 @@ val wbinvd : t -> unit
 (** Global cache flush: commits every dirty line (§4, §6.2). Cost is
     [wbinvd_base_ns + dirty_lines * wbinvd_per_line_ns]. *)
 
+val flush_some : t -> budget_lines:int -> int
+(** One bounded quantum of the incremental epoch flush (DESIGN.md §15):
+    commit up to [budget_lines] dirty lines (clwb each, one draining
+    fence), charging [n*clwb_ns + sfence_ns + sfence_extra_ns] and
+    attributing the stall to the [clwb_sweep] cause. Returns the number
+    of dirty lines remaining — 0 means the cache is clean and the epoch
+    boundary may be fenced. Early write-back of an open epoch's lines is
+    always crash-safe (capacity evictions already do it; recovery rolls
+    the whole failed epoch back). Raises [Invalid_argument] if
+    [budget_lines <= 0]. *)
+
+val clear_pending_wb : t -> unit
+(** Forget the pending write-back set without committing anything. Only
+    legal when every dirty line has just been committed by other means (a
+    completed incremental sweep uses it to mirror {!wbinvd}'s post-flush
+    state exactly); stale entries would otherwise be re-committed as
+    no-ops at the next fence. *)
+
 val charge_op : t -> unit
 (** Advance the simulated clock by the per-operation baseline cost. *)
 

@@ -16,6 +16,8 @@ type t = {
   mutable wbinvd : int;
   mutable wbinvd_lines : int;
   mutable lines_committed : int;
+  mutable sweep_quanta : int;
+  mutable sweep_lines : int;
   mutable evictions : int;
   mutable crashes : int;
   clock : clock;
@@ -32,6 +34,8 @@ let create () =
     wbinvd = 0;
     wbinvd_lines = 0;
     lines_committed = 0;
+    sweep_quanta = 0;
+    sweep_lines = 0;
     evictions = 0;
     crashes = 0;
     clock = { ns = 0.0 };
@@ -47,6 +51,8 @@ let reset t =
   t.wbinvd <- 0;
   t.wbinvd_lines <- 0;
   t.lines_committed <- 0;
+  t.sweep_quanta <- 0;
+  t.sweep_lines <- 0;
   t.evictions <- 0;
   t.crashes <- 0;
   t.clock.ns <- 0.0
@@ -65,6 +71,8 @@ let snapshot t =
     wbinvd = t.wbinvd;
     wbinvd_lines = t.wbinvd_lines;
     lines_committed = t.lines_committed;
+    sweep_quanta = t.sweep_quanta;
+    sweep_lines = t.sweep_lines;
     evictions = t.evictions;
     crashes = t.crashes;
     clock = { ns = t.clock.ns };
@@ -81,6 +89,8 @@ let diff ~after ~before =
     wbinvd = after.wbinvd - before.wbinvd;
     wbinvd_lines = after.wbinvd_lines - before.wbinvd_lines;
     lines_committed = after.lines_committed - before.lines_committed;
+    sweep_quanta = after.sweep_quanta - before.sweep_quanta;
+    sweep_lines = after.sweep_lines - before.sweep_lines;
     evictions = after.evictions - before.evictions;
     crashes = after.crashes - before.crashes;
     clock = { ns = after.clock.ns -. before.clock.ns };
@@ -100,6 +110,8 @@ let int_fields t =
     ("wbinvd", t.wbinvd);
     ("wbinvd_lines", t.wbinvd_lines);
     ("committed", t.lines_committed);
+    ("sweep_quanta", t.sweep_quanta);
+    ("sweep_lines", t.sweep_lines);
     ("evictions", t.evictions);
     ("crashes", t.crashes);
   ]

@@ -23,7 +23,12 @@ type t = {
   mutable wbinvd_lines : int;  (** Dirty lines written back by those flushes. *)
   mutable lines_committed : int;
       (** Lines whose volatile content reached the persisted image, for any
-          reason (clwb+sfence, eviction, wbinvd). *)
+          reason (clwb+sfence, eviction, wbinvd, incremental sweep). *)
+  mutable sweep_quanta : int;
+      (** Bounded incremental-sweep quanta ({!Region.flush_some} calls that
+          committed at least one line). *)
+  mutable sweep_lines : int;
+      (** Dirty lines written back by those sweep quanta. *)
   mutable evictions : int;  (** Capacity write-backs by cache replacement. *)
   mutable crashes : int;
   clock : clock;  (** Simulated elapsed time; read it via {!sim_ns}. *)

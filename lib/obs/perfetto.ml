@@ -62,6 +62,10 @@ let events_of_trace ~pid ~tid trace =
           push
             (complete ~name:"wbinvd" ~cat:"persist" ~ts ~dur_ns ~pid ~tid
                [ ("lines", Json.Int lines) ])
+      | Trace.Sweep { lines; dur_ns } ->
+          push
+            (complete ~name:"sweep" ~cat:"persist" ~ts ~dur_ns ~pid ~tid
+               [ ("lines", Json.Int lines) ])
       | Trace.Epoch_advance { epoch } ->
           (match !open_epoch with
           | Some (e0, t0) when ts > t0 ->

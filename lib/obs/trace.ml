@@ -2,6 +2,7 @@ type payload =
   | Clwb of { line : int }
   | Sfence of { drained : int; dur_ns : float }
   | Wbinvd of { lines : int; dur_ns : float }
+  | Sweep of { lines : int; dur_ns : float }
   | Epoch_advance of { epoch : int }
   | Crash
   | Recover of { replayed : int }
@@ -19,6 +20,7 @@ let kind = function
   | Clwb _ -> "clwb"
   | Sfence _ -> "sfence"
   | Wbinvd _ -> "wbinvd"
+  | Sweep _ -> "sweep"
   | Epoch_advance _ -> "epoch_advance"
   | Crash -> "crash"
   | Recover _ -> "recover"
@@ -34,6 +36,7 @@ let arg = function
   | Clwb { line } -> line
   | Sfence { drained; _ } -> drained
   | Wbinvd { lines; _ } -> lines
+  | Sweep { lines; _ } -> lines
   | Epoch_advance { epoch } -> epoch
   | Crash -> 0
   | Recover { replayed } -> replayed

@@ -18,6 +18,9 @@ type payload =
       (** [drained]: lines committed by this fence; [dur_ns]: its cost. *)
   | Wbinvd of { lines : int; dur_ns : float }
       (** [lines]: dirty lines flushed; [dur_ns]: total flush cost. *)
+  | Sweep of { lines : int; dur_ns : float }
+      (** One bounded incremental-sweep quantum ([Region.flush_some]):
+          [lines] committed, [dur_ns] its cost. *)
   | Epoch_advance of { epoch : int }  (** The epoch being entered. *)
   | Crash
   | Recover of { replayed : int }  (** External-log entries re-applied. *)

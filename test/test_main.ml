@@ -22,6 +22,7 @@ let () =
       Test_image.tests;
       Test_listing3.tests;
       Test_chaos.tests;
+      Test_sweep.tests;
       Test_txn.tests;
       Test_latency.tests;
     ]
