@@ -7,7 +7,7 @@ BENCH_THRESHOLD ?= 0.10
 
 .PHONY: all build test check chaos chaos-txn bench bench-gate latency \
   latency-throughput latency-latency latency-rto latency-improve \
-  microbench clean
+  microbench serve clean
 
 # Chaos-run shape: the four historically-bad seeds (the limbo-chain bug,
 # now fixed and regression-gated here) plus four fresh ones.
@@ -28,8 +28,9 @@ test:
 # tail-latency gate against the committed baseline + a wall-clock
 # microbench smoke run (exercises the simulator fast paths and the
 # --min-mops gate plumbing; the bar is deliberately tiny — real
-# comparisons are two --json reports on the same machine).
-check: build test bench-gate latency microbench
+# comparisons are two --json reports on the same machine) + the
+# serving-layer gate (a real server process driven over the wire).
+check: build test bench-gate latency microbench serve
 
 # Crash-chaos gate: random-crash torture over the known-bad + fresh seed
 # matrix, a deterministic schedule that crashes inside recovery at three
@@ -120,6 +121,35 @@ microbench:
 	dune exec bin/microbench.exe -- --stores 200000 --spans 50000 \
 	  --keys 2000 --ops 2000 --threads 2 --min-mops 0.005 \
 	  --json _build/microbench_check.json
+
+# Serving-layer gate: start a real bin/incll_server.exe process on a
+# unix socket, drive it with the remote open-loop bench, SIGTERM it and
+# require a clean drain. --oracle makes the bench (a) replay the same
+# seeded streams through an in-process store and demand the server's
+# complete final state match key for key, (b) fail on any BUSY bounce
+# (the queue capacity below is sized so admission is lossless), and
+# (c) fail unless >= 99% of over-threshold ops are attributed to a
+# cause (net_queue included). The numbers are wall clock — host noise
+# included — so the JSON report is self-diffed through bench_compare
+# (schema + gate plumbing), never compared against a committed baseline.
+SERVE_SOCK ?= /tmp/incll_serve_gate.sock
+
+serve: build
+	rm -f $(SERVE_SOCK) _build/serve.pid
+	./_build/default/bin/incll_server.exe --listen unix:$(SERVE_SOCK) \
+	  --shards 2 --queue-capacity 65536 & echo $$! > _build/serve.pid
+	for i in $$(seq 1 100); do [ -S $(SERVE_SOCK) ] && break; sleep 0.1; done; \
+	  [ -S $(SERVE_SOCK) ]
+	./_build/default/bench/main.exe --only remote \
+	  --connect unix:$(SERVE_SOCK) --oracle --scale 0.001 --threads 2 \
+	  --ops 2000 --latency-threshold-us 200 --seed 1 \
+	  --json _build/bench_serve.json --date check; \
+	  rc=$$?; kill -TERM $$(cat _build/serve.pid) 2>/dev/null; \
+	  for i in $$(seq 1 100); do kill -0 $$(cat _build/serve.pid) 2>/dev/null || break; sleep 0.1; done; \
+	  if kill -0 $$(cat _build/serve.pid) 2>/dev/null; then echo "server did not drain"; kill -9 $$(cat _build/serve.pid); exit 1; fi; \
+	  exit $$rc
+	dune exec bin/bench_compare.exe -- --threshold $(BENCH_THRESHOLD) \
+	  _build/bench_serve.json _build/bench_serve.json
 
 bench:
 	dune exec bench/main.exe -- --scale 0.001 --threads 2 --ops 5000

@@ -28,6 +28,8 @@ type opts = {
   mutable arrival_rate : float option;  (* open-loop offered ops/sim-s *)
   mutable latency_threshold_ns : float;  (* attribution threshold *)
   mutable policy : Nvm.Config.policy;  (* checkpoint scheduler under test *)
+  mutable connect : string option;  (* remote bench target address *)
+  mutable oracle : bool;  (* differential state check after remote *)
 }
 
 let opts =
@@ -47,6 +49,8 @@ let opts =
     arrival_rate = None;
     latency_threshold_ns = Bench_harness.Runner.default_latency_threshold_ns;
     policy = Nvm.Config.Throughput;
+    connect = None;
+    oracle = false;
   }
 
 let tracing () = opts.trace_file <> None
@@ -991,6 +995,185 @@ let policies () =
     [ Nvm.Config.Throughput; Nvm.Config.Latency; Nvm.Config.Rto ];
   emit "policies" t
 
+(* -------------------------------------------------------------- remote *)
+
+(* The serving layer under the same seeded workload, over the wire: an
+   open-loop pipelined client against a running bin/incll_server.exe
+   (--connect), with wall-clock CO-corrected latency and per-op
+   attribution from the evidence the replies carry (shard-queue wait +
+   dominant persistence-stall cause). Unlike every other bench here the
+   numbers are wall clock — the JSON is gated by diffing a report
+   against itself (schema and attribution), not against a committed
+   baseline. *)
+
+module RM = Bench_harness.Remote
+
+let remote_spike_json (s : RM.spike) =
+  Obs.Json.Obj
+    [
+      ("index", Obs.Json.Int s.RM.rsp_index);
+      ("op", Obs.Json.String (op_name s.RM.rsp_tag));
+      ("start_ns", Obs.Json.Float s.RM.rsp_arrival_ns);
+      ("lat_ns", Obs.Json.Float s.RM.rsp_lat_ns);
+      ("queue_ns", Obs.Json.Float s.RM.rsp_queue_ns);
+      ( "cause",
+        match s.RM.rsp_cause with
+        | Some c -> Obs.Json.String (Obs.Stall.cause_name c)
+        | None -> Obs.Json.Null );
+    ]
+
+let remote_mode_json (r : RM.result) =
+  Obs.Json.Obj
+    [
+      ("open_loop", Obs.Json.Bool true);
+      ("arrival_rate", Obs.Json.Float r.RM.arrival_rate);
+      ("threshold_ns", Obs.Json.Float r.RM.latency_threshold_ns);
+      ("mops_wall", Obs.Json.Float r.RM.mops_wall);
+      ("calibrated_mops", Obs.Json.Float r.RM.calibrated_mops);
+      ("busy", Obs.Json.Int r.RM.busy);
+      (* "merged" is what bench_compare's percentile gates read; for the
+         remote mode it is the same wall-clock histogram as "wall". *)
+      ("merged", Obs.Histogram.to_json r.RM.latency);
+      ("wall", Obs.Histogram.to_json r.RM.latency);
+      ("shards", Obs.Json.List []);
+      ("over_threshold", Obs.Json.Int r.RM.over_threshold);
+      ( "attributed",
+        Obs.Json.Obj
+          (List.map (fun (n, c) -> (n, Obs.Json.Int c)) r.RM.attributed) );
+      ( "stall_totals",
+        Obs.Json.Obj
+          (List.map
+             (fun (n, (count, total)) ->
+               ( n,
+                 Obs.Json.Obj
+                   [
+                     ("count", Obs.Json.Int count);
+                     ("total_ns", Obs.Json.Float total);
+                   ] ))
+             r.RM.stall_totals) );
+      ("spikes", Obs.Json.List (List.map remote_spike_json r.RM.spikes));
+      ( "oracle",
+        match r.RM.oracle_ok with
+        | None -> Obs.Json.Null
+        | Some b -> Obs.Json.Bool b );
+    ]
+
+let remote () =
+  match opts.connect with
+  | None ->
+      if List.mem "remote" (List.map canonical_name opts.only) then begin
+        prerr_endline "the remote bench requires --connect ADDR";
+        exit 2
+      end
+      (* Part of an unfiltered run: nothing to connect to, skip silently. *)
+  | Some addr_s ->
+      let addr = Wire.Client.addr_of_string addr_s in
+      let keys = nkeys () in
+      let n = opts.threads * opts.ops in
+      line "";
+      line "=== beyond the paper: remote serving bench over %s ===" addr_s;
+      line
+        "    one pipelined connection, open loop at the offered rate, \
+         wall-clock";
+      line
+        "    latency from intended arrivals (coordinated-omission \
+         corrected)";
+      let oracle =
+        if opts.oracle then
+          Some (config ~keys ~threads:opts.threads (), opts.threads)
+        else None
+      in
+      let r =
+        RM.run ~addr ~seed:opts.seed ~n ~mix:Y.A ~dist:Y.Zipfian ~nkeys:keys
+          ?arrival_rate:opts.arrival_rate
+          ~latency_threshold_ns:opts.latency_threshold_ns ?oracle ()
+      in
+      let attributed_n =
+        List.fold_left
+          (fun a (name, c) -> if name = "none" then a else a + c)
+          0 r.RM.attributed
+      in
+      let t =
+        Util.Table.create
+          ~columns:
+            [
+              "offered Kops/s"; "achieved Kops/s"; "p50 us"; "p99 us";
+              "p999 us"; "over thr"; "attributed"; "busy";
+            ]
+      in
+      Util.Table.add_row t
+        [
+          Util.Table.cell_float (r.RM.arrival_rate /. 1e3);
+          Util.Table.cell_float (r.RM.mops_wall *. 1e3);
+          Util.Table.cell_float (Obs.Histogram.percentile r.RM.latency 0.5 /. 1e3);
+          Util.Table.cell_float (Obs.Histogram.percentile r.RM.latency 0.99 /. 1e3);
+          Util.Table.cell_float
+            (Obs.Histogram.percentile r.RM.latency 0.999 /. 1e3);
+          Util.Table.cell_int r.RM.over_threshold;
+          (if r.RM.over_threshold = 0 then "n/a"
+           else
+             Printf.sprintf "%.1f%%"
+               (100.0 *. float_of_int attributed_n
+               /. float_of_int r.RM.over_threshold));
+          Util.Table.cell_int r.RM.busy;
+        ];
+      emit "remote" t;
+      let st =
+        Util.Table.create
+          ~columns:[ "cause"; "stalls"; "total ms"; "attributed ops" ]
+      in
+      List.iter
+        (fun (name, (count, total)) ->
+          if count > 0 then
+            Util.Table.add_row st
+              [
+                name;
+                Util.Table.cell_int count;
+                Util.Table.cell_float (total /. 1e6);
+                Util.Table.cell_int
+                  (try List.assoc name r.RM.attributed with Not_found -> 0);
+              ])
+        r.RM.stall_totals;
+      emit "remote_stalls" st;
+      line "    slowest ops and the evidence their replies carried:";
+      List.iteri
+        (fun i (s : RM.spike) ->
+          if i < 5 then
+            line "    [remote] %s lat=%.0fus queue=%.0fus  <- %s"
+              (op_name s.RM.rsp_tag)
+              (s.RM.rsp_lat_ns /. 1e3)
+              (s.RM.rsp_queue_ns /. 1e3)
+              (match s.RM.rsp_cause with
+              | Some c -> Obs.Stall.cause_name c
+              | None -> "net_queue/none"))
+        r.RM.spikes;
+      if opts.oracle then
+        line "    oracle: server state == in-process replay";
+      latency_json := ("remote", remote_mode_json r) :: !latency_json;
+      (* Gate mode (--oracle): the serving layer's whole observability
+         claim is that tail excursions are attributable — enforce it,
+         along with lossless admission, right here where the evidence
+         is. *)
+      if opts.oracle then begin
+        if r.RM.busy > 0 then begin
+          Printf.eprintf
+            "remote gate: %d ops bounced BUSY (raise --queue-capacity on \
+             the server)\n"
+            r.RM.busy;
+          exit 1
+        end;
+        if
+          r.RM.over_threshold > 0
+          && float_of_int attributed_n
+             < 0.99 *. float_of_int r.RM.over_threshold
+        then begin
+          Printf.eprintf
+            "remote gate: only %d/%d over-threshold ops attributed (< 99%%)\n"
+            attributed_n r.RM.over_threshold;
+          exit 1
+        end
+      end
+
 (* ----------------------------------------------------------------- main *)
 
 let all_benches =
@@ -1010,6 +1193,9 @@ let all_benches =
     ("latency", latency);
     ("policies", policies);
     ("micro", micro);
+    (* must run after [latency], which overwrites [latency_json];
+       [remote] appends its mode to whatever is there *)
+    ("remote", remote);
   ]
 
 let usage () =
@@ -1017,7 +1203,7 @@ let usage () =
     "Usage: bench/main.exe [options]\n\
      \  --only NAMES   comma-separated subset (fig2..fig8, flushcost, recovery,\n\
      \                 ablation_epoch, ablation_valincll, ablation_internal,\n\
-     \                 latency, policies, micro)\n\
+     \                 latency, policies, micro, remote)\n\
      \  --latency      shorthand for --only latency: closed- and open-loop\n\
      \                 per-op latency percentiles with stall attribution\n\
      \  --arrival-rate R  open-loop offered load for the latency bench, in ops\n\
@@ -1026,6 +1212,14 @@ let usage () =
      \  --latency-threshold-us F  attribution threshold: ops slower than this\n\
      \                 (simulated) are matched against the stall ledger\n\
      \                 (default 50)\n\
+     \  --connect ADDR run the remote serving bench against a running\n\
+     \                 bin/incll_server.exe at unix:/path or tcp:host:port;\n\
+     \                 open-loop over the wire, wall-clock CO-corrected\n\
+     \                 latency, per-op attribution incl. net_queue\n\
+     \  --oracle       after the remote bench, replay the same seeded streams\n\
+     \                 through an in-process store and require the server's\n\
+     \                 complete key/value state to match; also enforces the\n\
+     \                 serve-gate floors (no BUSY, >=99% attribution)\n\
      \  --policy P     checkpoint-scheduling policy: throughput (fixed-period\n\
      \                 stop-the-world wbinvd, the paper's scheduler; default),\n\
      \                 latency (pressure-driven epochs + bounded incremental\n\
@@ -1104,6 +1298,12 @@ let parse_args () =
         go rest
     | "--latency-threshold-us" :: v :: rest ->
         opts.latency_threshold_ns <- float_of_string v *. 1e3;
+        go rest
+    | "--connect" :: v :: rest ->
+        opts.connect <- Some v;
+        go rest
+    | "--oracle" :: rest ->
+        opts.oracle <- true;
         go rest
     | "--policy" :: v :: rest ->
         (match Nvm.Config.policy_of_string v with

@@ -3,6 +3,8 @@
 
    Run with: dune exec bin/incll_cli.exe
      [-- --variant INCLL --shards 2 --policy latency]
+   or against a running bin/incll_server.exe over the wire protocol:
+     dune exec bin/incll_cli.exe -- --connect unix:/tmp/incll.sock
    Then type `help` at the prompt, or pipe a script on stdin. *)
 
 module S = Store.Sharded
@@ -38,6 +40,95 @@ let usage =
   help                    this text
   quit                    exit|}
 
+let remote_usage =
+  {|commands (remote):
+  put <key> <value>       insert or update on the server
+  get <key>               look a key up (read-your-writes inside a txn)
+  del <key>               remove a key
+  scan <start> <n>        n consecutive pairs from the smallest key >= start
+  count                   number of entries (paged scans)
+  begin                   open a server-side transaction on this connection
+  tput <key> <value>      buffer a put in the open transaction
+  tdel <key>              buffer a remove in the open transaction
+  tget <key>              read-your-writes lookup (same as get remotely)
+  commit                  durable cross-shard commit of the open transaction
+  abort                   discard the open transaction
+  stats                   server metrics as JSON (stats --json is the same)
+  stats --prom            server metrics in Prometheus text exposition
+  help                    this text
+  quit                    exit|}
+
+(* The same shell, but every command is a wire round-trip to a running
+   bin/incll_server.exe. Crash/recover/save/load stay local-only: the
+   server owns its region. *)
+let remote_main addr =
+  let module C = Wire.Client in
+  let module P = Wire.Proto in
+  let c = C.connect addr in
+  Printf.printf "incll shell — connected to %s. Type `help`.\n%!"
+    (C.string_of_addr addr);
+  let interactive = Unix.isatty Unix.stdin in
+  (try
+     while true do
+       if interactive then Printf.printf "incll> %!";
+       let line = input_line stdin in
+       let parts =
+         String.split_on_char ' ' (String.trim line)
+         |> List.filter (fun s -> s <> "")
+       in
+       (try
+          match parts with
+          | [] -> ()
+          | [ "help" ] -> print_endline remote_usage
+          | [ "quit" ] | [ "exit" ] -> raise Exit
+          | [ "put"; k; v ] ->
+              C.put c k v;
+              print_endline "ok"
+          | [ ("get" | "tget"); k ] -> (
+              match C.get c k with
+              | Some v -> Printf.printf "%S\n" v
+              | None -> print_endline "(not found)")
+          | [ "del"; k ] ->
+              print_endline (if C.delete c k then "ok" else "(not found)")
+          | [ "scan"; start; n ] ->
+              List.iter
+                (fun (k, v) -> Printf.printf "  %S -> %S\n" k v)
+                (C.scan c ~start ~n:(int_of_string n))
+          | [ "count" ] ->
+              let rec page start acc =
+                match C.scan c ~start ~n:512 with
+                | [] -> acc
+                | pairs ->
+                    let last, _ = List.nth pairs (List.length pairs - 1) in
+                    page (last ^ "\x00") (acc + List.length pairs)
+              in
+              Printf.printf "%d entries\n" (page "" 0)
+          | [ "begin" ] ->
+              C.txn_begin c;
+              print_endline "txn open"
+          | [ "tput"; k; v ] ->
+              C.txn_put c k v;
+              print_endline "buffered"
+          | [ "tdel"; k ] ->
+              C.txn_remove c k;
+              print_endline "buffered"
+          | [ "commit" ] ->
+              C.txn_commit c;
+              print_endline "committed durably"
+          | [ "abort" ] ->
+              C.txn_abort c;
+              print_endline "aborted (no shard was touched)"
+          | [ "stats" ] | [ "stats"; "--json" ] ->
+              print_endline (C.stats c P.Stats_json)
+          | [ "stats"; "--prom" ] -> print_string (C.stats c P.Stats_prom)
+          | _ -> print_endline "unknown command (try `help`)"
+        with
+       | Exit -> raise Exit
+       | e -> Printf.printf "error: %s\n" (Printexc.to_string e))
+     done
+   with End_of_file | Exit -> if interactive then print_endline "bye");
+  C.close c
+
 let config_for policy =
   {
     Sys_.default_config with
@@ -56,8 +147,12 @@ let () =
   let variant = ref Sys_.Incll in
   let shards = ref 1 in
   let policy = ref Nvm.Config.Throughput in
+  let connect = ref None in
   let rec parse = function
     | [] -> ()
+    | "--connect" :: v :: rest ->
+        connect := Some (Wire.Client.addr_of_string v);
+        parse rest
     | "--variant" :: v :: rest ->
         variant := Sys_.variant_of_string v;
         parse rest
@@ -77,6 +172,11 @@ let () =
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
+  (match !connect with
+  | Some addr ->
+      remote_main addr;
+      exit 0
+  | None -> ());
   let config = config_for !policy in
   let store = ref (S.create ~config !variant ~shards:!shards) in
   let crashed = ref false in

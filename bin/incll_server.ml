@@ -1,0 +1,110 @@
+(* The serving daemon: a durable sharded store behind the wire protocol.
+
+   Run with: dune exec bin/incll_server.exe -- --listen unix:/tmp/incll.sock
+     [--variant INCLL --shards 2 --policy latency --epoch-ms 16]
+
+   Listens on a Unix-domain or TCP socket ("unix:/path" / "tcp:host:port";
+   TCP port 0 binds an ephemeral port and the banner line reports the real
+   one). SIGTERM/SIGINT drain gracefully: stop accepting, finish every
+   in-flight request, flush every reply, then exit. *)
+
+module Sys_ = Incll.System
+
+let usage =
+  {|usage: incll_server --listen ADDR [options]
+  --listen ADDR         unix:/path/to.sock or tcp:host:port (required)
+  --variant V           MT | MT+ | LOGGING | INCLL       (default INCLL)
+  --shards N            shard/domain count                (default 2)
+  --policy P            throughput | latency | rto        (default throughput)
+  --epoch-ms MS         checkpoint cadence                (default 16)
+  --queue-capacity N    per-shard request queue bound     (default 1024)
+  --batch N             max requests per shard dequeue    (default 64)|}
+
+let config_for policy epoch_ms =
+  {
+    Sys_.default_config with
+    Sys_.nvm =
+      Nvm.Config.with_policy
+        {
+          Nvm.Config.default with
+          Nvm.Config.size_bytes = 64 * 1024 * 1024;
+          extlog_bytes = 4 * 1024 * 1024;
+        }
+        policy;
+    epoch_len_ns = epoch_ms *. 1e6;
+  }
+
+let () =
+  let listen = ref None in
+  let variant = ref Sys_.Incll in
+  let shards = ref 2 in
+  let policy = ref Nvm.Config.Throughput in
+  let epoch_ms = ref 16.0 in
+  let queue_capacity = ref 1024 in
+  let batch = ref 64 in
+  let bad msg =
+    prerr_endline msg;
+    prerr_endline usage;
+    exit 2
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--listen" :: a :: rest ->
+        (match Wire.Client.addr_of_string a with
+        | addr -> listen := Some addr
+        | exception Invalid_argument m -> bad m);
+        parse rest
+    | "--variant" :: v :: rest ->
+        variant := Sys_.variant_of_string v;
+        parse rest
+    | "--shards" :: v :: rest ->
+        shards := int_of_string v;
+        parse rest
+    | "--policy" :: v :: rest ->
+        (match Nvm.Config.policy_of_string v with
+        | p -> policy := p
+        | exception Invalid_argument _ ->
+            bad ("unknown policy " ^ v ^ " (throughput|latency|rto)"));
+        parse rest
+    | "--epoch-ms" :: v :: rest ->
+        epoch_ms := float_of_string v;
+        parse rest
+    | "--queue-capacity" :: v :: rest ->
+        queue_capacity := int_of_string v;
+        parse rest
+    | "--batch" :: v :: rest ->
+        batch := int_of_string v;
+        parse rest
+    | x :: _ -> bad ("unknown argument " ^ x)
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let listen =
+    match !listen with
+    | Some a -> a
+    | None ->
+        prerr_endline "--listen is required";
+        prerr_endline usage;
+        exit 2
+  in
+  if !shards < 1 then bad "--shards must be >= 1";
+  let srv =
+    Server.Engine.start
+      ~config:(config_for !policy !epoch_ms)
+      ~queue_capacity:!queue_capacity ~batch:!batch ~variant:!variant
+      ~shards:!shards listen
+  in
+  Printf.printf "incll_server listening on %s — %s, %d shard(s), %s policy\n%!"
+    (Wire.Client.string_of_addr (Server.Engine.addr srv))
+    (Sys_.variant_name !variant)
+    !shards
+    (Nvm.Config.policy_name !policy);
+  let stop_requested = Atomic.make false in
+  let on_signal _ = Atomic.set stop_requested true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  while not (Atomic.get stop_requested) do
+    Unix.sleepf 0.05
+  done;
+  prerr_endline "incll_server: draining...";
+  Server.Engine.stop srv;
+  prerr_endline "incll_server: drained, bye"

@@ -1,0 +1,293 @@
+module P = Wire.Proto
+module C = Wire.Client
+module Y = Workload.Ycsb
+module O = Workload.Opstream
+
+type spike = {
+  rsp_index : int;
+  rsp_tag : char;
+  rsp_arrival_ns : float;
+  rsp_lat_ns : float;
+  rsp_queue_ns : float;
+  rsp_cause : Obs.Stall.cause option;
+}
+
+type result = {
+  ops : int;
+  busy : int;
+  wall_s : float;
+  mops_wall : float;
+  calibrated_mops : float;
+  arrival_rate : float;
+  latency_threshold_ns : float;
+  latency : Obs.Histogram.t;
+  over_threshold : int;
+  attributed : (string * int) list;
+  stall_totals : (string * (int * float)) list;
+  spikes : spike list;
+  oracle_ok : bool option;
+}
+
+let wire_op = function
+  | Y.Put (k, v) -> P.Put (k, v)
+  | Y.Get k -> P.Get k
+  | Y.Scan (k, n) -> P.Scan (k, n)
+
+let op_tag = function Y.Put _ -> '\000' | Y.Get _ -> '\001' | Y.Scan _ -> '\002'
+
+(* The calibration stream must be disjoint from the measured stream's
+   seed space or the two would be the same ops twice. *)
+let calibration_seed seed = seed lxor 0x5eed
+
+let pipeline_window = 256
+
+(* --------------------------------------------------------- populate *)
+
+(* Population must land completely (the oracle replays it verbatim), so
+   BUSY here is retried — safe: one put per distinct key. *)
+let populate c ~nkeys =
+  let keys = Y.load_keys ~nkeys in
+  let retry = ref [] in
+  let note (r : P.reply) key =
+    match r.P.status with
+    | P.Ok -> ()
+    | P.Busy -> retry := key :: !retry
+    | s -> failwith ("populate: " ^ P.status_name s)
+  in
+  let inflight = Hashtbl.create pipeline_window in
+  Array.iter
+    (fun key ->
+      if C.pending c >= pipeline_window then begin
+        let r = C.recv c in
+        note r (Hashtbl.find inflight r.P.id);
+        Hashtbl.remove inflight r.P.id
+      end;
+      Hashtbl.replace inflight (C.send c (P.Put (key, Y.value_for key))) key)
+    keys;
+  while C.pending c > 0 do
+    let r = C.recv c in
+    note r (Hashtbl.find inflight r.P.id);
+    Hashtbl.remove inflight r.P.id
+  done;
+  while !retry <> [] do
+    let keys = !retry in
+    retry := [];
+    List.iter (fun key -> note (C.call c (P.Put (key, Y.value_for key))) key)
+      keys
+  done
+
+(* --------------------------------------------------------- calibrate *)
+
+(* Closed-loop capacity estimate: a bounded-window pipelined burst. The
+   busy-bounced op indices are returned so the oracle can skip them. *)
+let calibrate c ops =
+  let n = Array.length ops in
+  let busy = Array.make n false in
+  let inflight = Hashtbl.create pipeline_window in
+  let note (r : P.reply) =
+    let i = Hashtbl.find inflight r.P.id in
+    Hashtbl.remove inflight r.P.id;
+    if r.P.status = P.Busy then busy.(i) <- true
+  in
+  let t0 = Unix.gettimeofday () in
+  Array.iteri
+    (fun i op ->
+      if C.pending c >= pipeline_window then note (C.recv c);
+      Hashtbl.replace inflight (C.send c (wire_op op)) i)
+    ops;
+  while C.pending c > 0 do
+    note (C.recv c)
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  (float_of_int n /. wall, busy)
+
+(* ------------------------------------------------- server stall diff *)
+
+let stall_snapshot c =
+  let json = Obs.Json.of_string (C.stats c P.Stats_json) in
+  List.map
+    (fun cause ->
+      let name = "stall." ^ Obs.Stall.cause_name cause ^ "_ns" in
+      let field f =
+        match Obs.Json.find_path json [ "histograms"; name; f ] with
+        | Some v -> Option.value ~default:0.0 (Obs.Json.to_float_opt v)
+        | None -> 0.0
+      in
+      (Obs.Stall.cause_name cause, (field "count", field "sum")))
+    Obs.Stall.all_causes
+
+let stall_diff ~before ~after =
+  List.map2
+    (fun (name, (c0, s0)) (name', (c1, s1)) ->
+      assert (name = name');
+      (name, (int_of_float (c1 -. c0), s1 -. s0)))
+    before after
+
+(* ----------------------------------------------------- measured phase *)
+
+let spike_k = 16
+
+let insert_spike buf s =
+  let rec ins = function
+    | [] -> [ s ]
+    | x :: _ as l when s.rsp_lat_ns > x.rsp_lat_ns -> s :: l
+    | x :: tl -> x :: ins tl
+  in
+  let rec take n = function
+    | x :: tl when n > 0 -> x :: take (n - 1) tl
+    | _ -> []
+  in
+  take spike_k (ins buf)
+
+let run ~addr ~seed ~n ~mix ~dist ~nkeys ?arrival_rate ?(latency_threshold_ns = 50_000.0)
+    ?oracle () =
+  let c = C.connect addr in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  populate c ~nkeys;
+  let spec = { Y.mix; dist; nkeys } in
+  let cal_ops =
+    O.generate spec ~seed:(calibration_seed seed)
+      ~n:(min n (max 1_000 (n / 4)))
+  in
+  let calibrated_rate, cal_busy = calibrate c cal_ops in
+  let rate =
+    match arrival_rate with Some r -> r | None -> 0.9 *. calibrated_rate
+  in
+  let interval = 1e9 /. rate in
+  let ops = O.generate spec ~seed ~n in
+  let before = stall_snapshot c in
+  (* Open loop: send op [i] at wall time [i * interval] from phase start,
+     never gating on replies; drain replies while waiting out the gap. *)
+  let lat = Array.make n nan in
+  let queue = Array.make n 0.0 in
+  let cause = Array.make n P.no_cause in
+  let busy = Array.make n false in
+  let inflight = Hashtbl.create (min n 65536) in
+  let completed = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let now_ns () = (Unix.gettimeofday () -. t0) *. 1e9 in
+  let record (r : P.reply) tr =
+    let i = Hashtbl.find inflight r.P.id in
+    Hashtbl.remove inflight r.P.id;
+    (match r.P.status with
+    | P.Busy -> busy.(i) <- true
+    | P.Ok | P.Not_found -> ()
+    | s -> failwith ("measured op: " ^ P.status_name s));
+    lat.(i) <- Float.max 0.0 (tr -. (float_of_int i *. interval));
+    queue.(i) <- r.P.queue_ns;
+    cause.(i) <- r.P.cause;
+    incr completed
+  in
+  for i = 0 to n - 1 do
+    let intended = float_of_int i *. interval in
+    let rec pace () =
+      if now_ns () < intended then begin
+        (match C.recv_opt c with
+        | Some r -> record r (now_ns ())
+        | None -> if intended -. now_ns () > 2e5 then Unix.sleepf 1e-4);
+        pace ()
+      end
+    in
+    pace ();
+    Hashtbl.replace inflight (C.send c (wire_op ops.(i))) i
+  done;
+  while !completed < n do
+    record (C.recv c) (now_ns ())
+  done;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let after = stall_snapshot c in
+  (* Attribution: the queue wait measured by the server is the only wall
+     component the reply quantifies; when it explains the excursion (or
+     dominates the latency) the op is a net_queue casualty, otherwise
+     blame falls to the persistence stall the server saw overlapping the
+     op, if any. *)
+  let hist = Obs.Histogram.create () in
+  let attributed =
+    List.map (fun cz -> (Obs.Stall.cause_name cz, ref 0)) Obs.Stall.all_causes
+    @ [ ("none", ref 0) ]
+  in
+  let bump name = incr (List.assoc name attributed) in
+  let over = ref 0 in
+  let spikes = ref [] in
+  for i = 0 to n - 1 do
+    Obs.Histogram.record hist lat.(i);
+    if lat.(i) > latency_threshold_ns then begin
+      incr over;
+      let q = queue.(i) in
+      let server_cause = Obs.Stall.cause_of_index cause.(i) in
+      (if q >= 0.5 *. lat.(i) || q >= lat.(i) -. latency_threshold_ns then
+         bump "net_queue"
+       else
+         match server_cause with
+         | Some cz -> bump (Obs.Stall.cause_name cz)
+         | None -> if q > 0.0 then bump "net_queue" else bump "none");
+      spikes :=
+        insert_spike !spikes
+          {
+            rsp_index = i;
+            rsp_tag = op_tag ops.(i);
+            rsp_arrival_ns = float_of_int i *. interval;
+            rsp_lat_ns = lat.(i);
+            rsp_queue_ns = q;
+            rsp_cause = server_cause;
+          }
+    end
+  done;
+  let oracle_ok =
+    match oracle with
+    | None -> None
+    | Some (config, shards) ->
+        let local = Store.Sharded.create ~config Incll.System.Incll ~shards in
+        Array.iter
+          (fun key -> Store.Sharded.put local ~key ~value:(Y.value_for key))
+          (Y.load_keys ~nkeys);
+        let replay stream skipped =
+          Array.iteri
+            (fun i op ->
+              if not skipped.(i) then
+                match op with
+                | Y.Put (key, value) -> Store.Sharded.put local ~key ~value
+                | Y.Get key -> ignore (Store.Sharded.get local ~key)
+                | Y.Scan (start, n) ->
+                    ignore (Store.Sharded.scan local ~start ~n))
+            stream
+        in
+        replay cal_ops cal_busy;
+        replay ops busy;
+        (* Page the complete remote state and compare, key for key. *)
+        let rec page start acc =
+          match C.scan c ~start ~n:512 with
+          | [] -> List.rev acc
+          | pairs ->
+              let last, _ = List.nth pairs (List.length pairs - 1) in
+              page (last ^ "\x00") (List.rev_append pairs acc)
+        in
+        let remote = page "" [] in
+        let expected =
+          Store.Sharded.scan local ~start:""
+            ~n:(Store.Sharded.cardinal local + 1)
+        in
+        if remote <> expected then
+          failwith
+            (Printf.sprintf
+               "remote oracle mismatch: server has %d entries, in-process \
+                replay has %d (or contents differ)"
+               (List.length remote) (List.length expected));
+        Some true
+  in
+  let busy_n = Array.fold_left (fun a b -> if b then a + 1 else a) 0 busy in
+  {
+    ops = n;
+    busy = busy_n;
+    wall_s;
+    mops_wall = float_of_int n /. wall_s /. 1e6;
+    calibrated_mops = calibrated_rate /. 1e6;
+    arrival_rate = rate;
+    latency_threshold_ns;
+    latency = hist;
+    over_threshold = !over;
+    attributed = List.map (fun (nm, r) -> (nm, !r)) attributed;
+    stall_totals = stall_diff ~before ~after;
+    spikes = !spikes;
+    oracle_ok;
+  }

@@ -1,0 +1,69 @@
+(** Remote bench harness: drives an [incll_server] over the wire protocol
+    with the same seeded YCSB streams as the in-process runner, open-loop
+    with coordinated-omission-corrected wall latency.
+
+    The measured phase sends each op at its intended arrival time
+    (offered rate, never gated on replies) over one pipelined connection
+    and records [recv - intended_arrival] per op, so an op stuck behind a
+    server stall is charged its whole wait. Per-op attribution uses the
+    evidence the reply carries: the shard-queue wait measured by the
+    server ([queue_ns], the [net_queue] stall) and the dominant
+    persistence-stall cause overlapping execution. Server-side per-cause
+    stalled time over the measured window comes from diffing STATS
+    snapshots taken before and after.
+
+    Unlike the in-process runner, every number here is wall clock — host
+    noise included. The serve gate therefore diffs the report against
+    itself (schema/plumbing, attribution floor) rather than against a
+    committed baseline. *)
+
+type spike = {
+  rsp_index : int;  (* position in the measured stream *)
+  rsp_tag : char;  (* '\000' put, '\001' get, '\002' scan *)
+  rsp_arrival_ns : float;  (* intended arrival, ns from phase start *)
+  rsp_lat_ns : float;  (* CO-corrected wall latency *)
+  rsp_queue_ns : float;  (* server shard-queue wait from the reply *)
+  rsp_cause : Obs.Stall.cause option;
+      (* dominant persistence stall the server reported, if any *)
+}
+
+type result = {
+  ops : int;  (* measured ops completed *)
+  busy : int;  (* measured ops bounced with BUSY (not applied) *)
+  wall_s : float;  (* measured-phase wall time *)
+  mops_wall : float;  (* completion rate over the measured phase *)
+  calibrated_mops : float;  (* closed-loop capacity estimate *)
+  arrival_rate : float;  (* offered rate actually used, ops/s *)
+  latency_threshold_ns : float;
+  latency : Obs.Histogram.t;  (* per-op CO-corrected wall ns *)
+  over_threshold : int;
+  attributed : (string * int) list;
+      (* over-threshold ops per cause name, ["net_queue"] and ["none"]
+         included, {!Obs.Stall.all_causes} order *)
+  stall_totals : (string * (int * float)) list;
+      (* server-side (count, total ns) per cause over the measured
+         window, from the STATS diff *)
+  spikes : spike list;  (* slowest ops first, at most 16 *)
+  oracle_ok : bool option;  (* [None] when the oracle was not requested *)
+}
+
+val run :
+  addr:Wire.Client.addr ->
+  seed:int ->
+  n:int ->
+  mix:Workload.Ycsb.mix ->
+  dist:Workload.Ycsb.dist ->
+  nkeys:int ->
+  ?arrival_rate:float ->
+  (* offered ops per wall second; default 0.9 x calibrated capacity *)
+  ?latency_threshold_ns:float ->
+  ?oracle:Incll.System.config * int ->
+  (* replay the same streams through an in-process [Store.Sharded] with
+     this config and shard count and compare complete final states
+     (BUSY-bounced mutations are skipped on both sides) *)
+  unit ->
+  result
+(** Connect, populate [nkeys] keys (BUSY retried — population must be
+    complete), calibrate closed-loop capacity on a disjoint seeded
+    stream, then run the measured open-loop stream. Raises [Failure] on
+    protocol errors and on oracle mismatch. *)

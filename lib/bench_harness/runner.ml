@@ -55,57 +55,21 @@ let config_for ?(sfence_extra_ns = 0.0) ?(epoch_len_ns = 64.0e6)
   let nvm = Nvm.Config.with_policy nvm policy in
   { Incll.System.nvm; epoch_len_ns; val_incll }
 
-let apply_op sys op =
-  match op with
-  | Workload.Ycsb.Put (key, value) -> Incll.System.put sys ~key ~value
-  | Workload.Ycsb.Get key -> ignore (Incll.System.get sys ~key : string option)
-  | Workload.Ycsb.Scan (start, n) ->
-      ignore (Incll.System.scan sys ~start ~n : (string * string) list)
+(* The op-stream generation and struct-of-arrays encoding live in
+   Workload.Opstream so the network client (Bench_harness.Remote, the
+   server tests' differential oracle) shares one seeded generator with
+   this in-process runner. *)
+module O = Workload.Opstream
 
-(* Struct-of-arrays encoding of a shard's op stream, decoded from the
-   variant form once, at prepare time. The measured loop then dispatches
-   on a byte tag and indexes flat arrays — no per-op closure application
-   and no variant traversal on the hot path. *)
-type encoded = {
-  tags : Bytes.t;  (* '\000' put, '\001' get, '\002' scan *)
+let apply_op = O.apply
+
+type encoded = O.encoded = {
+  tags : Bytes.t;
   keys : string array;
-  values : string array;  (* put payload; "" for get/scan *)
-  scan_ns : int array;  (* scan length; 0 for put/get *)
+  values : string array;
+  scan_ns : int array;
   arrivals : float array;
-      (* Open loop only (length 0 in closed loop): intended arrival of
-         each op, ns offsets from the measured phase's start on the
-         simulated clock. Assigned in global stream order before shard
-         routing, so the whole store is offered a fixed rate and each
-         shard's sub-schedule stays strictly increasing. *)
 }
-
-let encode ops =
-  let n = Array.length ops in
-  let enc =
-    {
-      tags = Bytes.create n;
-      keys = Array.make n "";
-      values = Array.make n "";
-      scan_ns = Array.make n 0;
-      arrivals = [||];
-    }
-  in
-  Array.iteri
-    (fun i op ->
-      match op with
-      | Workload.Ycsb.Put (key, value) ->
-          Bytes.unsafe_set enc.tags i '\000';
-          enc.keys.(i) <- key;
-          enc.values.(i) <- value
-      | Workload.Ycsb.Get key ->
-          Bytes.unsafe_set enc.tags i '\001';
-          enc.keys.(i) <- key
-      | Workload.Ycsb.Scan (start, sn) ->
-          Bytes.unsafe_set enc.tags i '\002';
-          enc.keys.(i) <- start;
-          enc.scan_ns.(i) <- sn)
-    ops;
-  enc
 
 (* Top-k slowest ops, kept per shard as a short descending list. *)
 let spike_k = 16
@@ -122,30 +86,6 @@ let insert_spike buf s =
     | x :: tl -> x :: take (k - 1) tl
   in
   buf := take spike_k (ins !buf)
-
-(* Attribute an over-threshold op to the overlapping ledger entry cause
-   with the largest total overlap; [None] when nothing overlaps. *)
-let dominant_cause entries ~t0 ~t1 =
-  let sums = List.map (fun c -> (c, ref 0.0)) Obs.Stall.all_causes in
-  List.iter
-    (fun (e : Obs.Stall.entry) ->
-      let o =
-        Float.min t1 (e.Obs.Stall.start_ns +. e.Obs.Stall.dur_ns)
-        -. Float.max t0 e.Obs.Stall.start_ns
-      in
-      if o > 0.0 then
-        let r = List.assoc e.Obs.Stall.cause sums in
-        r := !r +. o)
-    entries;
-  List.fold_left
-    (fun best (c, r) ->
-      if !r <= 0.0 then best
-      else
-        match best with
-        | Some (_, b) when b >= !r -> best
-        | _ -> Some (c, !r))
-    None sums
-  |> Option.map fst
 
 (* Apply [enc] in chunks of [chunk] ops. The shard handle, arrays and the
    stats record are all hoisted out of the inner loop; between chunks the
@@ -238,7 +178,7 @@ let run_encoded sys ~shard enc ~chunk ~threshold =
         incr c_over;
         let a0 = if open_loop then Float.min !busy_start t_start else t_start in
         let over = Obs.Stall.overlapping stalls ~t0:a0 ~t1:t_end in
-        (match dominant_cause over ~t0:a0 ~t1:t_end with
+        (match Obs.Stall.dominant_cause over ~t0:a0 ~t1:t_end with
         | Some c -> incr (List.assoc c attr)
         | None -> incr c_none);
         insert_spike spikes
@@ -336,36 +276,17 @@ let prepare ?(seed = 1) ?(threads = 1) ?(ops_per_thread = 100_000)
                   Incll.System.put sys ~key
                     ~value:(Workload.Ycsb.value_for key))
                 by_shard.(i))));
-  (* Pre-generate the global stream and route ops to their shards. *)
-  let rng = Util.Rng.create ~seed in
-  let spec = { Workload.Ycsb.mix; dist; nkeys } in
-  let stream = Workload.Ycsb.generate spec rng ~n:(threads * ops_per_thread) in
-  let ops_by_shard = Array.make threads [] in
-  (* Open loop: op [j] of the global stream is scheduled to arrive at
+  (* Pre-generate the global stream and route ops to their shards. Open
+     loop: op [j] of the global stream is scheduled to arrive at
      [j * interval] on the simulated clock, fixing the offered rate
      regardless of how the keys route across shards. *)
-  let interval =
-    match arrival_rate with Some r -> 1e9 /. r | None -> 0.0
-  in
-  Array.iteri
-    (fun j op ->
-      let key =
-        match op with
-        | Workload.Ycsb.Put (k, _) | Workload.Ycsb.Get k
-        | Workload.Ycsb.Scan (k, _) ->
-            k
-      in
-      let s = Store.Sharded.shard_of_key store key in
-      ops_by_shard.(s) <- (op, float_of_int j *. interval) :: ops_by_shard.(s))
-    stream;
+  let spec = { Workload.Ycsb.mix; dist; nkeys } in
+  let stream = O.generate spec ~seed ~n:(threads * ops_per_thread) in
   let shard_ops =
-    Array.map
-      (fun l ->
-        let arr = Array.of_list (List.rev l) in
-        let enc = encode (Array.map fst arr) in
-        if arrival_rate = None then enc
-        else { enc with arrivals = Array.map snd arr })
-      ops_by_shard
+    O.route stream ~nshards:threads
+      ~shard_of_key:(Store.Sharded.shard_of_key store)
+      ?interval_ns:(Option.map (fun r -> 1e9 /. r) arrival_rate)
+      ()
   in
   let shard_op_count =
     Array.fold_left (fun a e -> a + Array.length e.keys) 0 shard_ops

@@ -6,6 +6,7 @@ type cause =
   | Alloc_slow
   | Txn_fence
   | Recovery
+  | Net_queue
 
 let all_causes =
   [
@@ -16,6 +17,7 @@ let all_causes =
     Alloc_slow;
     Txn_fence;
     Recovery;
+    Net_queue;
   ]
 
 let ncauses = List.length all_causes
@@ -28,6 +30,7 @@ let cause_index = function
   | Alloc_slow -> 4
   | Txn_fence -> 5
   | Recovery -> 6
+  | Net_queue -> 7
 
 let cause_name = function
   | Epoch_advance -> "epoch_advance"
@@ -37,8 +40,35 @@ let cause_name = function
   | Alloc_slow -> "alloc_slow"
   | Txn_fence -> "txn_fence"
   | Recovery -> "recovery"
+  | Net_queue -> "net_queue"
+
+let cause_of_index i = List.nth_opt all_causes i
 
 type entry = { cause : cause; start_ns : float; dur_ns : float; epoch : int }
+
+(* Attribute a [t0, t1) window to the cause with the largest total overlap
+   among [entries]; [None] when nothing overlaps. Shared by the bench
+   runner's slow-op attribution and the server's per-request stall
+   reporting. *)
+let dominant_cause entries ~t0 ~t1 =
+  let sums = Array.make ncauses 0.0 in
+  List.iter
+    (fun e ->
+      let o = Float.min t1 (e.start_ns +. e.dur_ns) -. Float.max t0 e.start_ns in
+      if o > 0.0 then
+        let i = cause_index e.cause in
+        sums.(i) <- sums.(i) +. o)
+    entries;
+  List.fold_left
+    (fun best c ->
+      let v = sums.(cause_index c) in
+      if v <= 0.0 then best
+      else
+        match best with
+        | Some (_, b) when b >= v -> best
+        | _ -> Some (c, v))
+    None all_causes
+  |> Option.map fst
 
 let nil_entry = { cause = Epoch_advance; start_ns = 0.0; dur_ns = 0.0; epoch = 0 }
 

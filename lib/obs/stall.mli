@@ -29,6 +29,11 @@ type cause =
   | Alloc_slow  (** allocator bump slow path (fresh chunk carve-out) *)
   | Txn_fence  (** transaction prepare/commit-record/watermark fences *)
   | Recovery  (** post-crash recovery, all phases *)
+  | Net_queue
+      (** time a request spent parked in a server shard queue before its
+          shard domain picked it up (the serving layer's queueing delay;
+          wall clock — the queue exists outside the simulated memory
+          system) *)
 
 val all_causes : cause list
 (** Every constructor, in declaration order (exhaustiveness tests and
@@ -38,12 +43,24 @@ val cause_name : cause -> string
 (** Stable lowercase name: ["epoch_advance"], ["clwb_sweep"], ... — used
     as the [stall.<cause>_ns] metric suffix and the Perfetto slice name. *)
 
+val cause_index : cause -> int
+(** Position in {!all_causes} — the wire protocol's cause byte. *)
+
+val cause_of_index : int -> cause option
+(** Inverse of {!cause_index}; [None] out of range. *)
+
 type entry = {
   cause : cause;
   start_ns : float;  (** simulated-clock start of the stall *)
   dur_ns : float;
   epoch : int;  (** shard epoch current when the stall was recorded *)
 }
+
+val dominant_cause : entry list -> t0:float -> t1:float -> cause option
+(** The cause with the largest total overlap against the [t0, t1) window
+    among [entries] (typically an {!overlapping} result); [None] when
+    nothing overlaps. The bench runner's slow-op attribution and the
+    server's per-request stall reporting share this. *)
 
 type t
 

@@ -1,0 +1,428 @@
+module P = Wire.Proto
+
+type conn = {
+  fd : Unix.file_descr;
+  replies : string Bqueue.t;  (* encoded reply frames *)
+  outstanding : int Atomic.t;  (* requests handed to shard domains *)
+  mutable txn : P.txn_write list option;  (* newest first; reader-only *)
+}
+
+type barrier = {
+  mutable remaining : int;
+  bmu : Mutex.t;
+  bcv : Condition.t;
+  brun : unit -> unit;  (* run exclusively by the last shard to arrive *)
+  mutable bdone : bool;
+}
+
+type job = Op of conn * float * P.request  (* enqueue wall ns *) | Barrier of barrier
+
+type t = {
+  store : Store.Sharded.t;
+  queues : job Bqueue.t array;
+  ledgers : Obs.Stall.t array;  (* server-owned net_queue ledgers, wall ns *)
+  listen_fd : Unix.file_descr;
+  bound : Wire.Client.addr;
+  stop_flag : bool Atomic.t;
+  barrier_mu : Mutex.t;  (* serialises multi-queue barrier enqueues *)
+  conns_mu : Mutex.t;
+  mutable conn_domains : unit Domain.t list;
+  mutable shard_domains : unit Domain.t list;
+  mutable accept_domain : unit Domain.t option;
+  batch : int;
+  on_dequeue : (shard:int -> unit) option;
+  t0 : float;  (* server start, Unix seconds *)
+  mutable stopped : bool;
+}
+
+let wall_ns t = (Unix.gettimeofday () -. t.t0) *. 1e9
+
+(* ------------------------------------------------------------- replies *)
+
+let encode_reply r =
+  try P.frame_of_reply r
+  with P.Malformed m ->
+    (* An oversized result (e.g. a huge SCAN) must not kill the shard
+       domain; degrade to an error the client can act on. *)
+    P.frame_of_reply
+      { r with P.status = P.Bad_request; payload = P.Text m }
+
+let push_reply conn r = ignore (Bqueue.push_unbounded conn.replies (encode_reply r))
+
+let simple conn id status =
+  push_reply conn
+    { P.id; status; queue_ns = 0.0; cause = P.no_cause; payload = P.Unit }
+
+(* --------------------------------------------------------- shard domain *)
+
+let exec_single sys (op : P.op) =
+  match op with
+  | P.Get k -> (
+      match Incll.System.get sys ~key:k with
+      | Some v -> (P.Ok, P.Value v)
+      | None -> (P.Not_found, P.Unit))
+  | P.Put (k, v) ->
+      Incll.System.put sys ~key:k ~value:v;
+      (P.Ok, P.Unit)
+  | P.Delete k ->
+      if Incll.System.remove sys ~key:k then (P.Ok, P.Unit)
+      else (P.Not_found, P.Unit)
+  | _ ->
+      (* SCAN/TXN_*/STATS never reach a single-shard queue entry. *)
+      (P.Bad_request, P.Unit)
+
+let exec_op t shard (conn, enq_ns, { P.id; op }) =
+  let sys = Store.Sharded.shard t.store shard in
+  let region = Incll.System.region sys in
+  let queue_ns = Float.max 0.0 (wall_ns t -. enq_ns) in
+  Obs.Stall.record t.ledgers.(shard) Obs.Stall.Net_queue ~start_ns:enq_ns
+    ~dur_ns:queue_ns;
+  let s0 = Nvm.Stats.sim_ns (Nvm.Region.stats region) in
+  let status, payload =
+    try exec_single sys op
+    with e -> (P.Bad_request, P.Text (Printexc.to_string e))
+  in
+  let s1 = Float.max (Nvm.Stats.sim_ns (Nvm.Region.stats region)) (s0 +. 1.0) in
+  let cause =
+    let over = Obs.Stall.overlapping (Nvm.Region.stalls region) ~t0:s0 ~t1:s1 in
+    match Obs.Stall.dominant_cause over ~t0:s0 ~t1:s1 with
+    | Some c -> Obs.Stall.cause_index c
+    | None -> P.no_cause
+  in
+  push_reply conn { P.id; status; queue_ns; cause; payload };
+  ignore (Atomic.fetch_and_add conn.outstanding (-1))
+
+let run_barrier_job b =
+  Mutex.lock b.bmu;
+  b.remaining <- b.remaining - 1;
+  if b.remaining = 0 then begin
+    b.brun ();
+    b.bdone <- true;
+    Condition.broadcast b.bcv
+  end
+  else
+    while not b.bdone do
+      Condition.wait b.bcv b.bmu
+    done;
+  Mutex.unlock b.bmu
+
+let shard_loop t shard =
+  let rec loop () =
+    match Bqueue.pop_batch t.queues.(shard) ~max:t.batch with
+    | [] -> ()  (* closed and drained *)
+    | jobs ->
+        Option.iter (fun f -> f ~shard) t.on_dequeue;
+        List.iter
+          (function
+            | Op (conn, enq, req) -> exec_op t shard (conn, enq, req)
+            | Barrier b -> run_barrier_job b)
+          jobs;
+        loop ()
+  in
+  loop ()
+
+(* --------------------------------------------------------- reader side *)
+
+(* Enqueue a barrier on every shard queue under the global barrier mutex:
+   two concurrent barriers land in the same order on every queue, so the
+   shard domains can never arrive at two barriers in opposite orders. *)
+let submit_barrier t conn id f =
+  ignore (Atomic.fetch_and_add conn.outstanding 1);
+  let enq_ns = wall_ns t in
+  let brun () =
+    let queue_ns = Float.max 0.0 (wall_ns t -. enq_ns) in
+    let status, payload =
+      try f () with e -> (P.Bad_request, P.Text (Printexc.to_string e))
+    in
+    push_reply conn { P.id; status; queue_ns; cause = P.no_cause; payload };
+    ignore (Atomic.fetch_and_add conn.outstanding (-1))
+  in
+  let b =
+    {
+      remaining = Array.length t.queues;
+      bmu = Mutex.create ();
+      bcv = Condition.create ();
+      brun;
+      bdone = false;
+    }
+  in
+  Mutex.lock t.barrier_mu;
+  Array.iter (fun q -> ignore (Bqueue.push_unbounded q (Barrier b))) t.queues;
+  Mutex.unlock t.barrier_mu
+
+let commit_txn store writes () =
+  Store.Sharded.txn_begin store;
+  (try
+     List.iter
+       (function
+         | P.Tw_put (k, v) -> Store.Sharded.txn_put store ~key:k ~value:v
+         | P.Tw_remove k -> Store.Sharded.txn_remove store ~key:k)
+       writes;
+     Store.Sharded.txn_commit store
+   with e ->
+     if Store.Sharded.txn_active store then Store.Sharded.txn_abort store;
+     raise e);
+  (P.Ok, P.Unit)
+
+let stats_text store fmt () =
+  let reg = Store.Sharded.metrics store in
+  let text =
+    match fmt with
+    | P.Stats_json -> Obs.Json.to_string (Obs.Registry.to_json reg)
+    | P.Stats_prom -> Obs.Registry.to_prometheus reg
+  in
+  (P.Ok, P.Text text)
+
+(* Read-your-writes against the connection's buffered transaction: the
+   newest buffered write for [k], if any. *)
+let txn_shadow buffered k =
+  List.find_map
+    (function
+      | P.Tw_put (k', v) when k' = k -> Some (Some v)
+      | P.Tw_remove k' when k' = k -> Some None
+      | _ -> None)
+    buffered
+
+let handle_request t conn ~draining ({ P.id; op } as req) =
+    let route_to_shard key =
+      let shard = Store.Sharded.shard_of_key t.store key in
+      ignore (Atomic.fetch_and_add conn.outstanding 1);
+      if not (Bqueue.try_push t.queues.(shard) (Op (conn, wall_ns t, req)))
+      then begin
+        ignore (Atomic.fetch_and_add conn.outstanding (-1));
+        simple conn id P.Busy
+      end
+    in
+    match op with
+    | P.Txn_begin ->
+        (* In-flight work drains to completion, but a drain does not
+           accept the start of a new conversation. *)
+        if draining then simple conn id P.Shutting_down
+        else if conn.txn <> None then simple conn id P.Txn_state
+        else begin
+          conn.txn <- Some [];
+          simple conn id P.Ok
+        end
+    | P.Txn_write w -> (
+        match conn.txn with
+        | None -> simple conn id P.Txn_state
+        | Some l ->
+            conn.txn <- Some (w :: l);
+            simple conn id P.Ok)
+    | P.Txn_abort ->
+        if conn.txn = None then simple conn id P.Txn_state
+        else begin
+          conn.txn <- None;
+          simple conn id P.Ok
+        end
+    | P.Txn_commit -> (
+        match conn.txn with
+        | None -> simple conn id P.Txn_state
+        | Some l ->
+            conn.txn <- None;
+            submit_barrier t conn id (commit_txn t.store (List.rev l)))
+    | P.Get k -> (
+        match Option.bind conn.txn (fun l -> txn_shadow l k) with
+        | Some (Some v) ->
+            push_reply conn
+              {
+                P.id;
+                status = P.Ok;
+                queue_ns = 0.0;
+                cause = P.no_cause;
+                payload = P.Value v;
+              }
+        | Some None -> simple conn id P.Not_found
+        | None -> route_to_shard k)
+    | P.Put (k, _) | P.Delete k -> route_to_shard k
+    | P.Scan (start, n) ->
+        submit_barrier t conn id (fun () ->
+            (P.Ok, P.Pairs (Store.Sharded.scan t.store ~start ~n)))
+    | P.Stats fmt -> submit_barrier t conn id (stats_text t.store fmt)
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let writer_loop conn =
+  let rec loop () =
+    match Bqueue.pop_batch conn.replies ~max:64 with
+    | [] -> ()
+    | frames ->
+        (* A dead peer must not wedge the drain: keep popping so the
+           reader's outstanding-wait can finish. *)
+        (try List.iter (write_all conn.fd) frames
+         with Unix.Unix_error _ -> ());
+        loop ()
+  in
+  loop ()
+
+let reader_loop t conn =
+  let dec = P.Decoder.create () in
+  let buf = Bytes.create 65536 in
+  let draining = ref false in
+  let drain_frames () =
+    let continue = ref true in
+    while !continue do
+      match P.Decoder.next dec with
+      | None -> continue := false
+      | Some payload ->
+          handle_request t conn ~draining:!draining
+            (P.request_of_payload payload)
+    done
+  in
+  (* [false] on peer EOF. *)
+  let read_once () =
+    let n = Unix.read conn.fd buf 0 (Bytes.length buf) in
+    n > 0
+    && begin
+         P.Decoder.feed dec buf 0 n;
+         drain_frames ();
+         true
+       end
+  in
+  (try
+     let eof = ref false in
+     while (not !eof) && not (Atomic.get t.stop_flag) do
+       match Unix.select [ conn.fd ] [] [] 0.2 with
+       | [], _, _ -> ()
+       | _ -> eof := not (read_once ())
+     done;
+     (* Final sweep on stop: requests the peer had already delivered are
+        processed and answered, not dropped — that is what makes the
+        drain graceful. *)
+     if not !eof then begin
+       draining := true;
+       let more = ref true in
+       while !more do
+         match Unix.select [ conn.fd ] [] [] 0.0 with
+         | [], _, _ -> more := false
+         | _ -> more := read_once ()
+       done
+     end
+   with
+  | P.Malformed _ ->
+      (* Unframeable garbage: we cannot resync mid-stream, drop the
+         connection (in-flight requests still drain below). *)
+      ()
+  | Unix.Unix_error _ -> ());
+  conn.txn <- None;
+  while Atomic.get conn.outstanding > 0 do
+    Unix.sleepf 0.0005
+  done;
+  Bqueue.close conn.replies
+
+let handle_conn t conn =
+  let writer = Domain.spawn (fun () -> writer_loop conn) in
+  reader_loop t conn;
+  Domain.join writer;
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+
+(* ---------------------------------------------------------- accept side *)
+
+let accept_loop t =
+  while not (Atomic.get t.stop_flag) do
+    match Unix.select [ t.listen_fd ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.accept t.listen_fd with
+        | fd, _ ->
+            (try Unix.setsockopt fd Unix.TCP_NODELAY true
+             with Unix.Unix_error _ -> ());
+            let conn =
+              {
+                fd;
+                replies = Bqueue.create ~capacity:1024;
+                outstanding = Atomic.make 0;
+                txn = None;
+              }
+            in
+            let d = Domain.spawn (fun () -> handle_conn t conn) in
+            Mutex.lock t.conns_mu;
+            t.conn_domains <- d :: t.conn_domains;
+            Mutex.unlock t.conns_mu
+        | exception Unix.Unix_error _ -> ())
+  done;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ())
+
+let bind_listen addr =
+  match addr with
+  | Wire.Client.Unix_sock path ->
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      (fd, addr)
+  | Wire.Client.Tcp (host, port) ->
+      let ip =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_of_string host
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (ip, port));
+      Unix.listen fd 64;
+      let bound_port =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      (fd, Wire.Client.Tcp (host, bound_port))
+
+let start ?config ?(queue_capacity = 1024) ?(batch = 64) ?on_dequeue ~variant
+    ~shards addr =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let store = Store.Sharded.create ?config variant ~shards in
+  let listen_fd, bound = bind_listen addr in
+  let t =
+    {
+      store;
+      queues = Array.init shards (fun _ -> Bqueue.create ~capacity:queue_capacity);
+      ledgers =
+        Array.init shards (fun i ->
+            Obs.Stall.create
+              ~registry:(Incll.System.metrics (Store.Sharded.shard store i))
+              ());
+      listen_fd;
+      bound;
+      stop_flag = Atomic.make false;
+      barrier_mu = Mutex.create ();
+      conns_mu = Mutex.create ();
+      conn_domains = [];
+      shard_domains = [];
+      accept_domain = None;
+      batch;
+      on_dequeue;
+      t0 = Unix.gettimeofday ();
+      stopped = false;
+    }
+  in
+  t.shard_domains <-
+    List.init shards (fun i -> Domain.spawn (fun () -> shard_loop t i));
+  t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t));
+  t
+
+let addr t = t.bound
+let store t = t.store
+let nshards t = Array.length t.queues
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Atomic.set t.stop_flag true;
+    Option.iter Domain.join t.accept_domain;
+    (* Accept has exited: the connection list is stable now. Readers see
+       the stop flag within their select timeout, finish their in-flight
+       requests, and close once their writers have flushed. *)
+    List.iter Domain.join t.conn_domains;
+    Array.iter Bqueue.close t.queues;
+    List.iter Domain.join t.shard_domains;
+    match t.bound with
+    | Wire.Client.Unix_sock path ->
+        (try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Wire.Client.Tcp _ -> ()
+  end

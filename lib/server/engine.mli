@@ -1,0 +1,62 @@
+(** The serving engine: accept/IO domains feeding per-shard bounded
+    queues drained by shard domains (DESIGN.md §16).
+
+    One domain accepts connections; each connection gets a reader domain
+    (decode frames, route requests) and a writer domain (flush reply
+    frames, in completion order — replies carry request ids, so they may
+    leave out of order). Single-key operations are routed by
+    {!Store.Sharded.shard_of_key} into that shard's bounded queue; a
+    full queue answers BUSY immediately from the reader — the server
+    never buffers without bound. Cross-shard operations (SCAN,
+    TXN_COMMIT, STATS) are barrier jobs enqueued on {e every} shard
+    queue; the last shard domain to arrive runs them exclusively while
+    the rest are parked, which gives them the same isolation the
+    sequential {!Store.Sharded} facade assumes.
+
+    Each dequeued request records its queueing delay as an
+    {!Obs.Stall.Net_queue} stall (wall clock, ns since server start)
+    into a server-owned per-shard ledger that shares the shard's metric
+    registry, so [stall.net_queue_ns] surfaces through STATS next to the
+    simulated-clock persistence stalls. Replies carry that delay plus
+    the dominant persistence-stall cause overlapping the request's
+    execution window, so a remote client can attribute its own tail
+    latency without a second round trip.
+
+    Transaction writes are buffered per connection in the reader;
+    TXN_COMMIT replays them through the store's 2PC under a barrier.
+
+    {!stop} drains gracefully: stop accepting, let readers finish their
+    in-flight requests and writers flush every outstanding reply, then
+    shut the shard domains down. *)
+
+type t
+
+val start :
+  ?config:Incll.System.config ->
+  ?queue_capacity:int ->
+  (* per-shard request queue bound; default 1024 *)
+  ?batch:int ->
+  (* max requests a shard domain dequeues at once; default 64 *)
+  ?on_dequeue:(shard:int -> unit) ->
+  (* test hook: runs on the shard domain after each batch dequeue,
+     before execution — block here to force BUSY deterministically *)
+  variant:Incll.System.variant ->
+  shards:int ->
+  Wire.Client.addr ->
+  t
+(** Bind, listen and spawn the accept + shard domains. [Tcp (host, 0)]
+    binds an ephemeral port; read the real one back from {!addr}. *)
+
+val addr : t -> Wire.Client.addr
+(** The bound address (ephemeral TCP port resolved). *)
+
+val store : t -> Store.Sharded.t
+(** The underlying store. Only safe to touch after {!stop} — while the
+    server runs, the shard domains own it. *)
+
+val nshards : t -> int
+
+val stop : t -> unit
+(** Graceful drain, idempotent: close the listen socket, wait for every
+    connection's in-flight requests to finish and its replies to flush,
+    then drain and join the shard domains. *)

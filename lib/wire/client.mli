@@ -1,0 +1,64 @@
+(** Client side of the serving protocol: a blocking connection with both
+    a synchronous call interface and a pipelined send/recv pair for
+    keeping many requests in flight over one socket.
+
+    Not thread-safe: one connection belongs to one caller. The pipelined
+    interface returns replies in whatever order the server produced
+    them; match them to requests by {!Proto.reply.id}. The synchronous
+    {!call} stashes out-of-order replies internally, so the two styles
+    can be mixed as long as every pipelined id is eventually received. *)
+
+type addr = Unix_sock of string | Tcp of string * int
+
+val addr_of_string : string -> addr
+(** Parse ["unix:/path/to.sock"] or ["tcp:host:port"]. Raises
+    [Invalid_argument] on anything else. *)
+
+val string_of_addr : addr -> string
+
+type t
+
+val connect : addr -> t
+(** Raises [Unix.Unix_error] when the server is not there. *)
+
+val close : t -> unit
+
+(* --- pipelined interface ------------------------------------------- *)
+
+val send : t -> Proto.op -> int
+(** Write one request, return its id (assigned monotonically per
+    connection). Does not wait for the reply. *)
+
+val recv : t -> Proto.reply
+(** Next reply from the stash or the socket, any id. Raises
+    [End_of_file] if the server closed the connection. *)
+
+val recv_opt : t -> Proto.reply option
+(** Like {!recv} but never blocks: [None] when no complete reply is
+    available right now (open-loop senders drain with this while pacing
+    their arrivals). *)
+
+val pending : t -> int
+(** Requests sent but not yet returned by {!recv}/{!call}. *)
+
+(* --- synchronous interface ----------------------------------------- *)
+
+val call : t -> Proto.op -> Proto.reply
+(** Send one request and block for its reply, stashing any other
+    replies that arrive first. *)
+
+(* Convenience wrappers over [call]; each raises [Failure] with the
+   status name on any status other than the expected ones. *)
+
+val get : t -> string -> string option
+val put : t -> string -> string -> unit
+val delete : t -> string -> bool
+(** [false] when the key was absent. *)
+
+val scan : t -> start:string -> n:int -> (string * string) list
+val txn_begin : t -> unit
+val txn_put : t -> string -> string -> unit
+val txn_remove : t -> string -> unit
+val txn_commit : t -> unit
+val txn_abort : t -> unit
+val stats : t -> Proto.stats_format -> string

@@ -1,0 +1,67 @@
+type encoded = {
+  tags : Bytes.t;  (* '\000' put, '\001' get, '\002' scan *)
+  keys : string array;
+  values : string array;  (* put payload; "" for get/scan *)
+  scan_ns : int array;  (* scan length; 0 for put/get *)
+  arrivals : float array;  (* intended arrivals, ns offsets; [||] closed *)
+}
+
+let generate spec ~seed ~n =
+  let rng = Util.Rng.create ~seed in
+  Ycsb.generate spec rng ~n
+
+let key_of = function
+  | Ycsb.Put (k, _) | Ycsb.Get k | Ycsb.Scan (k, _) -> k
+
+let encode ops =
+  let n = Array.length ops in
+  let enc =
+    {
+      tags = Bytes.create n;
+      keys = Array.make n "";
+      values = Array.make n "";
+      scan_ns = Array.make n 0;
+      arrivals = [||];
+    }
+  in
+  Array.iteri
+    (fun i op ->
+      match op with
+      | Ycsb.Put (key, value) ->
+          Bytes.unsafe_set enc.tags i '\000';
+          enc.keys.(i) <- key;
+          enc.values.(i) <- value
+      | Ycsb.Get key ->
+          Bytes.unsafe_set enc.tags i '\001';
+          enc.keys.(i) <- key
+      | Ycsb.Scan (start, sn) ->
+          Bytes.unsafe_set enc.tags i '\002';
+          enc.keys.(i) <- start;
+          enc.scan_ns.(i) <- sn)
+    ops;
+  enc
+
+let length enc = Array.length enc.keys
+
+let route ops ~nshards ~shard_of_key ?interval_ns () =
+  let interval = Option.value interval_ns ~default:0.0 in
+  let by_shard = Array.make nshards [] in
+  Array.iteri
+    (fun j op ->
+      let s = shard_of_key (key_of op) in
+      by_shard.(s) <- (op, float_of_int j *. interval) :: by_shard.(s))
+    ops;
+  Array.map
+    (fun l ->
+      let arr = Array.of_list (List.rev l) in
+      let enc = encode (Array.map fst arr) in
+      if interval_ns = None then enc
+      else { enc with arrivals = Array.map snd arr })
+    by_shard
+
+let apply sys op =
+  match op with
+  | Ycsb.Put (key, value) -> Incll.System.put sys ~key ~value
+  | Ycsb.Get key -> ignore (Incll.System.get sys ~key : string option)
+  | Ycsb.Scan (start, n) ->
+      ignore (Incll.System.scan sys ~start ~n : (string * string) list)

@@ -1,0 +1,52 @@
+(** Seeded YCSB op-stream generation and encoding, shared by every driver
+    of a store: the in-process bench runner ([Bench_harness.Runner]), the
+    network client side of the remote bench ([Bench_harness.Remote]) and
+    the server tests' differential oracle. One seed must yield one stream
+    everywhere — that is what makes "apply the same stream in-process and
+    over the wire, compare final states" a meaningful check. *)
+
+type encoded = {
+  tags : Bytes.t;  (** ['\000'] put, ['\001'] get, ['\002'] scan *)
+  keys : string array;
+  values : string array;  (** put payload; [""] for get/scan *)
+  scan_ns : int array;  (** scan length; 0 for put/get *)
+  arrivals : float array;
+      (** Intended arrival of each op as an ns offset from the start of
+          the measured phase (open loop); length 0 in closed loop.
+          Assigned in global stream order {e before} shard routing, so a
+          fixed offered rate survives any key→shard distribution and each
+          shard's sub-schedule stays strictly increasing. *)
+}
+(** Struct-of-arrays encoding of an op stream, decoded from the variant
+    form once so measured loops dispatch on a byte tag and index flat
+    arrays — no per-op closure application on the hot path. *)
+
+val generate : Ycsb.spec -> seed:int -> n:int -> Ycsb.op array
+(** The canonical seeded stream: a fresh [Util.Rng] from [seed] feeding
+    {!Ycsb.generate}. Every driver that wants stream [seed] must use this
+    (not its own Rng plumbing), or the differential oracle loses its
+    footing. *)
+
+val key_of : Ycsb.op -> string
+(** The key an op is routed by (a scan routes by its start key). *)
+
+val encode : Ycsb.op array -> encoded
+(** Closed-loop encoding (no arrivals). *)
+
+val length : encoded -> int
+
+val route :
+  Ycsb.op array ->
+  nshards:int ->
+  shard_of_key:(string -> int) ->
+  ?interval_ns:float ->
+  unit ->
+  encoded array
+(** Split a global stream into per-shard encoded streams, preserving
+    stream order within each shard. With [interval_ns] (open loop), op
+    [j] of the {e global} stream is stamped with intended arrival
+    [j * interval_ns] before routing. *)
+
+val apply : Incll.System.t -> Ycsb.op -> unit
+(** Apply one op to a system (get/scan results discarded) — the single
+    in-process apply path the runner and the oracle share. *)

@@ -66,7 +66,16 @@ let outermost_scope_wins () =
    two causes everywhere downstream. *)
 let cause_names_are_exhaustive_and_unique () =
   let names = List.map Obs.Stall.cause_name Obs.Stall.all_causes in
-  check_int "seven causes" 7 (List.length names);
+  check_int "eight causes" 8 (List.length names);
+  (* The wire protocol ships a cause as its index byte; the round trip
+     must hold for every cause or remote attribution silently drifts. *)
+  List.iter
+    (fun c ->
+      check "cause index round-trips" true
+        (Obs.Stall.cause_of_index (Obs.Stall.cause_index c) = Some c))
+    Obs.Stall.all_causes;
+  check "out-of-range index is None" true
+    (Obs.Stall.cause_of_index (List.length names) = None);
   check_int "names unique" (List.length names)
     (List.length (List.sort_uniq compare names));
   List.iter

@@ -1,0 +1,533 @@
+(* The serving layer: wire codec round trips and hostile-input rejection,
+   the bounded queue's backpressure contract, and the running server —
+   pipelined out-of-order replies, BUSY under a wedged shard, graceful
+   drain, STATS plumbing, and the differential oracle proving a seeded
+   YCSB stream lands the same state over the wire as in process. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+module P = Wire.Proto
+module C = Wire.Client
+module E = Server.Engine
+module S = Store.Sharded
+module O = Workload.Opstream
+module Y = Workload.Ycsb
+module R = Bench_harness.Runner
+
+(* --- codec -------------------------------------------------------------- *)
+
+let arbitrary_op =
+  let open QCheck.Gen in
+  let str = string_size ~gen:(char_range 'a' 'z') (int_bound 24) in
+  frequency
+    [
+      (4, map (fun k -> P.Get k) str);
+      (4, map2 (fun k v -> P.Put (k, v)) str str);
+      (2, map (fun k -> P.Delete k) str);
+      (2, map2 (fun k n -> P.Scan (k, n)) str (int_bound 1000));
+      (1, return P.Txn_begin);
+      (1, map2 (fun k v -> P.Txn_write (P.Tw_put (k, v))) str str);
+      (1, map (fun k -> P.Txn_write (P.Tw_remove k)) str);
+      (1, return P.Txn_commit);
+      (1, return P.Txn_abort);
+      (1, return (P.Stats P.Stats_json));
+      (1, return (P.Stats P.Stats_prom));
+    ]
+
+let arbitrary_reply =
+  let open QCheck.Gen in
+  let str = string_size ~gen:(char_range 'a' 'z') (int_bound 24) in
+  let status =
+    oneofl
+      [ P.Ok; P.Not_found; P.Busy; P.Bad_request; P.Txn_state; P.Shutting_down ]
+  in
+  let payload =
+    frequency
+      [
+        (2, return P.Unit);
+        (2, map (fun v -> P.Value v) str);
+        (2, map (fun l -> P.Pairs l) (list_size (int_bound 20) (pair str str)));
+        (1, map (fun t -> P.Text t) str);
+      ]
+  in
+  map2
+    (fun (id, status) (queue_ns, cause, payload) ->
+      { P.id; status; queue_ns; cause; payload })
+    (pair (int_bound 0xffffff) status)
+    (triple
+       (map float_of_int (int_bound 1_000_000_000))
+       (oneofl [ 0; 3; 7; P.no_cause ])
+       payload)
+
+(* Frames survive the round trip even when the byte stream is rechunked
+   arbitrarily — the decoder owns reassembly. *)
+let frame_round_trip_property =
+  QCheck.Test.make ~name:"request/reply frames round-trip through the decoder"
+    ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         triple (list_size (int_bound 8) arbitrary_op) arbitrary_reply
+           (int_range 1 13)))
+    (fun (ops, reply, chunk) ->
+      let reqs = List.mapi (fun i op -> { P.id = i; op }) ops in
+      let stream =
+        String.concat ""
+          (List.map P.frame_of_request reqs @ [ P.frame_of_reply reply ])
+      in
+      let dec = P.Decoder.create () in
+      let payloads = ref [] in
+      let i = ref 0 in
+      while !i < String.length stream do
+        let n = min chunk (String.length stream - !i) in
+        P.Decoder.feed dec (Bytes.of_string (String.sub stream !i n)) 0 n;
+        let rec drain () =
+          match P.Decoder.next dec with
+          | Some p ->
+              payloads := p :: !payloads;
+              drain ()
+          | None -> ()
+        in
+        drain ();
+        i := !i + n
+      done;
+      match List.rev !payloads with
+      | [] -> false
+      | ps ->
+          let rps, last = (List.filteri (fun i _ -> i < List.length reqs) ps,
+                           List.nth ps (List.length ps - 1)) in
+          List.for_all2 (fun req p -> P.request_of_payload p = req) reqs rps
+          && P.reply_of_payload last = reply
+          && P.Decoder.buffered dec = 0)
+
+let truncated_frames_rejected () =
+  let frame = P.frame_of_request { P.id = 7; op = P.Put ("k", "v") } in
+  let payload = String.sub frame 4 (String.length frame - 4) in
+  (* Every proper prefix of the payload must be rejected, not misparsed. *)
+  for n = 0 to String.length payload - 1 do
+    match P.request_of_payload (String.sub payload 0 n) with
+    | _ -> Alcotest.failf "truncated payload of %d bytes parsed" n
+    | exception P.Malformed _ -> ()
+  done;
+  (* And trailing garbage is rejected too. *)
+  (match P.request_of_payload (payload ^ "x") with
+  | _ -> Alcotest.fail "trailing byte accepted"
+  | exception P.Malformed _ -> ());
+  (* A truncated *frame* just waits for more bytes. *)
+  let dec = P.Decoder.create () in
+  let b = Bytes.of_string (String.sub frame 0 (String.length frame - 1)) in
+  P.Decoder.feed dec b 0 (Bytes.length b);
+  check "incomplete frame yields nothing" true (P.Decoder.next dec = None);
+  check_int "bytes held" (String.length frame - 1) (P.Decoder.buffered dec)
+
+let oversized_frame_rejected () =
+  let dec = P.Decoder.create () in
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 (Int32.of_int (P.max_frame + 1));
+  P.Decoder.feed dec header 0 4;
+  (match P.Decoder.next dec with
+  | _ -> Alcotest.fail "oversized declared length accepted"
+  | exception P.Malformed _ -> ());
+  (* Encoding side refuses to build one in the first place. *)
+  match P.frame_of_reply
+          { P.id = 0; status = P.Ok; queue_ns = 0.0; cause = P.no_cause;
+            payload = P.Text (String.make (P.max_frame + 1) 'x') }
+  with
+  | _ -> Alcotest.fail "oversized reply encoded"
+  | exception P.Malformed _ -> ()
+
+(* Hostile bytes: the decoder either waits for more input, rejects with
+   Malformed, or yields payloads that themselves parse or reject — it
+   never raises anything else and never buffers past cap + chunk. *)
+let garbage_fuzz () =
+  let rng = Util.Rng.create ~seed:0xbad in
+  for _ = 1 to 200 do
+    let cap = 512 in
+    let dec = P.Decoder.create ~max_frame:cap () in
+    let alive = ref true in
+    for _ = 1 to 50 do
+      if !alive then begin
+        let n = 1 + Util.Rng.int rng 64 in
+        let b = Bytes.init n (fun _ -> Char.chr (Util.Rng.int rng 256)) in
+        P.Decoder.feed dec b 0 n;
+        try
+          let rec drain () =
+            match P.Decoder.next dec with
+            | Some p -> (
+                (match P.request_of_payload p with
+                | (_ : P.request) -> ()
+                | exception P.Malformed _ -> ());
+                drain ())
+            | None -> ()
+          in
+          drain ()
+        with P.Malformed _ -> alive := false
+      end
+    done;
+    check "decoder never hoards garbage" true (P.Decoder.buffered dec <= cap + 4 + 64)
+  done
+
+let addr_parsing () =
+  check "unix" true
+    (C.addr_of_string "unix:/tmp/x.sock" = C.Unix_sock "/tmp/x.sock");
+  check "tcp" true
+    (C.addr_of_string "tcp:127.0.0.1:8080" = C.Tcp ("127.0.0.1", 8080));
+  List.iter
+    (fun s ->
+      match C.addr_of_string s with
+      | _ -> Alcotest.failf "accepted %s" s
+      | exception Invalid_argument _ -> ())
+    [ "bogus"; "tcp:nohost"; "tcp::123"; "tcp:host:notaport"; "http:x:1" ]
+
+(* --- bounded queue ------------------------------------------------------- *)
+
+let bqueue_contract () =
+  let q = Server.Bqueue.create ~capacity:2 in
+  check "push 1" true (Server.Bqueue.try_push q 1);
+  check "push 2" true (Server.Bqueue.try_push q 2);
+  check "push 3 bounces" false (Server.Bqueue.try_push q 3);
+  check "unbounded push passes the cap" true (Server.Bqueue.push_unbounded q 4);
+  check "fifo batch" true (Server.Bqueue.pop_batch q ~max:2 = [ 1; 2 ]);
+  check "remainder" true (Server.Bqueue.pop_batch q ~max:8 = [ 4 ]);
+  Server.Bqueue.close q;
+  check "push after close" false (Server.Bqueue.try_push q 5);
+  check "pop after close" true (Server.Bqueue.pop_batch q ~max:8 = []);
+  (* A blocked consumer is woken by close. *)
+  let q2 = Server.Bqueue.create ~capacity:1 in
+  let d = Domain.spawn (fun () -> Server.Bqueue.pop_batch q2 ~max:1) in
+  Unix.sleepf 0.02;
+  Server.Bqueue.close q2;
+  check "blocked pop released empty" true (Domain.join d = [])
+
+(* --- the running server -------------------------------------------------- *)
+
+let server_config ~nkeys ~shards =
+  R.config_for ~epoch_len_ns:1.0e6 ~nkeys_per_shard:((nkeys / shards) + 64) ()
+
+let with_server ?queue_capacity ?batch ?on_dequeue ?(shards = 2)
+    ?(nkeys = 2_000) f =
+  let addr = C.Unix_sock (Filename.temp_file "incll_srv" ".sock") in
+  let srv =
+    E.start ?queue_capacity ?batch ?on_dequeue
+      ~config:(server_config ~nkeys ~shards)
+      ~variant:Incll.System.Incll ~shards addr
+  in
+  Fun.protect ~finally:(fun () -> E.stop srv) (fun () -> f srv)
+
+let basic_ops_over_unix_socket () =
+  with_server (fun srv ->
+      let c = C.connect (E.addr srv) in
+      Fun.protect ~finally:(fun () -> C.close c) (fun () ->
+          check "absent" true (C.get c "alpha" = None);
+          C.put c "alpha" "1";
+          C.put c "beta" "2";
+          C.put c "gamma" "3";
+          check "present" true (C.get c "beta" = Some "2");
+          C.put c "beta" "2'";
+          check "updated" true (C.get c "beta" = Some "2'");
+          check "delete hit" true (C.delete c "gamma");
+          check "delete miss" false (C.delete c "gamma");
+          check "scan" true
+            (C.scan c ~start:"" ~n:10
+            = [ ("alpha", "1"); ("beta", "2'") ]);
+          (* Replies attribute queueing: a lone sync caller has ~no queue,
+             but the field is present and sane. *)
+          (match C.call c (P.Get "alpha") with
+          | { P.status = P.Ok; queue_ns; _ } ->
+              check "queue_ns non-negative" true (queue_ns >= 0.0)
+          | r -> Alcotest.fail (P.status_name r.P.status))))
+
+let basic_ops_over_tcp () =
+  let srv =
+    E.start
+      ~config:(server_config ~nkeys:100 ~shards:1)
+      ~variant:Incll.System.Incll ~shards:1
+      (C.Tcp ("127.0.0.1", 0))
+  in
+  Fun.protect ~finally:(fun () -> E.stop srv) (fun () ->
+      (match E.addr srv with
+      | C.Tcp (_, p) -> check "ephemeral port resolved" true (p > 0)
+      | _ -> Alcotest.fail "expected tcp addr");
+      let c = C.connect (E.addr srv) in
+      Fun.protect ~finally:(fun () -> C.close c) (fun () ->
+          C.put c "k" "v";
+          check "tcp get" true (C.get c "k" = Some "v")))
+
+let transactions_over_the_wire () =
+  with_server (fun srv ->
+      let c = C.connect (E.addr srv) in
+      Fun.protect ~finally:(fun () -> C.close c) (fun () ->
+          C.put c "a" "0";
+          C.txn_begin c;
+          C.txn_put c "a" "1";
+          C.txn_put c "b" "2";
+          C.txn_remove c "never_there";
+          (* Read-your-writes inside the open transaction... *)
+          check "ryw" true (C.get c "a" = Some "1");
+          check "ryw absent" true (C.get c "never_there" = None);
+          C.txn_commit c;
+          check "committed a" true (C.get c "a" = Some "1");
+          check "committed b" true (C.get c "b" = Some "2");
+          (* Abort discards. *)
+          C.txn_begin c;
+          C.txn_put c "a" "9";
+          C.txn_abort c;
+          check "abort discards" true (C.get c "a" = Some "1");
+          (* State machine errors are typed, not fatal. *)
+          check "commit outside txn" true
+            ((C.call c P.Txn_commit).P.status = P.Txn_state);
+          check "write outside txn" true
+            ((C.call c (P.Txn_write (P.Tw_put ("x", "y")))).P.status
+            = P.Txn_state);
+          C.txn_begin c;
+          check "double begin" true
+            ((C.call c P.Txn_begin).P.status = P.Txn_state);
+          C.txn_abort c))
+
+let pipelined_out_of_order () =
+  with_server ~shards:4 (fun srv ->
+      let c = C.connect (E.addr srv) in
+      Fun.protect ~finally:(fun () -> C.close c) (fun () ->
+          let n = 400 in
+          let key i = Printf.sprintf "key%04d" i in
+          let ids = Hashtbl.create n in
+          for i = 0 to n - 1 do
+            Hashtbl.replace ids (C.send c (P.Put (key i, string_of_int i))) i
+          done;
+          check_int "all in flight" n (C.pending c);
+          for _ = 1 to n do
+            let r = C.recv c in
+            match Hashtbl.find_opt ids r.P.id with
+            | None -> Alcotest.failf "unknown reply id %d" r.P.id
+            | Some _ ->
+                Hashtbl.remove ids r.P.id;
+                check "put ok" true (r.P.status = P.Ok)
+          done;
+          check_int "every id answered exactly once" 0 (Hashtbl.length ids);
+          check_int "nothing pending" 0 (C.pending c);
+          (* Mixing a sync call among pipelined sends exercises the
+             out-of-order stash. *)
+          let pending_ids =
+            List.init 32 (fun i -> C.send c (P.Get (key i)))
+          in
+          check "sync call overtakes the pipeline" true
+            (C.get c (key 7) = Some "7");
+          List.iter
+            (fun _ ->
+              let r = C.recv c in
+              check "pipelined get ok" true (r.P.status = P.Ok))
+            pending_ids))
+
+let busy_backpressure () =
+  let gate = Atomic.make false in
+  let on_dequeue ~shard:_ =
+    while not (Atomic.get gate) do
+      Unix.sleepf 0.001
+    done
+  in
+  with_server ~shards:1 ~queue_capacity:2 ~batch:1 ~on_dequeue (fun srv ->
+      let c = C.connect (E.addr srv) in
+      Fun.protect ~finally:(fun () -> C.close c) (fun () ->
+          let n = 10 in
+          let sent =
+            List.init n (fun i ->
+                C.send c (P.Put (Printf.sprintf "k%d" i, "v")))
+          in
+          (* The shard is wedged on the gate with one request in hand and
+             at most two queued: at least n-3 must bounce immediately. *)
+          let busy = ref 0 and ok = ref 0 in
+          let busy_ids = ref [] in
+          while !busy + !ok < n do
+            let r = C.recv c in
+            (match r.P.status with
+            | P.Busy ->
+                incr busy;
+                busy_ids := r.P.id :: !busy_ids
+            | P.Ok -> incr ok
+            | s -> Alcotest.fail (P.status_name s));
+            (* Once every bounce is in, release the shard. *)
+            if !busy + !ok + 3 >= n && not (Atomic.get gate) then
+              Atomic.set gate true
+          done;
+          Atomic.set gate true;
+          check "backpressure engaged" true (!busy >= n - 3);
+          check_int "every request answered" n (!busy + !ok);
+          ignore sent;
+          (* BUSY means not applied: accepted puts are visible, bounced
+             ones are not. *)
+          let applied = C.scan c ~start:"" ~n:100 in
+          check_int "accepted = applied" !ok (List.length applied)))
+
+let graceful_drain_flushes_everything () =
+  let addr = C.Unix_sock (Filename.temp_file "incll_drain" ".sock") in
+  let srv =
+    E.start
+      ~config:(server_config ~nkeys:200 ~shards:2)
+      ~variant:Incll.System.Incll ~shards:2 addr
+  in
+  let c = C.connect (E.addr srv) in
+  let n = 50 in
+  for i = 0 to n - 1 do
+    ignore (C.send c (P.Put (Printf.sprintf "d%02d" i, "v")))
+  done;
+  (* Stop with all n requests in flight: the drain must finish them and
+     flush every reply before the server lets go of the connection. *)
+  E.stop srv;
+  let got = ref 0 in
+  (try
+     while !got < n do
+       let r = C.recv c in
+       check "drained op ok" true (r.P.status = P.Ok);
+       incr got
+     done
+   with End_of_file -> ());
+  check_int "every in-flight reply flushed" n !got;
+  C.close c;
+  (* And the work really landed in the store. *)
+  check_int "puts applied before shutdown" n (S.cardinal (E.store srv))
+
+let stats_over_the_wire () =
+  with_server (fun srv ->
+      let c = C.connect (E.addr srv) in
+      Fun.protect ~finally:(fun () -> C.close c) (fun () ->
+          for i = 0 to 99 do
+            C.put c (Printf.sprintf "s%03d" i) "v"
+          done;
+          let json = Obs.Json.of_string (C.stats c P.Stats_json) in
+          (* The queueing delay the server measured surfaces as an
+             ordinary stall histogram in the merged registry. *)
+          (match
+             Obs.Json.find_path json
+               [ "histograms"; "stall.net_queue_ns"; "count" ]
+           with
+          | Some n ->
+              check "net_queue stall per routed request" true
+                (match Obs.Json.to_float_opt n with
+                | Some f -> f >= 100.0
+                | None -> false)
+          | None -> Alcotest.fail "stall.net_queue_ns missing from STATS");
+          let prom = C.stats c P.Stats_prom in
+          check "prometheus exposition" true
+            (let sub = "incll_stall_net_queue_ns" in
+             let rec find i =
+               i + String.length sub <= String.length prom
+               && (String.sub prom i (String.length sub) = sub || find (i + 1))
+             in
+             find 0)))
+
+(* --- differential oracle ------------------------------------------------- *)
+
+(* The same seeded stream (with deletes mixed in) through the wire and
+   through the in-process facade must land byte-identical final states.
+   Gets/scans ride along so reordering bugs would have room to bite. *)
+let oracle_stream spec ~seed ~n =
+  Array.mapi
+    (fun i op ->
+      match op with
+      | Y.Put (k, _) when i mod 37 = 17 -> `Del k
+      | Y.Put (k, v) -> `Put (k, v)
+      | Y.Get k -> `Get k
+      | Y.Scan (k, n) -> `Scan (k, n))
+    (O.generate spec ~seed ~n)
+
+let remote_full_state c =
+  let rec page start acc =
+    match C.scan c ~start ~n:137 with
+    | [] -> List.rev acc
+    | pairs ->
+        let last, _ = List.nth pairs (List.length pairs - 1) in
+        page (last ^ "\x00") (List.rev_append pairs acc)
+  in
+  page "" []
+
+let oracle_one ~seed ~shards =
+  let nkeys = 400 and n = 1_500 in
+  let spec = { Y.mix = Y.A; dist = Y.Zipfian; nkeys } in
+  let ops = oracle_stream spec ~seed ~n in
+  with_server ~shards ~nkeys (fun srv ->
+      let c = C.connect (E.addr srv) in
+      Fun.protect ~finally:(fun () -> C.close c) (fun () ->
+          (* Wire side, pipelined with a window below the queue bound so
+             BUSY (which would drop an op) cannot occur. *)
+          let window = 128 in
+          Array.iter
+            (fun op ->
+              if C.pending c >= window then
+                check "no BUSY in oracle run" true
+                  ((C.recv c).P.status <> P.Busy);
+              ignore
+                (C.send c
+                   (match op with
+                   | `Put (k, v) -> P.Put (k, v)
+                   | `Del k -> P.Delete k
+                   | `Get k -> P.Get k
+                   | `Scan (k, n) -> P.Scan (k, n))))
+            ops;
+          while C.pending c > 0 do
+            check "no BUSY in oracle tail" true ((C.recv c).P.status <> P.Busy)
+          done;
+          (* One multi-key transaction on top, same on both sides. *)
+          C.txn_begin c;
+          C.txn_put c "txn_a" "across";
+          C.txn_put c "txn_b" "shards";
+          C.txn_commit c;
+          (* In-process side: same stream through the sequential facade. *)
+          let local =
+            S.create ~config:(server_config ~nkeys ~shards)
+              Incll.System.Incll ~shards
+          in
+          Array.iter
+            (fun op ->
+              match op with
+              | `Put (k, v) -> S.put local ~key:k ~value:v
+              | `Del k -> ignore (S.remove local ~key:k)
+              | `Get k -> ignore (S.get local ~key:k)
+              | `Scan (k, n) -> ignore (S.scan local ~start:k ~n))
+            ops;
+          S.txn_begin local;
+          S.txn_put local ~key:"txn_a" ~value:"across";
+          S.txn_put local ~key:"txn_b" ~value:"shards";
+          S.txn_commit local;
+          (* Compare complete states, paginated over the wire. *)
+          let remote = remote_full_state c in
+          let expected = S.scan local ~start:"" ~n:(S.cardinal local + 1) in
+          check_int
+            (Printf.sprintf "seed %d / %d shards: cardinality" seed shards)
+            (List.length expected) (List.length remote);
+          List.iter2
+            (fun (k, v) (k', v') ->
+              check_str "oracle key" k k';
+              check_str "oracle value" v v')
+            expected remote))
+
+let differential_oracle () =
+  List.iter
+    (fun seed -> List.iter (fun shards -> oracle_one ~seed ~shards) [ 1; 4 ])
+    [ 3; 5; 7; 11 ]
+
+let tests =
+  ( "wire",
+    [
+      QCheck_alcotest.to_alcotest frame_round_trip_property;
+      Alcotest.test_case "truncated frames rejected" `Quick
+        truncated_frames_rejected;
+      Alcotest.test_case "oversized frame rejected" `Quick
+        oversized_frame_rejected;
+      Alcotest.test_case "garbage-header fuzz" `Quick garbage_fuzz;
+      Alcotest.test_case "address parsing" `Quick addr_parsing;
+      Alcotest.test_case "bounded queue contract" `Quick bqueue_contract;
+      Alcotest.test_case "basic ops over a unix socket" `Quick
+        basic_ops_over_unix_socket;
+      Alcotest.test_case "basic ops over tcp" `Quick basic_ops_over_tcp;
+      Alcotest.test_case "transactions over the wire" `Quick
+        transactions_over_the_wire;
+      Alcotest.test_case "pipelined out-of-order replies" `Quick
+        pipelined_out_of_order;
+      Alcotest.test_case "BUSY backpressure, bounded queues" `Quick
+        busy_backpressure;
+      Alcotest.test_case "graceful drain flushes everything" `Quick
+        graceful_drain_flushes_everything;
+      Alcotest.test_case "STATS carries net_queue" `Quick stats_over_the_wire;
+      Alcotest.test_case "differential oracle: wire = in-process" `Slow
+        differential_oracle;
+    ] )
