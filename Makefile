@@ -5,8 +5,8 @@
 # environment; the flag passed here wins).
 BENCH_THRESHOLD ?= 0.10
 
-.PHONY: all build test check chaos chaos-txn bench bench-gate latency \
-  latency-throughput latency-latency latency-rto latency-improve \
+.PHONY: all build test check chaos chaos-txn chaos-net bench bench-gate \
+  latency latency-throughput latency-latency latency-rto latency-improve \
   microbench serve clean
 
 # Chaos-run shape: the four historically-bad seeds (the limbo-chain bug,
@@ -29,8 +29,9 @@ test:
 # microbench smoke run (exercises the simulator fast paths and the
 # --min-mops gate plumbing; the bar is deliberately tiny — real
 # comparisons are two --json reports on the same machine) + the
-# serving-layer gate (a real server process driven over the wire).
-check: build test bench-gate latency microbench serve
+# serving-layer gate (a real server process driven over the wire) + the
+# crash-restart/network-fault torture (chaos-net).
+check: build test bench-gate latency microbench serve chaos-net
 
 # Crash-chaos gate: random-crash torture over the known-bad + fresh seed
 # matrix, a deterministic schedule that crashes inside recovery at three
@@ -150,6 +151,20 @@ serve: build
 	  exit $$rc
 	dune exec bin/bench_compare.exe -- --threshold $(BENCH_THRESHOLD) \
 	  _build/bench_serve.json _build/bench_serve.json
+
+# End-to-end fault-tolerance torture: per seed, real incll_server.exe
+# processes are SIGKILLed mid-load and restarted over the same NVM
+# image while retrying client sessions drive stamped ops through a
+# frame-level fault injector (drop/delay/dup/trunc/sever); the oracle
+# demands the final server state match the last acked op per key
+# exactly once, and every seed must end in a clean SIGTERM drain.
+# Seed 1 is a targeted reply-loss + crash schedule that must produce a
+# dedup hit from the *recovered* session table.
+CHAOS_NET_SEEDS ?= 8
+
+chaos-net: build
+	./_build/default/bin/chaos_net.exe --seeds $(CHAOS_NET_SEEDS) \
+	  --json _build/chaos_net.json
 
 bench:
 	dune exec bench/main.exe -- --scale 0.001 --threads 2 --ops 5000

@@ -1056,6 +1056,17 @@ let remote_mode_json (r : RM.result) =
         match r.RM.oracle_ok with
         | None -> Obs.Json.Null
         | Some b -> Obs.Json.Bool b );
+      (* Fault-tolerance telemetry from the robustness probe; gated by
+         bench_compare (retries/backoff/reconnects are higher-is-worse). *)
+      ( "robust",
+        Obs.Json.Obj
+          [
+            ("ops", Obs.Json.Int r.RM.robust.RM.rb_ops);
+            ("retries", Obs.Json.Int r.RM.robust.RM.rb_retries);
+            ("reconnects", Obs.Json.Int r.RM.robust.RM.rb_reconnects);
+            ("backoff_ns", Obs.Json.Float r.RM.robust.RM.rb_backoff_ns);
+            ("dedup_hits", Obs.Json.Int r.RM.robust.RM.rb_dedup_hits);
+          ] );
     ]
 
 let remote () =

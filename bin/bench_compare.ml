@@ -321,6 +321,37 @@ let compare_latency a b =
                   | _ -> ())
                 (List.combine sa sb)
           | _ -> ());
+          (* Robustness telemetry (remote mode): client-visible fault
+             work is higher-is-worse — a serving change that makes the
+             session layer retry, reconnect or back off more has
+             regressed even if latency percentiles held up. dedup_hits
+             is informational (the probe provokes at least one). *)
+          (match J.find_path la [ mode; "robust" ] with
+          | Some (J.Obj _) ->
+              List.iter
+                (fun metric ->
+                  match
+                    ( num la [ "robust"; metric ],
+                      num lb [ "robust"; metric ] )
+                  with
+                  | Some va, Some vb ->
+                      if va > 0.0 then gate ("robust." ^ metric) va vb
+                      else if vb > 0.0 then
+                        Printf.printf
+                          "latency | %s | robust.%s appeared: 0 -> %.0f\n"
+                          mode metric vb
+                  | _ -> ())
+                [ "retries"; "reconnects"; "backoff_ns" ];
+              (match
+                 ( num la [ "robust"; "dedup_hits" ],
+                   num lb [ "robust"; "dedup_hits" ] )
+               with
+              | Some va, Some vb ->
+                  Printf.printf
+                    "latency | %s | robust.dedup_hits: %.0f -> %.0f\n" mode va
+                    vb
+              | _ -> ())
+          | _ -> ());
           (* Per-cause stalled time: a cause that grows (or appears) must
              not slip through just because throughput held up. *)
           match J.find_path la [ mode; "stall_totals" ] with

@@ -4,7 +4,9 @@
    Run with: dune exec bin/incll_cli.exe
      [-- --variant INCLL --shards 2 --policy latency]
    or against a running bin/incll_server.exe over the wire protocol:
-     dune exec bin/incll_cli.exe -- --connect unix:/tmp/incll.sock
+     dune exec bin/incll_cli.exe -- --connect unix:/tmp/incll.sock [--retry]
+   (--retry routes commands through the fault-tolerant Wire.Session:
+   retry with backoff, transparent reconnect, exactly-once stamps).
    Then type `help` at the prompt, or pipe a script on stdin. *)
 
 module S = Store.Sharded
@@ -58,15 +60,75 @@ let remote_usage =
   help                    this text
   quit                    exit|}
 
+(* One remote backend: the shell loop below is written against this
+   record so the raw [Wire.Client] (one connection, errors surface) and
+   the fault-tolerant [Wire.Session] (--retry: backoff, reconnect,
+   exactly-once stamps) plug in interchangeably. *)
+type remote_ops = {
+  r_put : string -> string -> unit;
+  r_get : string -> string option;
+  r_tget : string -> string option;
+  r_del : string -> bool;
+  r_scan : start:string -> n:int -> (string * string) list;
+  r_txn_begin : unit -> unit;
+  r_txn_put : string -> string -> unit;
+  r_txn_remove : string -> unit;
+  r_txn_commit : unit -> unit;
+  r_txn_abort : unit -> unit;
+  r_stats : Wire.Proto.stats_format -> string;
+  r_close : unit -> unit;
+}
+
+let client_ops addr =
+  let module C = Wire.Client in
+  let c = C.connect addr in
+  {
+    r_put = C.put c;
+    r_get = C.get c;
+    (* Server-side txns buffer on the connection; a remote read inside
+       one is just a read. *)
+    r_tget = C.get c;
+    r_del = C.delete c;
+    r_scan = (fun ~start ~n -> C.scan c ~start ~n);
+    r_txn_begin = (fun () -> C.txn_begin c);
+    r_txn_put = C.txn_put c;
+    r_txn_remove = C.txn_remove c;
+    r_txn_commit = (fun () -> C.txn_commit c);
+    r_txn_abort = (fun () -> C.txn_abort c);
+    r_stats = C.stats c;
+    r_close = (fun () -> C.close c);
+  }
+
+let session_ops addr =
+  let module S = Wire.Session in
+  let s = S.connect addr in
+  {
+    r_put = S.put s;
+    r_get = S.get s;
+    (* Session txns buffer client-side: read-your-writes needs the
+       local buffer, not the server. *)
+    r_tget = (fun k -> if S.txn_active s then S.txn_get s k else S.get s k);
+    r_del = S.delete s;
+    r_scan = (fun ~start ~n -> S.scan s ~start ~n);
+    r_txn_begin = (fun () -> S.txn_begin s);
+    r_txn_put = S.txn_put s;
+    r_txn_remove = S.txn_remove s;
+    r_txn_commit = (fun () -> S.txn_commit s);
+    r_txn_abort = (fun () -> S.txn_abort s);
+    r_stats = S.stats s;
+    r_close = (fun () -> S.close s);
+  }
+
 (* The same shell, but every command is a wire round-trip to a running
    bin/incll_server.exe. Crash/recover/save/load stay local-only: the
    server owns its region. *)
-let remote_main addr =
+let remote_main ~retry addr =
   let module C = Wire.Client in
   let module P = Wire.Proto in
-  let c = C.connect addr in
-  Printf.printf "incll shell — connected to %s. Type `help`.\n%!"
-    (C.string_of_addr addr);
+  let c = if retry then session_ops addr else client_ops addr in
+  Printf.printf "incll shell — connected to %s%s. Type `help`.\n%!"
+    (C.string_of_addr addr)
+    (if retry then " (retrying session)" else "");
   let interactive = Unix.isatty Unix.stdin in
   (try
      while true do
@@ -82,21 +144,25 @@ let remote_main addr =
           | [ "help" ] -> print_endline remote_usage
           | [ "quit" ] | [ "exit" ] -> raise Exit
           | [ "put"; k; v ] ->
-              C.put c k v;
+              c.r_put k v;
               print_endline "ok"
-          | [ ("get" | "tget"); k ] -> (
-              match C.get c k with
+          | [ "get"; k ] -> (
+              match c.r_get k with
+              | Some v -> Printf.printf "%S\n" v
+              | None -> print_endline "(not found)")
+          | [ "tget"; k ] -> (
+              match c.r_tget k with
               | Some v -> Printf.printf "%S\n" v
               | None -> print_endline "(not found)")
           | [ "del"; k ] ->
-              print_endline (if C.delete c k then "ok" else "(not found)")
+              print_endline (if c.r_del k then "ok" else "(not found)")
           | [ "scan"; start; n ] ->
               List.iter
                 (fun (k, v) -> Printf.printf "  %S -> %S\n" k v)
-                (C.scan c ~start ~n:(int_of_string n))
+                (c.r_scan ~start ~n:(int_of_string n))
           | [ "count" ] ->
               let rec page start acc =
-                match C.scan c ~start ~n:512 with
+                match c.r_scan ~start ~n:512 with
                 | [] -> acc
                 | pairs ->
                     let last, _ = List.nth pairs (List.length pairs - 1) in
@@ -104,30 +170,30 @@ let remote_main addr =
               in
               Printf.printf "%d entries\n" (page "" 0)
           | [ "begin" ] ->
-              C.txn_begin c;
+              c.r_txn_begin ();
               print_endline "txn open"
           | [ "tput"; k; v ] ->
-              C.txn_put c k v;
+              c.r_txn_put k v;
               print_endline "buffered"
           | [ "tdel"; k ] ->
-              C.txn_remove c k;
+              c.r_txn_remove k;
               print_endline "buffered"
           | [ "commit" ] ->
-              C.txn_commit c;
+              c.r_txn_commit ();
               print_endline "committed durably"
           | [ "abort" ] ->
-              C.txn_abort c;
+              c.r_txn_abort ();
               print_endline "aborted (no shard was touched)"
           | [ "stats" ] | [ "stats"; "--json" ] ->
-              print_endline (C.stats c P.Stats_json)
-          | [ "stats"; "--prom" ] -> print_string (C.stats c P.Stats_prom)
+              print_endline (c.r_stats P.Stats_json)
+          | [ "stats"; "--prom" ] -> print_string (c.r_stats P.Stats_prom)
           | _ -> print_endline "unknown command (try `help`)"
         with
        | Exit -> raise Exit
        | e -> Printf.printf "error: %s\n" (Printexc.to_string e))
      done
    with End_of_file | Exit -> if interactive then print_endline "bye");
-  C.close c
+  c.r_close ()
 
 let config_for policy =
   {
@@ -148,10 +214,14 @@ let () =
   let shards = ref 1 in
   let policy = ref Nvm.Config.Throughput in
   let connect = ref None in
+  let retry = ref false in
   let rec parse = function
     | [] -> ()
     | "--connect" :: v :: rest ->
         connect := Some (Wire.Client.addr_of_string v);
+        parse rest
+    | "--retry" :: rest ->
+        retry := true;
         parse rest
     | "--variant" :: v :: rest ->
         variant := Sys_.variant_of_string v;
@@ -174,7 +244,7 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   (match !connect with
   | Some addr ->
-      remote_main addr;
+      remote_main ~retry:!retry addr;
       exit 0
   | None -> ());
   let config = config_for !policy in

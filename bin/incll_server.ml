@@ -18,21 +18,65 @@ let usage =
   --policy P            throughput | latency | rto        (default throughput)
   --epoch-ms MS         checkpoint cadence                (default 16)
   --queue-capacity N    per-shard request queue bound     (default 1024)
-  --batch N             max requests per shard dequeue    (default 64)|}
+  --batch N             max requests per shard dequeue    (default 64)
+  --image-dir DIR       persist each shard's NVM image to DIR/shard<i>.img;
+                        restarting over an existing DIR recovers the store
+  --size-mb MB          per-shard region size             (default 64)
+  --log-kb KB           per-shard external-log size       (default 4096)|}
 
-let config_for policy epoch_ms =
+let config_for policy epoch_ms ~size_mb ~log_kb =
   {
     Sys_.default_config with
     Sys_.nvm =
       Nvm.Config.with_policy
         {
           Nvm.Config.default with
-          Nvm.Config.size_bytes = 64 * 1024 * 1024;
-          extlog_bytes = 4 * 1024 * 1024;
+          Nvm.Config.size_bytes = size_mb * 1024 * 1024;
+          extlog_bytes = log_kb * 1024;
         }
         policy;
     epoch_len_ns = epoch_ms *. 1e6;
   }
+
+let image_path dir i = Filename.concat dir (Printf.sprintf "shard%d.img" i)
+
+(* Attach-or-create over an image directory: when every shard image is
+   present, reload the mirrors and recover each shard over its region
+   (in-doubt 2PC records probe the coordinator shard's watermark across
+   the freshly loaded regions, mirroring [Store.Sharded.recover]);
+   otherwise start fresh and arm a mirror per shard so this process's
+   state survives even a SIGKILL. *)
+let store_for ~image_dir ~config ~variant ~shards =
+  match image_dir with
+  | None -> (Store.Sharded.create ~config variant ~shards, false)
+  | Some dir ->
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+      let regions =
+        List.init shards (fun i ->
+            Nvm.Region.load_mirror config.Sys_.nvm ~path:(image_path dir i))
+      in
+      if List.for_all Option.is_some regions then begin
+        let regions = Array.of_list (List.map Option.get regions) in
+        let txn_probe ~coordinator ~txn_id =
+          coordinator >= 0
+          && coordinator < Array.length regions
+          && txn_id <= Incll.Txn.watermark regions.(coordinator)
+        in
+        let systems =
+          Array.to_list
+            (Array.map (Sys_.attach ~txn_probe ~config variant) regions)
+        in
+        (Store.Sharded.of_systems systems, true)
+      end
+      else begin
+        let store = Store.Sharded.create ~config variant ~shards in
+        for i = 0 to shards - 1 do
+          Nvm.Region.attach_mirror
+            (Sys_.region (Store.Sharded.shard store i))
+            ~path:(image_path dir i)
+        done;
+        (store, false)
+      end
 
 let () =
   let listen = ref None in
@@ -42,6 +86,9 @@ let () =
   let epoch_ms = ref 16.0 in
   let queue_capacity = ref 1024 in
   let batch = ref 64 in
+  let image_dir = ref None in
+  let size_mb = ref 64 in
+  let log_kb = ref 4096 in
   let bad msg =
     prerr_endline msg;
     prerr_endline usage;
@@ -75,6 +122,15 @@ let () =
     | "--batch" :: v :: rest ->
         batch := int_of_string v;
         parse rest
+    | "--image-dir" :: v :: rest ->
+        image_dir := Some v;
+        parse rest
+    | "--size-mb" :: v :: rest ->
+        size_mb := int_of_string v;
+        parse rest
+    | "--log-kb" :: v :: rest ->
+        log_kb := int_of_string v;
+        parse rest
     | x :: _ -> bad ("unknown argument " ^ x)
   in
   parse (List.tl (Array.to_list Sys.argv));
@@ -87,23 +143,27 @@ let () =
         exit 2
   in
   if !shards < 1 then bad "--shards must be >= 1";
-  let srv =
-    Server.Engine.start
-      ~config:(config_for !policy !epoch_ms)
-      ~queue_capacity:!queue_capacity ~batch:!batch ~variant:!variant
-      ~shards:!shards listen
+  let config = config_for !policy !epoch_ms ~size_mb:!size_mb ~log_kb:!log_kb in
+  let store, recovered =
+    store_for ~image_dir:!image_dir ~config ~variant:!variant ~shards:!shards
   in
-  Printf.printf "incll_server listening on %s — %s, %d shard(s), %s policy\n%!"
+  let srv =
+    Server.Engine.start ~queue_capacity:!queue_capacity ~batch:!batch ~store
+      ~variant:!variant ~shards:!shards listen
+  in
+  Printf.printf
+    "incll_server listening on %s — %s, %d shard(s), %s policy%s\n%!"
     (Wire.Client.string_of_addr (Server.Engine.addr srv))
     (Sys_.variant_name !variant)
     !shards
-    (Nvm.Config.policy_name !policy);
+    (Nvm.Config.policy_name !policy)
+    (if recovered then " (recovered from image)" else "");
   let stop_requested = Atomic.make false in
   let on_signal _ = Atomic.set stop_requested true in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
   Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
   while not (Atomic.get stop_requested) do
-    Unix.sleepf 0.05
+    try Unix.sleepf 0.05 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done;
   prerr_endline "incll_server: draining...";
   Server.Engine.stop srv;

@@ -1,5 +1,6 @@
 module P = Wire.Proto
 module C = Wire.Client
+module S = Wire.Session
 module Y = Workload.Ycsb
 module O = Workload.Opstream
 
@@ -10,6 +11,14 @@ type spike = {
   rsp_lat_ns : float;
   rsp_queue_ns : float;
   rsp_cause : Obs.Stall.cause option;
+}
+
+type robust = {
+  rb_ops : int;
+  rb_retries : int;
+  rb_reconnects : int;
+  rb_backoff_ns : float;
+  rb_dedup_hits : int;
 }
 
 type result = {
@@ -26,6 +35,7 @@ type result = {
   stall_totals : (string * (int * float)) list;
   spikes : spike list;
   oracle_ok : bool option;
+  robust : robust;
 }
 
 let wire_op = function
@@ -122,6 +132,59 @@ let stall_diff ~before ~after =
       assert (name = name');
       (name, (int_of_float (c1 -. c0), s1 -. s0)))
     before after
+
+(* ------------------------------------------------- robustness probe *)
+
+let dedup_hits_snapshot c =
+  let json = Obs.Json.of_string (C.stats c P.Stats_json) in
+  match Obs.Json.find_path json [ "counters"; "server.dedup_hits" ] with
+  | Some v -> int_of_float (Option.value ~default:0.0 (Obs.Json.to_float_opt v))
+  | None -> 0
+
+(* Exercise the fault-tolerant session layer against the live server:
+   a short stamped mutation stream through [Wire.Session] (its telemetry
+   lands in the report), then a deliberate duplicate-stamp replay that
+   MUST be answered from the server's dedup table — proving exactly-once
+   is armed on the serving path, not only under the chaos harness. Keys
+   live in a reserved "rb!" prefix so the oracle's replayed state is
+   untouched. *)
+let robust_probe ~addr c =
+  let before = dedup_hits_snapshot c in
+  let nops = 64 in
+  let s = S.connect addr in
+  for i = 1 to nops do
+    S.put s (Printf.sprintf "rb!k%d" (i mod 8)) (string_of_int i)
+  done;
+  let telemetry =
+    (S.retries s, S.reconnects s, S.backoff_ns s)
+  in
+  S.close s;
+  (* The deliberate replay: same (sid, seq) stamp sent twice. *)
+  let raw = C.connect addr in
+  Fun.protect ~finally:(fun () -> C.close raw) @@ fun () ->
+  let sid =
+    match C.call raw (P.Hello 0) with
+    | { P.status = P.Ok; payload = P.Value granted; _ } -> int_of_string granted
+    | r -> failwith ("robust probe: HELLO " ^ P.status_name r.P.status)
+  in
+  let once () =
+    match C.call ~sess:(sid, 1) raw (P.Put ("rb!dup", "v")) with
+    | { P.status = P.Ok; _ } -> ()
+    | r -> failwith ("robust probe: dup put " ^ P.status_name r.P.status)
+  in
+  once ();
+  once ();
+  let after = dedup_hits_snapshot c in
+  if after - before < 1 then
+    failwith "robust probe: duplicate stamp was not deduplicated";
+  let retries, reconnects, backoff_ns = telemetry in
+  {
+    rb_ops = nops;
+    rb_retries = retries;
+    rb_reconnects = reconnects;
+    rb_backoff_ns = backoff_ns;
+    rb_dedup_hits = after - before;
+  }
 
 (* ----------------------------------------------------- measured phase *)
 
@@ -275,6 +338,7 @@ let run ~addr ~seed ~n ~mix ~dist ~nkeys ?arrival_rate ?(latency_threshold_ns = 
                (List.length remote) (List.length expected));
         Some true
   in
+  let robust = robust_probe ~addr c in
   let busy_n = Array.fold_left (fun a b -> if b then a + 1 else a) 0 busy in
   {
     ops = n;
@@ -290,4 +354,5 @@ let run ~addr ~seed ~n ~mix ~dist ~nkeys ?arrival_rate ?(latency_threshold_ns = 
     stall_totals = stall_diff ~before ~after;
     spikes = !spikes;
     oracle_ok;
+    robust;
   }

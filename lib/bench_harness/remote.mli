@@ -27,6 +27,20 @@ type spike = {
       (* dominant persistence stall the server reported, if any *)
 }
 
+type robust = {
+  rb_ops : int;  (* probe mutations sent through [Wire.Session] *)
+  rb_retries : int;  (* session retries consumed by the probe *)
+  rb_reconnects : int;  (* session reconnects during the probe *)
+  rb_backoff_ns : float;  (* wall time the probe spent backing off *)
+  rb_dedup_hits : int;
+      (* server dedup hits over the probe window; >= 1 by construction
+         (the probe replays one duplicate stamp deliberately) *)
+}
+(** Fault-tolerance telemetry from the post-measurement robustness
+    probe: a stamped mutation stream through {!Wire.Session} plus one
+    deliberate duplicate-stamp replay that must be answered from the
+    server's exactly-once dedup table. *)
+
 type result = {
   ops : int;  (* measured ops completed *)
   busy : int;  (* measured ops bounced with BUSY (not applied) *)
@@ -45,6 +59,7 @@ type result = {
          window, from the STATS diff *)
   spikes : spike list;  (* slowest ops first, at most 16 *)
   oracle_ok : bool option;  (* [None] when the oracle was not requested *)
+  robust : robust;
 }
 
 val run :
@@ -65,5 +80,7 @@ val run :
   result
 (** Connect, populate [nkeys] keys (BUSY retried — population must be
     complete), calibrate closed-loop capacity on a disjoint seeded
-    stream, then run the measured open-loop stream. Raises [Failure] on
-    protocol errors and on oracle mismatch. *)
+    stream, then run the measured open-loop stream, the oracle check
+    (when requested) and the robustness probe. Raises [Failure] on
+    protocol errors, on oracle mismatch, and when the probe's duplicate
+    stamp is not deduplicated. *)

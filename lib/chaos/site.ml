@@ -15,6 +15,11 @@ type t =
   | Recover_eager_sweep
   | Recover_checkpoint
   | Sweep_partial
+  | Net_drop
+  | Net_delay
+  | Net_dup
+  | Net_trunc
+  | Net_sever
 
 let all =
   [
@@ -34,6 +39,11 @@ let all =
     Recover_eager_sweep;
     Recover_checkpoint;
     Sweep_partial;
+    Net_drop;
+    Net_delay;
+    Net_dup;
+    Net_trunc;
+    Net_sever;
   ]
 
 let index = function
@@ -53,6 +63,11 @@ let index = function
   | Recover_eager_sweep -> 13
   | Recover_checkpoint -> 14
   | Sweep_partial -> 15
+  | Net_drop -> 16
+  | Net_delay -> 17
+  | Net_dup -> 18
+  | Net_trunc -> 19
+  | Net_sever -> 20
 
 let count = List.length all
 
@@ -73,6 +88,11 @@ let to_string = function
   | Recover_txn_resolve -> "recover.txn_resolve"
   | Recover_eager_sweep -> "recover.eager_sweep"
   | Recover_checkpoint -> "recover.checkpoint"
+  | Net_drop -> "net.drop"
+  | Net_delay -> "net.delay"
+  | Net_dup -> "net.dup"
+  | Net_trunc -> "net.trunc"
+  | Net_sever -> "net.sever"
 
 let of_string s = List.find_opt (fun site -> to_string site = s) all
 
@@ -88,5 +108,6 @@ let is_recovery = function
   | Recover_checkpoint | Txn_rollback ->
       true
   | Epoch_advance | Post_checkpoint | Sweep_partial | Sfence | Merge_limbo
-  | Extlog_append | Txn_prepare | Txn_commit_record ->
+  | Extlog_append | Txn_prepare | Txn_commit_record | Net_drop | Net_delay
+  | Net_dup | Net_trunc | Net_sever ->
       false

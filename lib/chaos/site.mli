@@ -47,6 +47,16 @@ type t =
           epoch's lines already persisted, the rest still dirty, the
           durable epoch word not yet advanced. Recovery must treat this
           torn sweep exactly like a torn [wbinvd]. *)
+  | Net_drop
+      (** network layer ([Chaos_net.Netproxy]), before a frame is relayed:
+          the frame vanishes — a lost request or a lost reply *)
+  | Net_delay  (** a frame is relayed late (reordering / timeout probe) *)
+  | Net_dup  (** a frame is relayed twice — the dedup layer's bread and
+          butter *)
+  | Net_trunc
+      (** a frame is cut mid-bytes and the connection severed — the
+          receiver's decoder sees a torn frame *)
+  | Net_sever  (** the connection is dropped between frames *)
 
 val all : t list
 (** Every site, in declaration order. *)

@@ -1,0 +1,82 @@
+(* Session dedup record codec (exactly-once serving, DESIGN.md §17).
+
+   The serving layer records one [Extlog.Log.kind_session] record per
+   applied mutation, fenced durable *before* the reply is sent: the
+   header's addr field carries the session id, the payload the seqno the
+   client stamped on the request, the status it was answered with, and
+   the op itself. Recovery replays the crashed epoch's undo images first
+   (the op's effect vanishes with everything else), then redoes the op
+   from this record — so an acked mutation survives the crash — and
+   rebuilds the per-session seqno table, so a client retry of the same
+   (session, seqno) after reconnect is answered from the record instead
+   of re-applied.
+
+   Same defensive little-endian word codec as [Txn]: records are
+   checksummed, so a malformed payload indicates a writer bug, and
+   decoders return [None] rather than raise. *)
+
+type op =
+  | Put of { key : string; value : string }
+  | Remove of { key : string }
+  | Commit of { txn_id : int }
+      (** Commit marker for a connection-scoped transaction: the write
+          set lives in the txn PREPARE record, which recovery redoes on
+          its own, so this op carries only the txn id and is never
+          re-applied — it exists to rebuild the dedup table. *)
+
+let tag_of_op = function Put _ -> 0 | Remove _ -> 1 | Commit _ -> 2
+
+let add_word buf v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  Buffer.add_bytes buf b
+
+let encode ~seq ~status op =
+  let buf = Buffer.create 48 in
+  add_word buf seq;
+  add_word buf status;
+  add_word buf (tag_of_op op);
+  (match op with
+  | Put { key; value } ->
+      add_word buf (String.length key);
+      Buffer.add_string buf key;
+      add_word buf (String.length value);
+      Buffer.add_string buf value
+  | Remove { key } ->
+      add_word buf (String.length key);
+      Buffer.add_string buf key
+  | Commit { txn_id } -> add_word buf txn_id);
+  Buffer.contents buf
+
+let word s pos =
+  if pos + 8 > String.length s then None
+  else Some (Int64.to_int (String.get_int64_le s pos))
+
+let take s pos len =
+  if len < 0 || pos + len > String.length s then None
+  else Some (String.sub s pos len)
+
+let decode payload =
+  let ( let* ) = Option.bind in
+  let* seq = word payload 0 in
+  let* status = word payload 8 in
+  let* tag = word payload 16 in
+  match tag with
+  | 0 ->
+      let* klen = word payload 24 in
+      let* key = take payload 32 klen in
+      let* vlen = word payload (32 + klen) in
+      let* value = take payload (40 + klen) vlen in
+      Some (seq, status, Put { key; value })
+  | 1 ->
+      let* klen = word payload 24 in
+      let* key = take payload 32 klen in
+      Some (seq, status, Remove { key })
+  | 2 ->
+      let* txn_id = word payload 24 in
+      Some (seq, status, Commit { txn_id })
+  | _ -> None
+
+let record_bytes ~seq ~status op =
+  Extlog.Log.record_bytes
+    ~payload_bytes:(String.length (encode ~seq ~status op))

@@ -1,0 +1,31 @@
+(** Session dedup record codec (exactly-once serving, DESIGN.md §17).
+
+    The serving layer appends one [Extlog.Log.kind_session] record per
+    applied mutation, fenced durable {e before} the reply is sent: the
+    extlog header's addr field carries the session id, the payload the
+    client-stamped seqno, the reply status, and the op itself. Recovery
+    redoes the op (its effect was rolled back with the crashed epoch)
+    and rebuilds the per-session seqno table, so a client retry of the
+    same (session, seqno) after a server crash is answered from the
+    record instead of being applied twice. See {!Txn.resolve} for the
+    interleaved txn + session redo and [Incll.System.record_session]
+    for the append side. *)
+
+type op =
+  | Put of { key : string; value : string }
+  | Remove of { key : string }
+  | Commit of { txn_id : int }
+      (** Commit marker for a connection-scoped transaction: the write
+          set lives in the txn PREPARE record, which recovery redoes on
+          its own, so this op is never re-applied — it exists to rebuild
+          the dedup table. *)
+
+val encode : seq:int -> status:int -> op -> string
+
+val decode : string -> (int * int * op) option
+(** [(seq, status, op)], or [None] on malformed bytes (writer bug;
+    recovery drops the record rather than crashing). *)
+
+val record_bytes : seq:int -> status:int -> op -> int
+(** Log bytes the record will consume (header + padding included), for
+    headroom reservation. *)

@@ -31,6 +31,7 @@ type recover_stats = {
       (* allocator chains found corrupt and unlinked during this recovery *)
   txns_redone : int;  (* committed transactions redone from PREPARE records *)
   txns_aborted : int;  (* in-doubt transactions rolled back *)
+  sessions_recovered : int;  (* distinct sessions rebuilt from dedup records *)
   phases : (string * float) list;
       (* ordered (phase, sim ns) breakdown; sums to recovery_sim_ns *)
 }
@@ -50,6 +51,9 @@ type t = {
   last_recover_stats : recover_stats option;
   mutable active_txn : txn_state option;
   mutable next_txn_id : int;
+  (* (sid, last_seq, status of that seq) per session found in the crashed
+     epoch's dedup records; the serving layer reseeds its table from it. *)
+  recovered_sessions : (int * int * int) list;
 }
 
 let variant t = t.variant
@@ -121,6 +125,7 @@ let create ?(config = default_config) variant =
         last_recover_stats = None;
         active_txn = None;
         next_txn_id = 1;
+        recovered_sessions = [];
       }
   | Logging | Incll ->
       let em = Epoch.Manager.create ~epoch_len_ns:config.epoch_len_ns region in
@@ -152,6 +157,7 @@ let create ?(config = default_config) variant =
         last_recover_stats = None;
         active_txn = None;
         next_txn_id = 1;
+        recovered_sessions = [];
       }
 
 let after_op t =
@@ -372,8 +378,20 @@ let recover_region ?txn_probe ~variant ~config region =
     | Some p -> p
     | None -> fun ~coordinator:_ ~txn_id -> txn_id <= Txn.watermark region
   in
-  let txns_redone, txns_aborted =
+  let txns_redone, txns_aborted, session_records =
     phase "recover.txn_resolve" (fun () -> Txn.resolve ctx tree ~probe)
+  in
+  (* Per-session newest record wins: the records arrive in log order, so
+     a later record of the same session overwrites an earlier one. *)
+  let recovered_sessions =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (sid, seq, status) ->
+        match Hashtbl.find_opt tbl sid with
+        | Some (s, _) when s > seq -> ()
+        | _ -> Hashtbl.replace tbl sid (seq, status))
+      session_records;
+    Hashtbl.fold (fun sid (seq, status) acc -> (sid, seq, status) :: acc) tbl []
   in
   (* Compact the failed-epoch set before it can overflow: recover every
      node eagerly, persist that, then durably drop it. Pressure is slot
@@ -413,12 +431,14 @@ let recover_region ?txn_probe ~variant ~config region =
           quarantined_chains = Alloc.Durable.quarantined dalloc;
           txns_redone;
           txns_aborted;
+          sessions_recovered = List.length recovered_sessions;
           phases = List.rev !phases;
         };
     active_txn = None;
     (* Ids must stay above every committed id, or a reused id would make
        a later in-doubt probe report a stale commit. *)
     next_txn_id = Txn.watermark region + 1;
+    recovered_sessions;
   }
 
 let recover ?txn_probe old =
@@ -426,3 +446,12 @@ let recover ?txn_probe old =
 
 let attach ?txn_probe ?(config = default_config) variant region =
   recover_region ?txn_probe ~variant ~config region
+
+let recovered_sessions t = t.recovered_sessions
+
+(* {1 Session dedup records (exactly-once serving)} *)
+
+let record_session t ~sid ~seq ~status op =
+  match t.ctx with
+  | None -> failwith "System.record_session: no logging context"
+  | Some ctx -> Txn.append_session_retry ctx ~sid ~seq ~status op

@@ -151,6 +151,9 @@ type recover_stats = {
   txns_aborted : int;
       (** In-doubt transactions found uncommitted (coordinator watermark
           below their id) and discarded. *)
+  sessions_recovered : int;
+      (** Distinct serving sessions whose dedup state was rebuilt from
+          surviving session records (see {!recovered_sessions}). *)
   phases : (string * float) list;
       (** Ordered per-phase breakdown of the recovery, in simulated ns:
           [recover.epoch_open] (failed-set load + marker epoch),
@@ -166,6 +169,21 @@ type recover_stats = {
 
 val last_recover_stats : t -> recover_stats option
 (** Statistics of the recovery that produced this instance. *)
+
+(** {1 Session dedup records (exactly-once serving, DESIGN.md §17)} *)
+
+val record_session : t -> sid:int -> seq:int -> status:int -> Session.op -> unit
+(** Append and fence a session dedup record ({!Session}): called by the
+    serving layer after a mutation applied and before its reply is sent,
+    so every acked op is redoable after a crash and a retried (sid, seq)
+    can be answered without re-applying. Forces a checkpoint and retries
+    if the log is full. Fails on variants without a logging context. *)
+
+val recovered_sessions : t -> (int * int * int) list
+(** [(sid, last_seq, status)] per session found in the crashed epoch's
+    surviving dedup records during the recovery that produced this
+    instance (newest record per session wins; unordered). Empty for a
+    freshly created system. *)
 
 val nodes_logged : t -> int
 (** External-log appends so far (Figure 7's metric). *)

@@ -196,6 +196,23 @@ let rec append_prepare_retry ctx ~txn_id ~coordinator ~writes =
     wrap_advance ctx;
     append_prepare_retry ctx ~txn_id ~coordinator ~writes
 
+(* Session dedup record (see [Session]): appended by the serving layer
+   after the op applied and before its reply is sent, so an acked op is
+   always redoable. Shares the txn-fence stall scope and the
+   [Log_full] -> forced-checkpoint retry of the PREPARE path. *)
+let append_session ctx ~sid ~seq ~status op =
+  txn_scope ctx (fun () ->
+      Extlog.Log.append_record ctx.Ctx.log ~kind:Extlog.Log.kind_session
+        ~epoch:(Epoch.Manager.current ctx.Ctx.em)
+        ~txn_id:sid
+        ~payload:(Session.encode ~seq ~status op))
+
+let rec append_session_retry ctx ~sid ~seq ~status op =
+  try append_session ctx ~sid ~seq ~status op
+  with Extlog.Log.Log_full ->
+    wrap_advance ctx;
+    append_session_retry ctx ~sid ~seq ~status op
+
 let apply_one tree { key; value } =
   match value with
   | Some v -> Masstree.Tree.put tree ~key ~value:v
@@ -258,50 +275,103 @@ let apply_committed ctx tree ~txn_id ~coordinator writes =
    change re-arms PREPAREs for every transaction not fully redone yet,
    current one included, before continuing. Returns [(redone, aborted)]
    transaction counts. *)
+(* A pending redo item: a committed PREPARE's (remaining) write set, or
+   a session dedup record. Redone strictly in log order, so a session
+   put and a txn write to the same key land in their original
+   serialization order. *)
+type redo_item =
+  | Rtxn of int * int * write list  (* txn_id, coordinator, remaining *)
+  | Rsess of int * int * int * Session.op  (* sid, seq, status *)
+
 let resolve ctx tree ~probe =
-  let committed = ref [] and aborted = ref 0 in
+  let items = ref [] and aborted = ref 0 in
+  let sessions = ref [] in
   Extlog.Log.fold_live_records ctx.Ctx.log
     ~is_failed:(Epoch.Manager.is_failed ctx.Ctx.em)
     (fun ~kind ~epoch:_ ~txn_id ~payload ->
-      if kind = Extlog.Log.kind_txn_prepare then
+      if kind = Extlog.Log.kind_txn_prepare then begin
         match decode_prepare payload with
         | None -> incr aborted (* writer bug; treat as never-committed *)
         | Some (coordinator, writes) ->
             if probe ~coordinator ~txn_id then
-              committed := (txn_id, coordinator, writes) :: !committed
+              items := Rtxn (txn_id, coordinator, writes) :: !items
             else begin
               Chaos.Plan.fire Chaos.Site.Txn_rollback;
               incr aborted
-            end);
-  let pending = ref (List.rev !committed) in
+            end
+      end
+      else if kind = Extlog.Log.kind_session then begin
+        match Session.decode payload with
+        | None -> () (* writer bug; drop *)
+        | Some (seq, status, op) ->
+            sessions := (txn_id, seq, status) :: !sessions;
+            items := Rsess (txn_id, seq, status, op) :: !items
+      end);
+  let pending = ref (List.rev !items) in
   let redone = ref 0 in
+  (* Mid-redo epoch change: re-arm a record for everything not fully
+     redone yet (the checkpoint just truncated the originals), both
+     kinds, current item included. *)
+  let rearm_pending () =
+    List.iter
+      (fun item ->
+        match item with
+        | Rtxn (id, coord, ws) ->
+            if ws <> [] then
+              append_prepare_retry ctx ~txn_id:id ~coordinator:coord ~writes:ws
+        | Rsess (sid, seq, status, op) ->
+            append_session_retry ctx ~sid ~seq ~status op)
+      !pending
+  in
+  let step epoch apply tail =
+    ensure_headroom ctx;
+    let now = Epoch.Manager.current ctx.Ctx.em in
+    let epoch =
+      if now <> epoch then begin
+        rearm_pending ();
+        Epoch.Manager.current ctx.Ctx.em
+      end
+      else epoch
+    in
+    apply ();
+    pending := tail;
+    epoch
+  in
   let rec redo_all epoch =
     match !pending with
     | [] -> ()
-    | (txn_id, coordinator, writes) :: rest -> (
+    | Rtxn (txn_id, coordinator, writes) :: rest -> (
         match writes with
         | [] ->
             pending := rest;
             incr redone;
             redo_all epoch
         | w :: tl ->
-            ensure_headroom ctx;
-            let now = Epoch.Manager.current ctx.Ctx.em in
             let epoch =
-              if now <> epoch then begin
-                List.iter
-                  (fun (id, coord, ws) ->
-                    if ws <> [] then
-                      append_prepare_retry ctx ~txn_id:id ~coordinator:coord
-                        ~writes:ws)
-                  !pending;
-                Epoch.Manager.current ctx.Ctx.em
-              end
-              else epoch
+              step epoch
+                (fun () -> apply_one tree w)
+                (Rtxn (txn_id, coordinator, tl) :: rest)
             in
-            apply_one tree w;
-            pending := (txn_id, coordinator, tl) :: rest;
+            redo_all epoch)
+    | Rsess (_sid, _seq, _status, op) :: rest -> (
+        match op with
+        | Session.Commit _ ->
+            (* The write set redoes via its own PREPARE; the record only
+               feeds the dedup table (already collected above). *)
+            pending := rest;
+            redo_all epoch
+        | Session.Put { key; value } ->
+            let epoch =
+              step epoch
+                (fun () -> apply_one tree { key; value = Some value })
+                rest
+            in
+            redo_all epoch
+        | Session.Remove { key } ->
+            let epoch =
+              step epoch (fun () -> apply_one tree { key; value = None }) rest
+            in
             redo_all epoch)
   in
   redo_all (Epoch.Manager.current ctx.Ctx.em);
-  (!redone, !aborted)
+  (!redone, !aborted, List.rev !sessions)

@@ -78,15 +78,33 @@ val apply_committed :
     the unapplied remainder is re-armed first, so the transaction stays
     redoable across any crash point. *)
 
+val append_session :
+  Ctx.t -> sid:int -> seq:int -> status:int -> Session.op -> unit
+(** Append and fence a session dedup record ({!Session}): the serving
+    layer calls this after an op applied and before its reply is sent,
+    so every acked mutation is redoable after a crash. Raises
+    [Extlog.Log.Log_full] if the record does not fit. *)
+
+val append_session_retry :
+  Ctx.t -> sid:int -> seq:int -> status:int -> Session.op -> unit
+(** {!append_session}, forcing a checkpoint (which truncates the log)
+    and retrying on [Log_full]. *)
+
 (** {1 Recovery-side resolution} *)
 
 val resolve :
   Ctx.t ->
   Masstree.Tree.t ->
   probe:(coordinator:int -> txn_id:int -> bool) ->
-  int * int
-(** Resolve surviving PREPARE records in log (= commit) order: redo the
-    write sets of transactions [probe] reports committed, discard the
-    rest (firing [Txn_rollback] per discard). Returns
-    [(redone, aborted)]. Run after the undo replay and tree reattach,
+  int * int * (int * int * int) list
+(** Resolve surviving PREPARE and session records strictly in log
+    (= serialization) order: redo the write sets of transactions
+    [probe] reports committed and the ops of session records (their
+    effects were rolled back with the crashed epoch; commit-tagged
+    session records are not re-applied — their write set redoes via its
+    own PREPARE), discard the rest (firing [Txn_rollback] per discarded
+    txn). Returns [(txns_redone, txns_aborted, sessions)] where
+    [sessions] lists every surviving session record as
+    [(sid, seq, status)] in log order — the serving layer rebuilds its
+    dedup table from it. Run after the undo replay and tree reattach,
     before the end-of-recovery checkpoint. *)

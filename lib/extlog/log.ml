@@ -11,6 +11,10 @@ let kind_node = 0
 let kind_txn_prepare = 1
 let kind_txn_commit = 2
 
+(* Session dedup records (DESIGN.md Â§17): the addr field carries the
+   session id, the payload a serialized (seqno, status, op) tuple. *)
+let kind_session = 3
+
 (* The first line of the log slice is a header holding the durable
    truncation epoch: the epoch current when the log was last logically
    discarded. Replay ignores entries tagged with older epochs — they are
@@ -143,8 +147,8 @@ let record_bytes ~payload_bytes =
    set), the addr field carries the txn id. Padded to 8 bytes with NULs
    (the deserializer carries explicit lengths). *)
 let append_record t ~kind ~epoch ~txn_id ~payload =
-  if kind <> kind_txn_prepare && kind <> kind_txn_commit then
-    invalid_arg "Extlog.append_record: not a txn record kind";
+  if kind <> kind_txn_prepare && kind <> kind_txn_commit && kind <> kind_session
+  then invalid_arg "Extlog.append_record: not a record kind";
   if txn_id < 0 then invalid_arg "Extlog.append_record: negative txn id";
   let size = (String.length payload + 7) land lnot 7 in
   let size = if size = 0 then 8 else size in
@@ -183,7 +187,10 @@ let fold_entries t f =
           && addr >= 0
           && (match kind with
              | k when k = kind_node -> addr + size <= region_size
-             | k when k = kind_txn_prepare || k = kind_txn_commit -> true
+             | k
+               when k = kind_txn_prepare || k = kind_txn_commit
+                    || k = kind_session ->
+                 true
              | _ -> false)
         in
         if not shape_ok then ()
@@ -241,12 +248,12 @@ let replay t ~is_failed =
 
 let fold_live_records t ~is_failed f =
   fold_live t ~is_failed (fun ~kind ~epoch ~addr ~size ~payload_off ->
-      if kind = kind_txn_prepare || kind = kind_txn_commit then
+      if kind <> kind_node then
         f ~kind ~epoch ~txn_id:addr
           ~payload:(Nvm.Region.read_string t.region payload_off ~len:size))
 
 let fold_all_records t f =
   fold_entries t (fun ~kind ~epoch ~addr ~size ~payload_off ->
-      if kind = kind_txn_prepare || kind = kind_txn_commit then
+      if kind <> kind_node then
         f ~kind ~epoch ~txn_id:addr
           ~payload:(Nvm.Region.read_string t.region payload_off ~len:size))

@@ -31,6 +31,12 @@ val kind_node : int
 val kind_txn_prepare : int
 val kind_txn_commit : int
 
+val kind_session : int
+(** Session dedup record (exactly-once serving, DESIGN.md §17): the addr
+    field carries the session id, the payload a serialized
+    (seqno, status, op) tuple ({!Incll.Session}). Skipped by {!replay},
+    interpreted alongside txn records during recovery. *)
+
 val attach : Nvm.Region.t -> t
 (** Attach to the region's log slice with the cursor at the start. Use after
     [create] or at the start of recovery (replay does not need a cursor). *)
@@ -41,9 +47,10 @@ val append : t -> epoch:int -> addr:int -> size:int -> unit
     positive multiple of 8. After [append] returns, the entry is durable. *)
 
 val append_record : t -> kind:int -> epoch:int -> txn_id:int -> payload:string -> unit
-(** Append a txn-protocol record ([kind_txn_prepare] or [kind_txn_commit]):
-    [payload] is NUL-padded to 8 bytes, checksummed and fenced exactly like
-    a node entry. After it returns, the record is durable. *)
+(** Append a typed record ([kind_txn_prepare], [kind_txn_commit] or
+    [kind_session]): [payload] is NUL-padded to 8 bytes, checksummed and
+    fenced exactly like a node entry. After it returns, the record is
+    durable. For session records [txn_id] carries the session id. *)
 
 val record_bytes : payload_bytes:int -> int
 (** Log bytes an {!append_record} with a payload of [payload_bytes] will
@@ -77,9 +84,10 @@ val fold_live_records :
   is_failed:(int -> bool) ->
   (kind:int -> epoch:int -> txn_id:int -> payload:string -> unit) ->
   unit
-(** Iterate the txn records of the same live prefix {!replay} applies:
-    intact, at or above the truncation floor, belonging to a failed epoch.
-    Recovery resolves these (redo or discard). *)
+(** Iterate the typed (non-node) records of the same live prefix
+    {!replay} applies: intact, at or above the truncation floor,
+    belonging to a failed epoch. Recovery resolves these (redo or
+    discard), in log order. *)
 
 val fold_all_records :
   t -> (kind:int -> epoch:int -> txn_id:int -> payload:string -> unit) -> unit

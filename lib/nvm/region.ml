@@ -39,6 +39,15 @@ type t = {
      price. Tag slots hold line ids (+1; 0 = empty). *)
   llc_tags : int array;
   llc_mask : int;
+  (* Optional file-backed shadow of the persisted image (a shared mmap).
+     Because the mapping is MAP_SHARED, bytes written here live in the
+     kernel page cache and survive the process being SIGKILLed — the
+     cross-process analogue of NVM outliving a power failure. Only the
+     persisted image is mirrored, and only at the instants it changes, so
+     the file always holds exactly what a crash would leave behind. *)
+  mutable mirror :
+    (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+    option;
 }
 
 let line_of_addr addr = addr lsr Config.line_shift
@@ -96,7 +105,28 @@ let create (cfg : Config.t) =
     (* 2^18 slots x 64 B = a 16 MiB simulated LLC. *)
     llc_tags = Array.make 262144 0;
     llc_mask = 262143;
+    mirror = None;
   }
+
+(* --- persisted-image mirror ------------------------------------------- *)
+
+let mirror_line t line =
+  match t.mirror with
+  | None -> ()
+  | Some m ->
+      let pos = line * Config.line_size in
+      for i = 0 to Config.line_size - 1 do
+        Bigarray.Array1.unsafe_set m (pos + i)
+          (Bytes.unsafe_get t.persisted (pos + i))
+      done
+
+let mirror_all t =
+  match t.mirror with
+  | None -> ()
+  | Some m ->
+      for i = 0 to Bytes.length t.persisted - 1 do
+        Bigarray.Array1.unsafe_set m i (Bytes.unsafe_get t.persisted i)
+      done
 
 let config t = t.cfg
 let stats t = t.stats
@@ -130,6 +160,7 @@ let commit_line t line =
     if precise t then begin
       let pos = line * Config.line_size in
       Bytes.blit t.volatile pos t.persisted pos Config.line_size;
+      mirror_line t line;
       (match t.logs.(line) with Some log -> Line_log.clear log | None -> ())
     end;
     Bytes.unsafe_set t.dirty line '\000';
@@ -543,6 +574,7 @@ let crash_with t ~choose =
   (* Power is gone: the LLC is cold. Without this, post-crash recovery
      reads of pre-crash-hot lines were never charged [mem_miss_ns]. *)
   Array.fill t.llc_tags 0 (Array.length t.llc_tags) 0;
+  mirror_all t;
   Bytes.blit t.persisted 0 t.volatile 0 (Bytes.length t.persisted);
   t.stats.Stats.crashes <- t.stats.Stats.crashes + 1;
   trace_event t Obs.Trace.Crash
@@ -561,6 +593,7 @@ let install_image t image =
   if n > Bytes.length t.volatile then invalid_arg "Region.install_image";
   Bytes.blit image 0 t.volatile 0 n;
   Bytes.blit image 0 t.persisted 0 n;
+  mirror_all t;
   Array.fill t.llc_tags 0 (Array.length t.llc_tags) 0
 
 let pending_writes t =
@@ -577,3 +610,42 @@ let read_persisted_i64 t addr =
   if not (precise t) then
     failwith "Region.read_persisted_i64: Counting mode";
   Bytes.get_int64_le t.persisted addr
+
+(* --- cross-process mirror attach/load --------------------------------- *)
+
+let map_mirror_fd fd size =
+  Unix.map_file fd Bigarray.char Bigarray.c_layout true [| size |]
+  |> Bigarray.array1_of_genarray
+
+let attach_mirror t ~path =
+  if not (precise t) then failwith "Region.attach_mirror: Counting mode";
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let m =
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        Unix.ftruncate fd t.size_bytes;
+        map_mirror_fd fd t.size_bytes)
+  in
+  t.mirror <- Some m;
+  mirror_all t
+
+let load_mirror (cfg : Config.t) ~path =
+  if (not (Sys.file_exists path)) || (Unix.stat path).Unix.st_size <> cfg.size_bytes
+  then None
+  else begin
+    let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+    let m =
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () -> map_mirror_fd fd cfg.size_bytes)
+    in
+    let t = create cfg in
+    let img = Bytes.create cfg.size_bytes in
+    for i = 0 to cfg.size_bytes - 1 do
+      Bytes.unsafe_set img i (Bigarray.Array1.unsafe_get m i)
+    done;
+    install_image t img;
+    t.mirror <- Some m;
+    Some t
+  end

@@ -191,5 +191,27 @@ val pending_writes : t -> (int * int) list
 (** Dirty lines and their pending-store counts, sorted by line id (drives
     the systematic crash-state enumeration in the tests). *)
 
+(** {1 Cross-process persistence (Precise mode only)}
+
+    A file-backed shared mmap shadowing the persisted image, updated at
+    every instant the persisted image changes (line commit, simulated
+    crash, image install). Because the mapping is [MAP_SHARED], the bytes
+    survive the process being SIGKILLed — the cross-process analogue of
+    NVM outliving a power failure. The file deliberately holds {e only}
+    what a crash would leave behind: a server restarted on the same
+    mirror recovers exactly as if the machine had lost power. *)
+
+val attach_mirror : t -> path:string -> unit
+(** Create (or truncate) [path] at the region's size, mmap it shared,
+    dump the current persisted image into it, and keep it in sync from
+    now on. *)
+
+val load_mirror : Config.t -> path:string -> t option
+(** Rebuild a region from a mirror file left behind by a previous
+    process: both views are set to the mirrored persisted image (cold
+    cache, nothing dirty) and the mapping is re-attached for future
+    updates. [None] if the file does not exist or its size does not
+    match [cfg.size_bytes] — callers fall back to a fresh region. *)
+
 val read_persisted_i64 : t -> addr -> int64
 (** Inspect the persisted image (white-box testing only). *)

@@ -17,10 +17,31 @@ type barrier = {
 
 type job = Op of conn * float * P.request  (* enqueue wall ns *) | Barrier of barrier
 
+(* Per-session dedup state (DESIGN.md Â§17): the highest seqno this shard
+   has applied for the session and the status it was answered with. The
+   stamp is a per-shard logical clock driving LRU expiry. *)
+type sess_entry = {
+  mutable last_seq : int;
+  mutable last_status : int;  (* wire status code *)
+  mutable stamp : int;
+}
+
+(* Bounded retention: sessions idle long enough to be evicted have no
+   in-flight op left to deduplicate (the session layer is one-op-at-a-
+   time), so expiry only forfeits dedup for clients gone for ages. *)
+let sess_cap = 1024
+
 type t = {
   store : Store.Sharded.t;
   queues : job Bqueue.t array;
   ledgers : Obs.Stall.t array;  (* server-owned net_queue ledgers, wall ns *)
+  (* Session dedup tables, one per shard, owned by the shard domain
+     (key-deterministic routing sends a retry to the same shard; commit
+     dedup runs inside the cross-shard barrier, which is exclusive). *)
+  sessions : (int, sess_entry) Hashtbl.t array;
+  sess_clocks : int ref array;
+  c_dedup : int ref array;  (* per-shard "server.dedup_hits" counters *)
+  sid_counter : int Atomic.t;  (* next fresh session id *)
   listen_fd : Unix.file_descr;
   bound : Wire.Client.addr;
   stop_flag : bool Atomic.t;
@@ -36,6 +57,12 @@ type t = {
 }
 
 let wall_ns t = (Unix.gettimeofday () -. t.t0) *. 1e9
+
+(* A signal delivered to the process (SIGTERM with a handler installed,
+   say) interrupts blocking syscalls on whatever domain is inside one;
+   an EINTR must resume the call, never abandon a drain. *)
+let rec restart_eintr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart_eintr f
 
 (* ------------------------------------------------------------- replies *)
 
@@ -71,25 +98,93 @@ let exec_single sys (op : P.op) =
       (* SCAN/TXN_*/STATS never reach a single-shard queue entry. *)
       (P.Bad_request, P.Unit)
 
-let exec_op t shard (conn, enq_ns, { P.id; op }) =
+(* Replayed (sid, seq)? Answer without re-applying: the recorded status
+   for the newest seq, plain Ok for anything older (the session layer is
+   one-op-at-a-time, so an older seq is a duplicated frame whose real
+   reply was already delivered). Must run on the owning shard domain, or
+   inside a barrier. *)
+let dedup_check t shard ~sid ~seq =
+  match Hashtbl.find_opt t.sessions.(shard) sid with
+  | Some e when seq <= e.last_seq ->
+      t.c_dedup.(shard) := !(t.c_dedup.(shard)) + 1;
+      Some (if seq = e.last_seq then P.status_of_code e.last_status else P.Ok)
+  | _ -> None
+
+(* Record the applied (sid, seq, status) in the shard's table, evicting
+   the stalest session once over capacity. *)
+let touch_session t shard ~sid ~seq ~status_code =
+  let tbl = t.sessions.(shard) in
+  let clock = t.sess_clocks.(shard) in
+  incr clock;
+  match Hashtbl.find_opt tbl sid with
+  | Some e ->
+      e.last_seq <- seq;
+      e.last_status <- status_code;
+      e.stamp <- !clock
+  | None ->
+      if Hashtbl.length tbl >= sess_cap then begin
+        let victim =
+          Hashtbl.fold
+            (fun vsid e acc ->
+              match acc with
+              | Some (_, st) when st <= e.stamp -> acc
+              | _ -> Some (vsid, e.stamp))
+            tbl None
+        in
+        match victim with
+        | Some (vsid, _) -> Hashtbl.remove tbl vsid
+        | None -> ()
+      end;
+      Hashtbl.replace tbl sid
+        { last_seq = seq; last_status = status_code; stamp = !clock }
+
+let session_op_of = function
+  | P.Put (k, v) -> Some (Incll.Session.Put { key = k; value = v })
+  | P.Delete k -> Some (Incll.Session.Remove { key = k })
+  | _ -> None
+
+let exec_op t shard (conn, enq_ns, { P.id; op; sess }) =
   let sys = Store.Sharded.shard t.store shard in
   let region = Incll.System.region sys in
   let queue_ns = Float.max 0.0 (wall_ns t -. enq_ns) in
   Obs.Stall.record t.ledgers.(shard) Obs.Stall.Net_queue ~start_ns:enq_ns
     ~dur_ns:queue_ns;
-  let s0 = Nvm.Stats.sim_ns (Nvm.Region.stats region) in
-  let status, payload =
-    try exec_single sys op
-    with e -> (P.Bad_request, P.Text (Printexc.to_string e))
+  let dedup =
+    match sess with
+    | Some (sid, seq) -> dedup_check t shard ~sid ~seq
+    | None -> None
   in
-  let s1 = Float.max (Nvm.Stats.sim_ns (Nvm.Region.stats region)) (s0 +. 1.0) in
-  let cause =
-    let over = Obs.Stall.overlapping (Nvm.Region.stalls region) ~t0:s0 ~t1:s1 in
-    match Obs.Stall.dominant_cause over ~t0:s0 ~t1:s1 with
-    | Some c -> Obs.Stall.cause_index c
-    | None -> P.no_cause
-  in
-  push_reply conn { P.id; status; queue_ns; cause; payload };
+  (match dedup with
+  | Some status ->
+      push_reply conn
+        { P.id; status; queue_ns; cause = P.no_cause; payload = P.Unit }
+  | None ->
+      let s0 = Nvm.Stats.sim_ns (Nvm.Region.stats region) in
+      let status, payload =
+        try exec_single sys op
+        with e -> (P.Bad_request, P.Text (Printexc.to_string e))
+      in
+      (* Durable exactly-once: the dedup record is fenced into the log
+         *before* the reply is enqueued, so an acked mutation is always
+         redoable and its stamp always survives a crash. *)
+      (match (sess, session_op_of op) with
+      | Some (sid, seq), Some sop when Incll.System.ctx sys <> None ->
+          Incll.System.record_session sys ~sid ~seq
+            ~status:(P.status_code status) sop;
+          touch_session t shard ~sid ~seq ~status_code:(P.status_code status)
+      | _ -> ());
+      let s1 =
+        Float.max (Nvm.Stats.sim_ns (Nvm.Region.stats region)) (s0 +. 1.0)
+      in
+      let cause =
+        let over =
+          Obs.Stall.overlapping (Nvm.Region.stalls region) ~t0:s0 ~t1:s1
+        in
+        match Obs.Stall.dominant_cause over ~t0:s0 ~t1:s1 with
+        | Some c -> Obs.Stall.cause_index c
+        | None -> P.no_cause
+      in
+      push_reply conn { P.id; status; queue_ns; cause; payload });
   ignore (Atomic.fetch_and_add conn.outstanding (-1))
 
 let run_barrier_job b =
@@ -164,6 +259,38 @@ let commit_txn store writes () =
      raise e);
   (P.Ok, P.Unit)
 
+(* Session-stamped commit: dedup against the session's *home* shard
+   (sid mod nshards — stamp-deterministic, key-independent). Runs inside
+   the cross-shard barrier, so every shard is parked and touching the
+   home shard's table and log is exclusive. A failed commit is not
+   recorded: the client's replay re-runs it from scratch. *)
+let commit_txn_sess t ~sid ~seq writes () =
+  let home = sid mod Store.Sharded.nshards t.store in
+  match dedup_check t home ~sid ~seq with
+  | Some status -> (status, P.Unit)
+  | None ->
+      let store = t.store in
+      Store.Sharded.txn_begin store;
+      let txn_id = Option.value (Store.Sharded.txn_id store) ~default:0 in
+      (try
+         List.iter
+           (function
+             | P.Tw_put (k, v) -> Store.Sharded.txn_put store ~key:k ~value:v
+             | P.Tw_remove k -> Store.Sharded.txn_remove store ~key:k)
+           writes;
+         Store.Sharded.txn_commit store
+       with e ->
+         if Store.Sharded.txn_active store then Store.Sharded.txn_abort store;
+         raise e);
+      let sys = Store.Sharded.shard store home in
+      if Incll.System.ctx sys <> None then begin
+        Incll.System.record_session sys ~sid ~seq
+          ~status:(P.status_code P.Ok)
+          (Incll.Session.Commit { txn_id });
+        touch_session t home ~sid ~seq ~status_code:(P.status_code P.Ok)
+      end;
+      (P.Ok, P.Unit)
+
 let stats_text store fmt () =
   let reg = Store.Sharded.metrics store in
   let text =
@@ -183,7 +310,7 @@ let txn_shadow buffered k =
       | _ -> None)
     buffered
 
-let handle_request t conn ~draining ({ P.id; op } as req) =
+let handle_request t conn ~draining ({ P.id; op; sess } as req) =
     let route_to_shard key =
       let shard = Store.Sharded.shard_of_key t.store key in
       ignore (Atomic.fetch_and_add conn.outstanding 1);
@@ -220,7 +347,13 @@ let handle_request t conn ~draining ({ P.id; op } as req) =
         | None -> simple conn id P.Txn_state
         | Some l ->
             conn.txn <- None;
-            submit_barrier t conn id (commit_txn t.store (List.rev l)))
+            let writes = List.rev l in
+            let run =
+              match sess with
+              | Some (sid, seq) -> commit_txn_sess t ~sid ~seq writes
+              | None -> commit_txn t.store writes
+            in
+            submit_barrier t conn id run)
     | P.Get k -> (
         match Option.bind conn.txn (fun l -> txn_shadow l k) with
         | Some (Some v) ->
@@ -239,13 +372,44 @@ let handle_request t conn ~draining ({ P.id; op } as req) =
         submit_barrier t conn id (fun () ->
             (P.Ok, P.Pairs (Store.Sharded.scan t.store ~start ~n)))
     | P.Stats fmt -> submit_barrier t conn id (stats_text t.store fmt)
+    | P.Hello proposed ->
+        if draining then simple conn id P.Shutting_down
+        else begin
+          (* Grant the proposed id (resuming after a reconnect) or mint a
+             fresh one; either way the counter stays above every granted
+             id so a fresh session can never collide with a resumed or
+             recovered one. *)
+          let sid =
+            if proposed <= 0 then Atomic.fetch_and_add t.sid_counter 1
+            else begin
+              let rec bump () =
+                let cur = Atomic.get t.sid_counter in
+                if
+                  proposed + 1 > cur
+                  && not (Atomic.compare_and_set t.sid_counter cur (proposed + 1))
+                then bump ()
+              in
+              bump ();
+              proposed
+            end
+          in
+          push_reply conn
+            {
+              P.id;
+              status = P.Ok;
+              queue_ns = 0.0;
+              cause = P.no_cause;
+              payload = P.Value (string_of_int sid);
+            }
+        end
 
 let write_all fd s =
   let b = Bytes.unsafe_of_string s in
   let n = Bytes.length b in
   let off = ref 0 in
   while !off < n do
-    off := !off + Unix.write fd b !off (n - !off)
+    let k = restart_eintr (fun () -> Unix.write fd b !off (n - !off)) in
+    off := !off + k
   done
 
 let writer_loop conn =
@@ -277,7 +441,9 @@ let reader_loop t conn =
   in
   (* [false] on peer EOF. *)
   let read_once () =
-    let n = Unix.read conn.fd buf 0 (Bytes.length buf) in
+    let n =
+      restart_eintr (fun () -> Unix.read conn.fd buf 0 (Bytes.length buf))
+    in
     n > 0
     && begin
          P.Decoder.feed dec buf 0 n;
@@ -288,20 +454,25 @@ let reader_loop t conn =
   (try
      let eof = ref false in
      while (not !eof) && not (Atomic.get t.stop_flag) do
-       match Unix.select [ conn.fd ] [] [] 0.2 with
+       match restart_eintr (fun () -> Unix.select [ conn.fd ] [] [] 0.2) with
        | [], _, _ -> ()
        | _ -> eof := not (read_once ())
      done;
      (* Final sweep on stop: requests the peer had already delivered are
         processed and answered, not dropped — that is what makes the
-        drain graceful. *)
+        drain graceful. The first pass serves them normally (they beat
+        the stop; this connection may even have been accepted from the
+        backlog by the stop sweep, its requests never yet read); anything
+        arriving after that is bounced Shutting_down so a still-streaming
+        peer cannot wedge the drain. *)
      if not !eof then begin
-       draining := true;
        let more = ref true in
        while !more do
-         match Unix.select [ conn.fd ] [] [] 0.0 with
+         match restart_eintr (fun () -> Unix.select [ conn.fd ] [] [] 0.0) with
          | [], _, _ -> more := false
-         | _ -> more := read_once ()
+         | _ ->
+             more := read_once ();
+             draining := true
        done
      end
    with
@@ -312,7 +483,7 @@ let reader_loop t conn =
   | Unix.Unix_error _ -> ());
   conn.txn <- None;
   while Atomic.get conn.outstanding > 0 do
-    Unix.sleepf 0.0005
+    try Unix.sleepf 0.0005 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done;
   Bqueue.close conn.replies
 
@@ -324,28 +495,41 @@ let handle_conn t conn =
 
 (* ---------------------------------------------------------- accept side *)
 
+let accept_one t =
+  match Unix.accept t.listen_fd with
+  | fd, _ ->
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true
+       with Unix.Unix_error _ -> ());
+      let conn =
+        {
+          fd;
+          replies = Bqueue.create ~capacity:1024;
+          outstanding = Atomic.make 0;
+          txn = None;
+        }
+      in
+      let d = Domain.spawn (fun () -> handle_conn t conn) in
+      Mutex.lock t.conns_mu;
+      t.conn_domains <- d :: t.conn_domains;
+      Mutex.unlock t.conns_mu
+  | exception Unix.Unix_error _ -> ()
+
 let accept_loop t =
   while not (Atomic.get t.stop_flag) do
-    match Unix.select [ t.listen_fd ] [] [] 0.2 with
+    match restart_eintr (fun () -> Unix.select [ t.listen_fd ] [] [] 0.2) with
     | [], _, _ -> ()
-    | _ -> (
-        match Unix.accept t.listen_fd with
-        | fd, _ ->
-            (try Unix.setsockopt fd Unix.TCP_NODELAY true
-             with Unix.Unix_error _ -> ());
-            let conn =
-              {
-                fd;
-                replies = Bqueue.create ~capacity:1024;
-                outstanding = Atomic.make 0;
-                txn = None;
-              }
-            in
-            let d = Domain.spawn (fun () -> handle_conn t conn) in
-            Mutex.lock t.conns_mu;
-            t.conn_domains <- d :: t.conn_domains;
-            Mutex.unlock t.conns_mu
-        | exception Unix.Unix_error _ -> ())
+    | _ -> accept_one t
+  done;
+  (* Connections already queued on the backlog when stop arrived were,
+     from the peer's side, accepted before the drain began (connect
+     completes on enqueue): accept and drain them like established ones
+     instead of letting the listen close reset them with their delivered
+     requests unread. *)
+  let more = ref true in
+  while !more do
+    match restart_eintr (fun () -> Unix.select [ t.listen_fd ] [] [] 0.0) with
+    | [], _, _ -> more := false
+    | _ -> accept_one t
   done;
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ())
 
@@ -373,10 +557,15 @@ let bind_listen addr =
       in
       (fd, Wire.Client.Tcp (host, bound_port))
 
-let start ?config ?(queue_capacity = 1024) ?(batch = 64) ?on_dequeue ~variant
-    ~shards addr =
+let start ?config ?(queue_capacity = 1024) ?(batch = 64) ?on_dequeue ?store
+    ~variant ~shards addr =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let store = Store.Sharded.create ?config variant ~shards in
+  let store =
+    match store with
+    | Some s -> s
+    | None -> Store.Sharded.create ?config variant ~shards
+  in
+  let shards = Store.Sharded.nshards store in
   let listen_fd, bound = bind_listen addr in
   let t =
     {
@@ -387,6 +576,14 @@ let start ?config ?(queue_capacity = 1024) ?(batch = 64) ?on_dequeue ~variant
             Obs.Stall.create
               ~registry:(Incll.System.metrics (Store.Sharded.shard store i))
               ());
+      sessions = Array.init shards (fun _ -> Hashtbl.create 64);
+      sess_clocks = Array.init shards (fun _ -> ref 0);
+      c_dedup =
+        Array.init shards (fun i ->
+            Obs.Registry.counter
+              (Incll.System.metrics (Store.Sharded.shard store i))
+              "server.dedup_hits");
+      sid_counter = Atomic.make 1;
       listen_fd;
       bound;
       stop_flag = Atomic.make false;
@@ -401,6 +598,18 @@ let start ?config ?(queue_capacity = 1024) ?(batch = 64) ?on_dequeue ~variant
       stopped = false;
     }
   in
+  (* Reseed the dedup tables from the recovery that produced each shard
+     (no-op for fresh systems), and keep fresh session ids above every
+     recovered one. *)
+  for i = 0 to shards - 1 do
+    List.iter
+      (fun (sid, seq, status) ->
+        Hashtbl.replace t.sessions.(i) sid
+          { last_seq = seq; last_status = status; stamp = 0 };
+        if sid + 1 > Atomic.get t.sid_counter then
+          Atomic.set t.sid_counter (sid + 1))
+      (Incll.System.recovered_sessions (Store.Sharded.shard store i))
+  done;
   t.shard_domains <-
     List.init shards (fun i -> Domain.spawn (fun () -> shard_loop t i));
   t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t));

@@ -25,9 +25,26 @@
     Transaction writes are buffered per connection in the reader;
     TXN_COMMIT replays them through the store's 2PC under a barrier.
 
+    {b Exactly-once dedup (DESIGN.md §17)}: a HELLO frame grants the
+    connection a session id; every mutation stamped with a
+    [(session_id, seqno)] pair is recorded durably (a fenced
+    {!Incll.Session} extlog record) after it applies and before its
+    reply is enqueued, and remembered in a bounded per-shard table.
+    A replayed stamp — a client retry after a lost reply, possibly
+    straddling a server crash-restart — is answered with the recorded
+    status instead of re-applied; each hit bumps the shard's
+    [server.dedup_hits] counter. Single-key stamps dedup on the key's
+    shard (routing is key-deterministic, so the retry lands on the same
+    table); commit stamps dedup on the session's home shard
+    ([sid mod nshards]) inside the commit barrier. Tables are rebuilt
+    from {!Incll.System.recovered_sessions} when starting over a
+    recovered store.
+
     {!stop} drains gracefully: stop accepting, let readers finish their
     in-flight requests and writers flush every outstanding reply, then
-    shut the shard domains down. *)
+    shut the shard domains down. Signal delivery (a SIGTERM handler
+    firing mid-drain, say) cannot abort the drain: every blocking
+    syscall in the reader, writer and accept loops resumes on EINTR. *)
 
 type t
 
@@ -40,6 +57,11 @@ val start :
   ?on_dequeue:(shard:int -> unit) ->
   (* test hook: runs on the shard domain after each batch dequeue,
      before execution — block here to force BUSY deterministically *)
+  ?store:Store.Sharded.t ->
+  (* serve this store instead of creating one — e.g. systems reattached
+     from NVM mirrors after a crash-restart; [variant]/[shards]/[config]
+     are ignored, and session dedup tables are reseeded from each
+     shard's recovered session records *)
   variant:Incll.System.variant ->
   shards:int ->
   Wire.Client.addr ->
@@ -57,6 +79,11 @@ val store : t -> Store.Sharded.t
 val nshards : t -> int
 
 val stop : t -> unit
-(** Graceful drain, idempotent: close the listen socket, wait for every
+(** Graceful drain, idempotent: stop accepting, wait for every
     connection's in-flight requests to finish and its replies to flush,
-    then drain and join the shard domains. *)
+    then drain and join the shard domains. Connections still queued on
+    the listen backlog when stop arrives — their [connect] already
+    succeeded, possibly with requests already sent — are accepted and
+    drained like established ones; requests delivered before the drain
+    reached a connection are served normally, later arrivals are bounced
+    [Shutting_down]. *)

@@ -26,6 +26,26 @@ let of_system sys =
     next_txn_id = Incll.Txn.watermark (Incll.System.region sys) + 1;
   }
 
+(* Wrap systems recovered elsewhere (e.g. reattached from per-shard NVM
+   mirrors after a process restart) as one store. Ids must stay above
+   every committed id on any shard, or a reused id would make a later
+   in-doubt probe report a stale commit. *)
+let of_systems systems =
+  if systems = [] then invalid_arg "Sharded.of_systems";
+  let shards = Array.of_list systems in
+  let variant = Incll.System.variant shards.(0) in
+  Array.iter
+    (fun s ->
+      if Incll.System.variant s <> variant then
+        invalid_arg "Sharded.of_systems: mixed variants")
+    shards;
+  let max_wm =
+    Array.fold_left
+      (fun acc s -> max acc (Incll.Txn.watermark (Incll.System.region s)))
+      0 shards
+  in
+  { variant; shards; active_txn = None; next_txn_id = max_wm + 1 }
+
 let nshards t = Array.length t.shards
 let shard t i = t.shards.(i)
 let variant t = t.variant

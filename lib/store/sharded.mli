@@ -24,6 +24,12 @@ val of_system : Incll.System.t -> t
 (** Wrap one existing system (e.g. restored from an NVM image) as a
     single-shard store. *)
 
+val of_systems : Incll.System.t list -> t
+(** Wrap existing systems (e.g. reattached from per-shard NVM mirrors
+    after a process restart — the shards must be in shard order and all
+    of one variant) as one store; the next transaction id resumes above
+    every shard's durable watermark. *)
+
 val nshards : t -> int
 val shard : t -> int -> Incll.System.t
 val shard_of_key : t -> string -> int

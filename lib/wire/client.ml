@@ -1,3 +1,5 @@
+exception Timeout
+
 type addr = Unix_sock of string | Tcp of string * int
 
 let addr_of_string s =
@@ -63,31 +65,53 @@ let connect addr =
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
+(* A signal delivered to the process (the CLI installs handlers) makes
+   blocking syscalls fail with EINTR; always resume them. *)
+let rec restart_eintr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart_eintr f
+
 let write_all fd s =
   let b = Bytes.unsafe_of_string s in
   let n = Bytes.length b in
   let off = ref 0 in
   while !off < n do
-    off := !off + Unix.write fd b !off (n - !off)
+    let k = restart_eintr (fun () -> Unix.write fd b !off (n - !off)) in
+    off := !off + k
   done
 
-let send t op =
+let send ?sess t op =
   let id = t.next_id in
   t.next_id <- (t.next_id + 1) land 0xffffffff;
-  write_all t.fd (Proto.frame_of_request { Proto.id; op });
+  write_all t.fd (Proto.frame_of_request { Proto.id; op; sess });
   t.in_flight <- t.in_flight + 1;
   id
 
 let pending t = t.in_flight + Hashtbl.length t.stash
 
-let rec read_reply t =
+(* Wait until [t.fd] is readable or [deadline] (absolute, wall clock)
+   passes; raises [Timeout] on expiry. The decoder keeps any partial
+   frame, so the connection stays usable after a timeout. *)
+let wait_readable t deadline =
+  let rec wait () =
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0.0 then raise Timeout;
+    match restart_eintr (fun () -> Unix.select [ t.fd ] [] [] remaining) with
+    | [], _, _ -> wait ()
+    | _ -> ()
+  in
+  wait ()
+
+let rec read_reply ?deadline t =
   match Proto.Decoder.next t.dec with
   | Some payload -> Proto.reply_of_payload payload
   | None ->
-      let n = Unix.read t.fd t.rbuf 0 (Bytes.length t.rbuf) in
+      (match deadline with None -> () | Some dl -> wait_readable t dl);
+      let n =
+        restart_eintr (fun () -> Unix.read t.fd t.rbuf 0 (Bytes.length t.rbuf))
+      in
       if n = 0 then raise End_of_file;
       Proto.Decoder.feed t.dec t.rbuf 0 n;
-      read_reply t
+      read_reply ?deadline t
 
 (* Drain the stash first so call/recv interleavings never lose one. *)
 let pop_stash t =
@@ -101,11 +125,11 @@ let pop_stash t =
       Some r
   | None -> None
 
-let recv t =
+let recv ?deadline t =
   match pop_stash t with
   | Some r -> r
   | None ->
-      let r = read_reply t in
+      let r = read_reply ?deadline t in
       t.in_flight <- t.in_flight - 1;
       r
 
@@ -118,7 +142,7 @@ let recv_opt t =
           t.in_flight <- t.in_flight - 1;
           Some (Proto.reply_of_payload payload)
       | None -> (
-          match Unix.select [ t.fd ] [] [] 0.0 with
+          match restart_eintr (fun () -> Unix.select [ t.fd ] [] [] 0.0) with
           | [], _, _ -> None
           | _ -> (
               let n = Unix.read t.fd t.rbuf 0 (Bytes.length t.rbuf) in
@@ -130,15 +154,15 @@ let recv_opt t =
                   Some (Proto.reply_of_payload payload)
               | None -> None)))
 
-let call t op =
-  let id = send t op in
+let call ?deadline ?sess t op =
+  let id = send ?sess t op in
   match Hashtbl.find_opt t.stash id with
   | Some r ->
       Hashtbl.remove t.stash id;
       r
   | None ->
       let rec loop () =
-        let r = read_reply t in
+        let r = read_reply ?deadline t in
         t.in_flight <- t.in_flight - 1;
         if r.Proto.id = id then r
         else begin

@@ -8,6 +8,14 @@
     {!call} stashes out-of-order replies internally, so the two styles
     can be mixed as long as every pipelined id is eventually received. *)
 
+exception Timeout
+(** Raised by {!recv} / {!call} when the absolute [deadline] passes
+    before a complete reply arrives. The connection itself stays usable
+    (any partial frame is kept buffered), but the reply for an in-flight
+    request may still arrive later — retry layers that cannot tell
+    whether the op applied must reconnect and rely on the server's
+    session dedup (see {!Session}). *)
+
 type addr = Unix_sock of string | Tcp of string * int
 
 val addr_of_string : string -> addr
@@ -25,13 +33,15 @@ val close : t -> unit
 
 (* --- pipelined interface ------------------------------------------- *)
 
-val send : t -> Proto.op -> int
+val send : ?sess:int * int -> t -> Proto.op -> int
 (** Write one request, return its id (assigned monotonically per
-    connection). Does not wait for the reply. *)
+    connection). Does not wait for the reply. [sess] stamps the request
+    with a [(session_id, seqno)] for server-side dedup. *)
 
-val recv : t -> Proto.reply
+val recv : ?deadline:float -> t -> Proto.reply
 (** Next reply from the stash or the socket, any id. Raises
-    [End_of_file] if the server closed the connection. *)
+    [End_of_file] if the server closed the connection, {!Timeout} if
+    [deadline] (absolute [Unix.gettimeofday] seconds) passes first. *)
 
 val recv_opt : t -> Proto.reply option
 (** Like {!recv} but never blocks: [None] when no complete reply is
@@ -43,9 +53,10 @@ val pending : t -> int
 
 (* --- synchronous interface ----------------------------------------- *)
 
-val call : t -> Proto.op -> Proto.reply
+val call : ?deadline:float -> ?sess:int * int -> t -> Proto.op -> Proto.reply
 (** Send one request and block for its reply, stashing any other
-    replies that arrive first. *)
+    replies that arrive first. [deadline] and [sess] as in {!recv} and
+    {!send}. *)
 
 (* Convenience wrappers over [call]; each raises [Failure] with the
    status name on any status other than the expected ones. *)

@@ -18,6 +18,9 @@ type op =
   | Txn_commit
   | Txn_abort
   | Stats of stats_format
+  | Hello of int
+      (* proposed session id (0 = assign a fresh one); the reply's Value
+         payload is the decimal id the server actually granted *)
 
 type status = Ok | Not_found | Busy | Bad_request | Txn_state | Shutting_down
 
@@ -35,7 +38,11 @@ type payload =
   | Pairs of (string * string) list
   | Text of string
 
-type request = { id : int; op : op }
+type request = {
+  id : int;
+  op : op;
+  sess : (int * int) option;  (* (session_id, seqno) stamped on mutations *)
+}
 
 type reply = {
   id : int;
@@ -60,6 +67,7 @@ let put_u32 b v =
   put_u8 b v
 
 let put_i64 b v = Buffer.add_int64_be b (Int64.of_float v)
+let put_u64 b v = Buffer.add_int64_be b (Int64.of_int v)
 
 let put_str b s =
   if String.length s > 0xffff then
@@ -81,6 +89,7 @@ let opcode = function
   | Txn_commit -> 7
   | Txn_abort -> 8
   | Stats _ -> 9
+  | Hello _ -> 10
 
 let status_code = function
   | Ok -> 0
@@ -107,7 +116,7 @@ let frame body =
   Buffer.add_buffer b body;
   Buffer.contents b
 
-let frame_of_request { id; op } =
+let frame_of_request { id; op; sess } =
   let b = Buffer.create 64 in
   put_u32 b id;
   put_u8 b (opcode op);
@@ -127,7 +136,16 @@ let frame_of_request { id; op } =
   | Txn_write (Tw_remove k) ->
       put_u8 b 1;
       put_str b k
-  | Stats f -> put_u8 b (match f with Stats_json -> 0 | Stats_prom -> 1));
+  | Stats f -> put_u8 b (match f with Stats_json -> 0 | Stats_prom -> 1)
+  | Hello sid -> put_u64 b sid);
+  (* Uniform trailer on every request: 0 = no session stamp, 1 = an
+     8-byte session id plus an 8-byte seqno follow. *)
+  (match sess with
+  | None -> put_u8 b 0
+  | Some (sid, seq) ->
+      put_u8 b 1;
+      put_u64 b sid;
+      put_u64 b seq);
   frame b
 
 let frame_of_reply { id; status; queue_ns; cause; payload } =
@@ -185,6 +203,12 @@ let get_i64 r =
   r.pos <- r.pos + 8;
   Int64.to_float v
 
+let get_u64 r =
+  need r 8;
+  let v = String.get_int64_be r.s r.pos in
+  r.pos <- r.pos + 8;
+  Int64.to_int v
+
 let get_str r =
   let n = get_u16 r in
   need r n;
@@ -231,10 +255,20 @@ let request_of_payload s =
         | 0 -> Stats Stats_json
         | 1 -> Stats Stats_prom
         | f -> malformed "unknown stats format %d" f)
+    | 10 -> Hello (get_u64 r)
     | c -> malformed "unknown opcode %d" c
   in
+  let sess =
+    match get_u8 r with
+    | 0 -> None
+    | 1 ->
+        let sid = get_u64 r in
+        let seq = get_u64 r in
+        Some (sid, seq)
+    | f -> malformed "unknown session-trailer flag %d" f
+  in
   finish r "request";
-  { id; op }
+  { id; op; sess }
 
 let reply_of_payload s =
   let r = { s; pos = 0 } in

@@ -10,8 +10,14 @@
     Request payload:
 
     {v
-    | u32 request id | u8 opcode | body |
+    | u32 request id | u8 opcode | body | u8 sess flag [| u64 sid | u64 seq |] |
     v}
+
+    Every request ends with a session trailer: flag 0 means no session
+    stamp, flag 1 is followed by an 8-byte session id and an 8-byte
+    seqno. Retry layers stamp mutations with a [(sid, seq)] negotiated
+    via {!Hello} so the server can deduplicate a replayed request (see
+    DESIGN.md Â§17).
 
     Reply payload:
 
@@ -56,6 +62,10 @@ type op =
   | Txn_commit
   | Txn_abort
   | Stats of stats_format
+  | Hello of int
+      (** Session negotiation: propose a session id to resume (0 =
+          assign a fresh one). The reply's [Value] payload is the
+          decimal id the server granted. *)
 
 type status =
   | Ok
@@ -67,13 +77,23 @@ type status =
 
 val status_name : status -> string
 
+val status_code : status -> int
+val status_of_code : int -> status
+(** The on-wire status byte; the server also persists it inside session
+    dedup records, so both directions are exposed. *)
+
 type payload =
   | Unit
   | Value of string
   | Pairs of (string * string) list
   | Text of string
 
-type request = { id : int; op : op }
+type request = {
+  id : int;
+  op : op;
+  sess : (int * int) option;
+      (** [(session_id, seqno)] stamped on mutations by retry layers *)
+}
 
 type reply = {
   id : int;

@@ -271,7 +271,7 @@ let repro_json_roundtrip () =
       Torture.default with
       Torture.ops = 123;
       seed = 42;
-      schedule = Chaos.Plan.parse "sfence:9,recover.image_scan:1";
+      schedule = Chaos.Plan.parse "sfence:9,recover.image_scan:1,net.drop:4";
     }
   in
   let out =
@@ -295,10 +295,10 @@ let repro_json_roundtrip () =
   let cfg' = Shrink.config_of_json (Obs.Json.of_string (Obs.Json.to_string j)) in
   check_int "seed" cfg.Torture.seed cfg'.Torture.seed;
   check_int "ops" cfg.Torture.ops cfg'.Torture.ops;
-  check_int "schedule" 2 (List.length cfg'.Torture.schedule);
+  check_int "schedule" 3 (List.length cfg'.Torture.schedule);
   check "schedule points" true
     (List.map Chaos.Plan.point_to_string cfg'.Torture.schedule
-    = [ "sfence:9"; "recover.image_scan:1" ]);
+    = [ "sfence:9"; "recover.image_scan:1"; "net.drop:4" ]);
   check "no seed rejected" true
     (try
        ignore (Shrink.config_of_json (Obs.Json.of_string "{}"));

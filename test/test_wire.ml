@@ -70,7 +70,7 @@ let frame_round_trip_property =
          triple (list_size (int_bound 8) arbitrary_op) arbitrary_reply
            (int_range 1 13)))
     (fun (ops, reply, chunk) ->
-      let reqs = List.mapi (fun i op -> { P.id = i; op }) ops in
+      let reqs = List.mapi (fun i op -> { P.id = i; op; sess = None }) ops in
       let stream =
         String.concat ""
           (List.map P.frame_of_request reqs @ [ P.frame_of_reply reply ])
@@ -101,7 +101,7 @@ let frame_round_trip_property =
           && P.Decoder.buffered dec = 0)
 
 let truncated_frames_rejected () =
-  let frame = P.frame_of_request { P.id = 7; op = P.Put ("k", "v") } in
+  let frame = P.frame_of_request { P.id = 7; op = P.Put ("k", "v"); sess = None } in
   let payload = String.sub frame 4 (String.length frame - 4) in
   (* Every proper prefix of the payload must be rejected, not misparsed. *)
   for n = 0 to String.length payload - 1 do
@@ -166,6 +166,36 @@ let garbage_fuzz () =
     done;
     check "decoder never hoards garbage" true (P.Decoder.buffered dec <= cap + 4 + 64)
   done
+
+(* A replayed byte stream — the same frame fed twice, as a retrying
+   client or a duplicating network will produce — decodes as two
+   identical, independently parseable payloads. Dedup is the server's
+   job; the codec must not conflate or reject the copies. *)
+let duplicated_frames_decode () =
+  let req = { P.id = 3; op = P.Put ("dup", "v"); sess = Some (9, 4) } in
+  let frame = P.frame_of_request req in
+  let dec = P.Decoder.create () in
+  let b = Bytes.of_string (frame ^ frame) in
+  P.Decoder.feed dec b 0 (Bytes.length b);
+  (match (P.Decoder.next dec, P.Decoder.next dec) with
+  | Some p1, Some p2 ->
+      check "both copies decode" true
+        (P.request_of_payload p1 = req && P.request_of_payload p2 = req)
+  | _ -> Alcotest.fail "duplicated frame lost");
+  check "nothing buffered" true (P.Decoder.next dec = None);
+  (* Interleaved replay: old frame re-fed mid-stream between fresh
+     ones. *)
+  let req2 = { P.id = 4; op = P.Get "dup"; sess = None } in
+  let stream = P.frame_of_request req2 ^ frame ^ P.frame_of_request req2 in
+  let b = Bytes.of_string stream in
+  P.Decoder.feed dec b 0 (Bytes.length b);
+  let got =
+    List.init 3 (fun _ ->
+        match P.Decoder.next dec with
+        | Some p -> P.request_of_payload p
+        | None -> Alcotest.fail "frame missing")
+  in
+  check "replayed frame in sequence" true (got = [ req2; req; req2 ])
 
 let addr_parsing () =
   check "unix" true
@@ -386,6 +416,49 @@ let graceful_drain_flushes_everything () =
   (* And the work really landed in the store. *)
   check_int "puts applied before shutdown" n (S.cardinal (E.store srv))
 
+(* Regression: a signal handler firing mid-drain (a supervisor's second
+   SIGTERM, say) interrupts blocking syscalls with EINTR — the drain
+   must resume them, not abandon in-flight replies. *)
+let drain_survives_signals () =
+  let prev = Sys.signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> ())) in
+  Fun.protect
+    ~finally:(fun () -> Sys.set_signal Sys.sigusr1 prev)
+    (fun () ->
+      let addr = C.Unix_sock (Filename.temp_file "incll_sigdrain" ".sock") in
+      let srv =
+        E.start
+          ~config:(server_config ~nkeys:200 ~shards:2)
+          ~variant:Incll.System.Incll ~shards:2 addr
+      in
+      let c = C.connect (E.addr srv) in
+      let n = 100 in
+      for i = 0 to n - 1 do
+        ignore (C.send c (P.Put (Printf.sprintf "sd%03d" i, "v")))
+      done;
+      let pepper = Atomic.make true in
+      let pid = Unix.getpid () in
+      let d =
+        Domain.spawn (fun () ->
+            while Atomic.get pepper do
+              Unix.kill pid Sys.sigusr1;
+              Unix.sleepf 0.002
+            done)
+      in
+      E.stop srv;
+      Atomic.set pepper false;
+      Domain.join d;
+      let got = ref 0 in
+      (try
+         while !got < n do
+           let r = C.recv c in
+           check "drained under signals" true (r.P.status = P.Ok);
+           incr got
+         done
+       with End_of_file -> ());
+      check_int "every reply flushed despite EINTR" n !got;
+      C.close c;
+      check_int "all puts applied" n (S.cardinal (E.store srv)))
+
 let stats_over_the_wire () =
   with_server (fun srv ->
       let c = C.connect (E.addr srv) in
@@ -514,6 +587,8 @@ let tests =
       Alcotest.test_case "oversized frame rejected" `Quick
         oversized_frame_rejected;
       Alcotest.test_case "garbage-header fuzz" `Quick garbage_fuzz;
+      Alcotest.test_case "duplicated frames decode independently" `Quick
+        duplicated_frames_decode;
       Alcotest.test_case "address parsing" `Quick addr_parsing;
       Alcotest.test_case "bounded queue contract" `Quick bqueue_contract;
       Alcotest.test_case "basic ops over a unix socket" `Quick
@@ -527,6 +602,8 @@ let tests =
         busy_backpressure;
       Alcotest.test_case "graceful drain flushes everything" `Quick
         graceful_drain_flushes_everything;
+      Alcotest.test_case "drain survives signal delivery" `Quick
+        drain_survives_signals;
       Alcotest.test_case "STATS carries net_queue" `Quick stats_over_the_wire;
       Alcotest.test_case "differential oracle: wire = in-process" `Slow
         differential_oracle;
